@@ -1,0 +1,61 @@
+// E5 — the full Section 4 derivation of Dijkstra's 4-state ring:
+// BTR4's fidelity to BTR, the vacuity of W1'/W2', Lemma 7 under both
+// initial-state choices, Theorem 8, Dijkstra-4's stabilization, and the
+// guard-relaxation relation (C1 [] W1' [] W2') (= Dijkstra4.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "refinement/checker.hpp"
+#include "refinement/equivalence.hpp"
+#include "ring/btr.hpp"
+#include "ring/four_state.hpp"
+
+using namespace cref;
+using namespace cref::bench;
+using namespace cref::ring;
+
+int main() {
+  header("E5", "Section 4: deriving Dijkstra's 4-state token ring");
+
+  util::Table t({"n", "[BTR4 <~ BTR]", "W1'/W2' edges", "Lemma7 (preimage I)",
+                 "Lemma7 (faithful I)", "Thm8 C1W stab", "D4 stab", "C1W vs D4"});
+  for (int n = 2; n <= 6; ++n) {
+    BtrLayout bl(n);
+    FourStateLayout l(n);
+    System btr = make_btr(bl);
+    Abstraction a4 = make_alpha4(l, bl);
+
+    std::string btr4_v = verdict(
+        RefinementChecker(make_btr4(l), btr, a4).convergence_refinement());
+
+    std::size_t wedges = TransitionGraph::build(make_w1_prime(l)).num_edges() +
+                         TransitionGraph::build(make_w2_prime(l)).num_edges();
+
+    std::string lemma7_pre = verdict(
+        RefinementChecker(make_c1(l), btr, a4).convergence_refinement());
+    System c1_faithful = with_reachable_initial(make_c1(l), l.canonical_state());
+    std::string lemma7_faith =
+        verdict(RefinementChecker(c1_faithful, btr, a4).convergence_refinement());
+
+    System c1w = box(make_c1(l), make_w1_prime(l), make_w2_prime(l));
+    std::string thm8 = verdict(RefinementChecker(c1w, btr, a4).stabilizing_to());
+    std::string d4 =
+        verdict(RefinementChecker(make_dijkstra4(l), btr, a4).stabilizing_to());
+    auto cmp = compare_relations(TransitionGraph::build(c1w),
+                                 TransitionGraph::build(make_dijkstra4(l)));
+
+    t.add_row({std::to_string(n), btr4_v, std::to_string(wedges), lemma7_pre,
+               lemma7_faith, thm8, d4, cmp.verdict()});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "paper expectations: [BTR4 <~ BTR] holds; the refined wrappers are\n"
+      "vacuous (0 transitions); Lemma 7 holds; Theorem 8 holds; Dijkstra's\n"
+      "4-state system is its guard relaxation (strict superset of C1W's\n"
+      "transitions) and stabilizes.\n"
+      "measured deviation: Lemma 7 needs the faithful (reachable-closure)\n"
+      "initial states — the raw preimage of BTR's initial states contains\n"
+      "corrupted encodings whose first move already compresses (E5).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E9 — Section 6: the paper's NEW 3-state system C3. Lemma 12 under
+// both initial-state choices, Theorem 13 under both composition
+// semantics, and the aggressive-W2' equality with Dijkstra's 3-state.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "refinement/checker.hpp"
+#include "refinement/equivalence.hpp"
+#include "ring/btr.hpp"
+#include "ring/three_state.hpp"
+
+using namespace cref;
+using namespace cref::bench;
+using namespace cref::ring;
+
+int main() {
+  header("E9", "Section 6: the new 3-state system C3");
+
+  util::Table t({"n", "Lemma12 [C3 <~ BTR]", "C3 compressed edges", "T13 union",
+                 "T13 prio W1''", "T13 prio W1'", "aggressive==D3"});
+  for (int n = 2; n <= 6; ++n) {
+    BtrLayout bl(n);
+    ThreeStateLayout l(n);
+    System btr = make_btr(bl);
+    Abstraction a3 = make_alpha3(l, bl);
+    System c3 = make_c3(l);
+    System w1pp = make_w1_dprime(l);
+    System w1p = make_w1_prime3(l);
+    System w2p = make_w2_prime3(l);
+
+    System c3f = with_reachable_initial(c3, l.canonical_state());
+    RefinementChecker rc12(c3f, btr, a3);
+    auto stab = [&](const System& sys) {
+      return verdict(RefinementChecker(sys, btr, a3).stabilizing_to());
+    };
+    auto cmp = compare_relations(TransitionGraph::build(make_c3_aggressive(l)),
+                                 TransitionGraph::build(make_dijkstra3(l)));
+    t.add_row({std::to_string(n), verdict(rc12.convergence_refinement()),
+               std::to_string(rc12.edge_stats().compressed),
+               stab(box(c3, w1pp, w2p)),
+               stab(box_priority(c3, box(w1pp, w2p))),
+               stab(box_priority(c3, box(w1p, w2p))), cmp.verdict()});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // The crossing step that falsifies "C3 performs no compression".
+  ThreeStateLayout l(2);
+  StateVec s{1, 0, 1};  // ut_1 and dt_1 coexist at process 1
+  System c3 = make_c3(l);
+  StateVec after = s;
+  c3.actions()[2].effect(after);  // "up1"
+  std::printf("the crossing step (n=2): c=(1,0,1) holds ut1 AND dt1; firing\n"
+              "up1 gives c=(%d,%d,%d), whose image holds ut2 AND dt0 — both\n"
+              "tokens crossed process 1 in ONE transition, compressing the\n"
+              "two-step BTR crossing. Lemma 12's \"no compression\" claim\n"
+              "misses this coexistence case, and since crossings can recur\n"
+              "forever, [C3 <~ BTR] fails as stated.\n",
+              after[0], after[1], after[2]);
+  std::printf(
+      "\nTheorem 13 itself HOLDS under priority composition at every tested\n"
+      "size — with either wrapper localization. C3's opposite-neighbor reads\n"
+      "freeze corrupted configurations (tau-steps) instead of circulating\n"
+      "them, which is why it tolerates even the W1'' flaw that breaks C2 (E7).\n");
+  return 0;
+}

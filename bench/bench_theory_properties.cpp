@@ -1,0 +1,169 @@
+// E16 — the meta-theorems themselves, tested on thousands of random
+// (C, A, W) triples: whenever the checkers certify a theorem's premises,
+// its conclusion is re-checked independently. Theorems 0 and 1 hold on
+// every instance; Theorem 3 (graybox wrapping) has COUNTEREXAMPLES —
+// the wrapper can route the composite back into states from which C
+// compresses (see tests/refinement/property_test.cpp for a minimal one).
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "refinement/checker.hpp"
+#include "refinement/random_systems.hpp"
+#include "util/strings.hpp"
+
+using namespace cref;
+using namespace cref::bench;
+
+int main() {
+  header("E16", "meta-theorems on random automata");
+
+  const std::uint64_t trials = 4000;
+  std::size_t hier_premises = 0, hier_ok = 0;
+  std::size_t t0_premises = 0, t0_ok = 0;
+  std::size_t t1_premises = 0, t1_ok = 0;
+  std::size_t t3_premises = 0, t3_ok = 0, t3_cex = 0;
+  std::size_t l4_premises = 0, l4_ok = 0;
+  bool printed_cex = false;
+
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    SystemSampler gen(seed);
+    StateId n = 4 + static_cast<StateId>(seed % 5);
+    TransitionGraph a = gen.random_graph(n, 0.30);
+    TransitionGraph c = gen.drop_edges(a, 0.85);
+    if (seed % 2 == 0) c = gen.add_shortcuts(c, 2);
+    TransitionGraph w = gen.random_graph(n, 0.10);
+    TransitionGraph b = gen.random_graph(n, 0.30);
+    std::vector<StateId> init = gen.random_subset(n, 0.3, true);
+    std::vector<StateId> b_init = gen.random_subset(n, 0.3, true);
+
+    RefinementChecker ca(c, a, init, init);
+    bool everywhere = ca.everywhere_refinement().holds;
+    bool convergence = ca.convergence_refinement().holds;
+    if (everywhere) {
+      ++hier_premises;
+      hier_ok += convergence && ca.everywhere_eventually_refinement().holds;
+    }
+
+    RefinementChecker ab(a, b, init, b_init);
+    bool a_stab_b = ab.stabilizing_to().holds;
+    if (a_stab_b) {
+      RefinementChecker cb(c, b, init, b_init);
+      bool c_stab_b = cb.stabilizing_to().holds;
+      if (everywhere) {
+        ++t0_premises;
+        t0_ok += c_stab_b;
+      }
+      if (convergence) {
+        ++t1_premises;
+        t1_ok += c_stab_b;
+      }
+    }
+
+    // Lemma 4: [W' <~ W] and (A [] W) stabilizing to A implies
+    // (A [] W') stabilizing to A. W' is a random edge subset of W.
+    {
+      SystemSampler wgen(seed + 1'000'000);
+      TransitionGraph wp = wgen.drop_edges(w, 0.7);
+      RefinementChecker wpw(wp, w, {}, {});
+      RefinementChecker awa(graph_union(a, w), a, init, init);
+      if (wpw.convergence_refinement().holds && awa.stabilizing_to().holds) {
+        ++l4_premises;
+        RefinementChecker awpa(graph_union(a, wp), a, init, init);
+        l4_ok += awpa.stabilizing_to().holds;
+      }
+    }
+
+    if (convergence) {
+      TransitionGraph aw = graph_union(a, w);
+      RefinementChecker awa(std::move(aw), a, init, init);
+      if (awa.stabilizing_to().holds) {
+        ++t3_premises;
+        TransitionGraph cw = graph_union(c, w);
+        RefinementChecker cwa(std::move(cw), a, init, init);
+        auto r = cwa.stabilizing_to();
+        if (r.holds) {
+          ++t3_ok;
+        } else {
+          ++t3_cex;
+          if (!printed_cex) {
+            printed_cex = true;
+            std::printf("first random Theorem-3 counterexample: seed %llu, "
+                        "witness %s\n\n",
+                        static_cast<unsigned long long>(seed),
+                        r.witness.format_ids().c_str());
+          }
+        }
+      }
+    }
+  }
+
+  // Structured adversarial family for Theorem 3 (the random sweep rarely
+  // hits the needed shape): A is an m-cycle 0..m-1 plus a pendant state
+  // p = m with A-edges 0->p and p->1; C drops 0->p (p becomes unreachable
+  // from the initial state 0) and compresses p's exit to p->2; the
+  // wrapper W restores exactly the A-edge 0->p. Every instance satisfies
+  // both premises and violates the conclusion: (C [] W) cycles
+  // 0 -> p -> 2 -> ... -> 0 through the compression forever.
+  std::size_t fam_premises = 0, fam_cex = 0;
+  for (StateId m = 3; m <= 12; ++m) {
+    std::vector<std::pair<StateId, StateId>> ae, ce;
+    for (StateId i = 0; i < m; ++i) ae.emplace_back(i, (i + 1) % m);
+    ce = ae;
+    ae.emplace_back(0, m);
+    ae.emplace_back(m, 1);
+    ce.emplace_back(m, 2);
+    TransitionGraph a = TransitionGraph::from_edges(m + 1, ae);
+    TransitionGraph c = TransitionGraph::from_edges(m + 1, ce);
+    TransitionGraph w = TransitionGraph::from_edges(m + 1, {{0, m}});
+    RefinementChecker ca(c, a, {0}, {0});
+    RefinementChecker awa(graph_union(a, w), a, {0}, {0});
+    if (!ca.convergence_refinement().holds || !awa.stabilizing_to().holds) continue;
+    ++fam_premises;
+    RefinementChecker cwa(graph_union(c, w), a, {0}, {0});
+    fam_cex += !cwa.stabilizing_to().holds;
+  }
+
+  // Deterministic Lemma 4 counterexample (3 states — see
+  // tests/refinement/property_test.cpp for the construction).
+  std::size_t l4d_premises = 0, l4d_cex = 0;
+  {
+    TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+    TransitionGraph w = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}});
+    TransitionGraph wp = TransitionGraph::from_edges(3, {{0, 2}, {1, 2}});
+    RefinementChecker wpw(wp, w, {}, {});
+    RefinementChecker awa(graph_union(a, w), a, {0}, {0});
+    if (wpw.convergence_refinement().holds && awa.stabilizing_to().holds) {
+      ++l4d_premises;
+      RefinementChecker awpa(graph_union(a, wp), a, {0}, {0});
+      l4d_cex += !awpa.stabilizing_to().holds;
+    }
+  }
+
+  util::Table t({"theorem", "premises held", "conclusion held", "counterexamples"});
+  t.add_row({"hierarchy [C(=A] => [C<~A] => ee", std::to_string(hier_premises),
+             std::to_string(hier_ok), std::to_string(hier_premises - hier_ok)});
+  t.add_row({"Theorem 0 (everywhere preserves stab)", std::to_string(t0_premises),
+             std::to_string(t0_ok), std::to_string(t0_premises - t0_ok)});
+  t.add_row({"Theorem 1 (convergence preserves stab)", std::to_string(t1_premises),
+             std::to_string(t1_ok), std::to_string(t1_premises - t1_ok)});
+  t.add_row({"Lemma 4 (wrapper refinement), random", std::to_string(l4_premises),
+             std::to_string(l4_ok), std::to_string(l4_premises - l4_ok)});
+  t.add_row({"Lemma 4, 3-state counterexample", std::to_string(l4d_premises),
+             std::to_string(l4d_premises - l4d_cex), std::to_string(l4d_cex)});
+  t.add_row({"Theorem 3 (graybox wrapping), random", std::to_string(t3_premises),
+             std::to_string(t3_ok), std::to_string(t3_cex)});
+  t.add_row({"Theorem 3, adversarial family m=3..12", std::to_string(fam_premises),
+             std::to_string(fam_premises - fam_cex), std::to_string(fam_cex)});
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("%llu random instances, 4..8 states each. Theorems 0/1 must show 0\n"
+              "counterexamples (they are sound; a nonzero count means an engine\n"
+              "bug). Theorems 3 and 5's Lemma 4 are NOT sound as stated: the\n"
+              "adversarial instances satisfy the premises yet the composite\n"
+              "loops through a compression forever. The shared gap: a\n"
+              "convergence refinement's compressions are only guaranteed\n"
+              "transient within that SYSTEM's own reach — the other composed\n"
+              "component can route the composite back into them. E16.\n",
+              static_cast<unsigned long long>(trials));
+  return 0;
+}

@@ -1,0 +1,40 @@
+#pragma once
+
+// Shared helpers for the bench binaries: every experiment prints a
+// paper-style table via util::Table plus a short header naming the
+// experiment id from DESIGN.md.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "refinement/check_result.hpp"
+#include "util/table.hpp"
+
+namespace cref::bench {
+
+inline std::string verdict(const CheckResult& r) { return r.holds ? "HOLDS" : "FAILS"; }
+inline std::string verdict(bool b) { return b ? "HOLDS" : "FAILS"; }
+inline std::string yesno(bool b) { return b ? "yes" : "no"; }
+
+inline void header(const char* exp_id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s  %s\n", exp_id, title);
+  std::printf("==============================================================\n");
+}
+
+/// Wall-clock helper for reporting check durations.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cref::bench

@@ -1,0 +1,68 @@
+// The introduction's bidding-server story as a runnable demo: the same
+// auction is run against the spec, the sorted-list implementation, and
+// the wrapped implementation, with one stored bid corrupted mid-auction.
+//
+//   $ ./bidding_server_demo [--k 5] [--bids 20] [--seed 11]
+
+#include <cstdio>
+#include <random>
+
+#include "bidding/server.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+using namespace cref;
+using namespace cref::bidding;
+
+namespace {
+
+std::string show(const std::vector<std::int64_t>& v) {
+  std::vector<std::string> parts;
+  for (std::int64_t x : v) parts.push_back(std::to_string(x));
+  return "[" + util::join(parts, " ") + "]";
+}
+
+template <typename Server>
+void run_auction(const char* name, int k, int bids, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> dist(1, 999);
+  Server server(k);
+  std::vector<std::int64_t> genuine;
+  for (int i = 0; i < bids / 2; ++i) {
+    std::int64_t v = dist(rng);
+    genuine.push_back(v);
+    server.bid(v);
+  }
+  server.corrupt(0, 1'000'000'000);  // lightning strikes one stored bid
+  for (int i = bids / 2; i < bids; ++i) {
+    std::int64_t v = dist(rng);
+    genuine.push_back(v);
+    server.bid(v);
+  }
+  double score = best_k_minus_1_score(genuine, server.winners(), k);
+  std::printf("%-18s winners %-40s (k-1)-of-best-k score %.2f %s\n", name,
+              show(server.winners()).c_str(), score, score >= 1.0 ? "OK" : "DEGRADED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const int k = static_cast<int>(cli.get_int("k", 5));
+  const int bids = static_cast<int>(cli.get_int("bids", 20));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
+
+  std::printf("auction: best-%d server, %d genuine bids, one stored bid corrupted\n"
+              "to MAX mid-auction (paper, Section 1)\n\n", k, bids);
+  run_auction<SpecServer>("spec (multiset)", k, bids, seed);
+  run_auction<SortedListServer>("sorted-list impl", k, bids, seed);
+  run_auction<WrappedServer>("wrapped impl", k, bids, seed);
+
+  std::printf(
+      "\nwhy: the sorted list compares new bids against its HEAD only; once\n"
+      "the head is corrupted upward, every real bid is rejected. The spec\n"
+      "recomputes the minimum each time, and the wrapper re-establishes the\n"
+      "sort invariant before the implementation acts — a stabilization\n"
+      "wrapper in the paper's sense.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Graybox design, end to end — the paper's method as a library workflow.
+//
+// You are handed a CLOSED-SOURCE component C1 (here: the concrete
+// 4-state ring, but the workflow never inspects its actions) and its
+// published specification BTR. The task: make C1 stabilizing.
+//
+//   step 1  design wrappers W1/W2 against the SPEC and prove
+//           (BTR <| W1[]W2) stabilizing to BTR;
+//   step 2  certify the vendor claim [C1 <~ BTR] (convergence
+//           refinement through the published abstraction alpha4);
+//   step 3  refine the wrappers through the same mapping (they turn out
+//           vacuous) and conclude — then verify the conclusion directly.
+//
+//   $ ./graybox_design [--n 4]
+
+#include <cstdio>
+
+#include "refinement/checker.hpp"
+#include "ring/btr.hpp"
+#include "ring/four_state.hpp"
+#include "util/cli.hpp"
+
+using namespace cref;
+using namespace cref::ring;
+
+namespace {
+void step(int k, const char* what, bool ok) {
+  std::printf("step %d  %-58s [%s]\n", k, what, ok ? "ok" : "FAILED");
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 4));
+
+  BtrLayout bl(n);
+  FourStateLayout l4(n);
+  System btr = make_btr(bl);
+
+  // ---- step 1: wrapper design against the specification --------------
+  System w1 = make_w1(bl);
+  System w2 = make_w2(bl);
+  System spec_wrapped = box_priority(btr, box(w1, w2));
+  bool s1 = RefinementChecker(spec_wrapped, btr).stabilizing_to().holds;
+  step(1, "(BTR <| W1 [] W2) is stabilizing to BTR", s1);
+
+  // ---- step 2: certify the refinement claim ---------------------------
+  // All the workflow needs from the vendor: the system, the abstraction,
+  // and a seed legitimate state. The checker works through alpha4 only.
+  Abstraction alpha4 = make_alpha4(l4, bl);
+  System c1 = with_reachable_initial(make_c1(l4), l4.canonical_state());
+  bool s2 = RefinementChecker(c1, btr, alpha4).convergence_refinement().holds;
+  step(2, "[C1 <~ BTR] (vendor claim, machine-certified)", s2);
+
+  // ---- step 3: refine the wrappers and conclude -----------------------
+  System w1p = make_w1_prime(l4);
+  System w2p = make_w2_prime(l4);
+  std::size_t wrapper_transitions = TransitionGraph::build(w1p).num_edges() +
+                                    TransitionGraph::build(w2p).num_edges();
+  step(3, "refined wrappers W1'/W2' are vacuous (0 transitions)",
+       wrapper_transitions == 0);
+
+  // The graybox conclusion (Theorem 3 route), verified directly:
+  System composite = box(c1, w1p, w2p);
+  bool s4 = RefinementChecker(composite, btr, alpha4).stabilizing_to().holds;
+  step(4, "(C1 [] W1' [] W2') is stabilizing to BTR — QED", s4);
+
+  std::printf(
+      "\nThe wrapper was designed against %llu abstract states; the component\n"
+      "it stabilizes has %llu concrete states the designer never examined.\n",
+      static_cast<unsigned long long>(bl.space()->size()),
+      static_cast<unsigned long long>(l4.space()->size()));
+  std::printf(
+      "\nCaveat from this reproduction (EXPERIMENTS.md E16): the conclusion\n"
+      "is verified directly above because Theorem 3's purely compositional\n"
+      "route is unsound in general — a wrapper may route the composite into\n"
+      "states from which the component compresses. Certify, then verify.\n");
+  return (s1 && s2 && s4) ? 0 : 1;
+}

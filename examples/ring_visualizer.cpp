@@ -1,0 +1,120 @@
+// ASCII visualization of token-ring executions: pick a protocol, corrupt
+// the ring, and watch tokens move, cancel, and converge step by step.
+//
+//   $ ./ring_visualizer [--protocol d3|d4|kstate|c3] [--n 7]
+//                       [--faults 4] [--steps 40] [--seed 3]
+
+#include <cstdio>
+#include <string>
+
+#include "ring/four_state.hpp"
+#include "ring/kstate.hpp"
+#include "ring/three_state.hpp"
+#include "sim/fault.hpp"
+#include "sim/runner.hpp"
+#include "util/cli.hpp"
+
+using namespace cref;
+using namespace cref::ring;
+
+namespace {
+
+// One render cell per process: counter value plus token marks
+// (^ = token moving up / privilege, v = token moving down).
+std::string cell(int value, bool up, bool down) {
+  std::string out = std::to_string(value);
+  if (up) out += '^';
+  if (down) out += 'v';
+  while (out.size() < 4) out += ' ';
+  return out;
+}
+
+std::string render3(const ThreeStateLayout& l, const StateVec& s) {
+  std::string out;
+  for (int j = 0; j <= l.n(); ++j)
+    out += cell(s[l.c(j)], j >= 1 && l.ut_image(s, j), j <= l.n() - 1 && l.dt_image(s, j));
+  return out;
+}
+
+std::string render4(const FourStateLayout& l, const StateVec& s) {
+  std::string out;
+  for (int j = 0; j <= l.n(); ++j) {
+    std::string c = std::to_string(static_cast<int>(s[l.c(j)]));
+    c += l.up_val(s, j) ? 'u' : 'd';
+    if (j >= 1 && l.ut_image(s, j)) c += '^';
+    if (j <= l.n() - 1 && l.dt_image(s, j)) c += 'v';
+    while (c.size() < 5) c += ' ';
+    out += c;
+  }
+  return out;
+}
+
+std::string renderk(const KStateLayout& l, const StateVec& s) {
+  std::string out;
+  for (int j = 0; j <= l.n(); ++j)
+    out += cell(s[l.c(j)], l.token_image(s, j), false);
+  return out;
+}
+
+template <typename Layout, typename Render>
+int animate(const Layout& layout, System sys, Render render_fn, int faults, int steps,
+            std::uint64_t seed) {
+  StateVec state(layout.space()->var_count(), 0);
+  // Start from a legitimate state when the layout provides one.
+  if constexpr (requires { layout.canonical_state(); }) state = layout.canonical_state();
+  sim::FaultInjector fault(seed);
+  fault.corrupt(*layout.space(), state, static_cast<std::size_t>(faults));
+  sim::RandomDaemon daemon(seed + 1);
+
+  std::printf("   step  ring (value per process; ^ up-token, v down-token)  tokens\n");
+  for (int i = 0; i <= steps; ++i) {
+    std::printf("  %5d  %s  %d\n", i, render_fn(layout, state).c_str(),
+                layout.image_token_count(state));
+    if (layout.image_token_count(state) == 1 && i > 0) {
+      std::printf("  converged after %d step(s).\n", i);
+      return 0;
+    }
+    auto enabled = sim::enabled_changing_actions(sys, state);
+    if (enabled.empty()) {
+      std::printf("  deadlock!\n");
+      return 1;
+    }
+    sys.actions()[daemon.pick(sys, state, enabled)].effect(state);
+  }
+  std::printf("  (step budget exhausted)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::string protocol = cli.get("protocol", "d3");
+  const int n = static_cast<int>(cli.get_int("n", 7));
+  const int faults = static_cast<int>(cli.get_int("faults", 4));
+  const int steps = static_cast<int>(cli.get_int("steps", 60));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+
+  std::printf("protocol=%s n=%d faults=%d seed=%llu\n\n", protocol.c_str(), n, faults,
+              static_cast<unsigned long long>(seed));
+  if (protocol == "d3") {
+    ThreeStateLayout l(n);
+    return animate(l, make_dijkstra3(l), render3, faults, steps, seed);
+  }
+  if (protocol == "c3") {
+    ThreeStateLayout l(n);
+    System sys = box_priority(make_c3(l), box(make_w1_dprime(l), make_w2_prime3(l)));
+    return animate(l, std::move(sys), render3, faults, steps, seed);
+  }
+  if (protocol == "d4") {
+    FourStateLayout l(n);
+    return animate(l, make_dijkstra4(l), render4, faults, steps, seed);
+  }
+  if (protocol == "kstate") {
+    KStateLayout l(n, n + 1);
+    return animate(l, make_kstate(l), renderk, faults, steps, seed);
+  }
+  std::fprintf(stderr, "unknown --protocol %s (want d3|c3|d4|kstate)\n",
+               protocol.c_str());
+  return 2;
+}

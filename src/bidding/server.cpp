@@ -1,0 +1,154 @@
+#include "bidding/server.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace cref::bidding {
+
+namespace {
+void require_k(int k) {
+  if (k < 1) throw std::invalid_argument("bidding server: need k >= 1");
+}
+}  // namespace
+
+SpecServer::SpecServer(int k) : bids_(static_cast<std::size_t>((require_k(k), k)), 0) {}
+
+void SpecServer::bid(std::int64_t v) {
+  auto min_it = std::min_element(bids_.begin(), bids_.end());
+  if (v > *min_it) *min_it = v;
+}
+
+std::vector<std::int64_t> SpecServer::winners() const {
+  std::vector<std::int64_t> w = bids_;
+  std::sort(w.rbegin(), w.rend());
+  return w;
+}
+
+void SpecServer::corrupt(std::size_t index, std::int64_t value) { bids_.at(index) = value; }
+
+SortedListServer::SortedListServer(int k) : bids_(static_cast<std::size_t>((require_k(k), k)), 0) {}
+
+void SortedListServer::bid(std::int64_t v) {
+  // Compares against the HEAD only — the implementation's fatal reliance
+  // on its sort invariant.
+  if (v <= bids_.front()) return;
+  bids_.erase(bids_.begin());
+  // Insert before the first element greater than v (linear scan, which is
+  // deterministic even when a corruption has unsorted the list).
+  auto pos = bids_.begin();
+  while (pos != bids_.end() && *pos <= v) ++pos;
+  bids_.insert(pos, v);
+}
+
+std::vector<std::int64_t> SortedListServer::winners() const {
+  std::vector<std::int64_t> w = bids_;
+  std::sort(w.rbegin(), w.rend());
+  return w;
+}
+
+void SortedListServer::corrupt(std::size_t index, std::int64_t value) {
+  bids_.at(index) = value;
+}
+
+WrappedServer::WrappedServer(int k) : inner_(k) {}
+
+void WrappedServer::bid(std::int64_t v) {
+  // The wrapper re-establishes the implementation's invariant before the
+  // implementation acts — the recovery action of a stabilization wrapper.
+  auto list = inner_.list();
+  if (!std::is_sorted(list.begin(), list.end())) {
+    std::sort(list.begin(), list.end());
+    for (std::size_t i = 0; i < list.size(); ++i) inner_.corrupt(i, list[i]);
+  }
+  inner_.bid(v);
+}
+
+std::vector<std::int64_t> WrappedServer::winners() const { return inner_.winners(); }
+
+void WrappedServer::corrupt(std::size_t index, std::int64_t value) {
+  inner_.corrupt(index, value);
+}
+
+double best_k_minus_1_score(const std::vector<std::int64_t>& genuine_bids,
+                            const std::vector<std::int64_t>& winners, int k) {
+  if (k < 2) return 1.0;
+  std::vector<std::int64_t> top = genuine_bids;
+  std::sort(top.rbegin(), top.rend());
+  if (static_cast<int>(top.size()) > k) top.resize(static_cast<std::size_t>(k));
+  if (top.empty()) return 1.0;
+  // Multiset intersection of the top-k with the winners.
+  std::multiset<std::int64_t> have(winners.begin(), winners.end());
+  std::size_t matched = 0;
+  for (std::int64_t want : top) {
+    auto it = have.find(want);
+    if (it != have.end()) {
+      have.erase(it);
+      ++matched;
+    }
+  }
+  return std::min(1.0, static_cast<double>(matched) / static_cast<double>(k - 1));
+}
+
+namespace {
+
+SpacePtr make_bid_space(int k, int values) {
+  std::vector<VarSpec> vars;
+  for (int i = 0; i < k; ++i)
+    vars.push_back({"b" + std::to_string(i), static_cast<Value>(values)});
+  return std::make_shared<Space>(std::move(vars));
+}
+
+StatePredicate sorted_initial() {
+  return [](const StateVec& s) { return std::is_sorted(s.begin(), s.end()); };
+}
+
+}  // namespace
+
+System make_spec_system(int k, int values) {
+  require_k(k);
+  auto space = make_bid_space(k, values);
+  std::vector<Action> actions;
+  for (int v = 0; v < values; ++v) {
+    actions.push_back({"bid" + std::to_string(v), -1,
+                       [v](const StateVec& s) {
+                         return v > *std::min_element(s.begin(), s.end());
+                       },
+                       [v](StateVec& s) {
+                         *std::min_element(s.begin(), s.end()) = static_cast<Value>(v);
+                         // Canonical multiset representation: sorted.
+                         std::sort(s.begin(), s.end());
+                       }});
+  }
+  return System("BiddingSpec", space, std::move(actions), sorted_initial());
+}
+
+System make_sorted_list_system(int k, int values) {
+  require_k(k);
+  auto space = make_bid_space(k, values);
+  std::vector<Action> actions;
+  for (int v = 0; v < values; ++v) {
+    actions.push_back({"bid" + std::to_string(v), -1,
+                       [v](const StateVec& s) { return v > s.front(); },
+                       [v](StateVec& s) {
+                         s.erase(s.begin());
+                         auto pos = s.begin();
+                         while (pos != s.end() && *pos <= v) ++pos;
+                         s.insert(pos, static_cast<Value>(v));
+                       }});
+  }
+  return System("SortedListImpl", space, std::move(actions), sorted_initial());
+}
+
+System make_sort_wrapper(int k, int values) {
+  require_k(k);
+  auto space = make_bid_space(k, values);
+  Action a;
+  a.name = "sort";
+  a.process = -1;
+  a.guard = [](const StateVec& s) { return !std::is_sorted(s.begin(), s.end()); };
+  a.effect = [](StateVec& s) { std::sort(s.begin(), s.end()); };
+  return System("SortWrapper", space, {std::move(a)}, std::nullopt);
+}
+
+}  // namespace cref::bidding

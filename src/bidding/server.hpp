@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace cref::bidding {
+
+/// The paper's introductory bidding-server example (Section 1): a server
+/// stores the highest k bids; bid(v) replaces the minimum stored bid when
+/// v exceeds it. The SPEC is tolerant to one corrupted stored bid (it
+/// still serves (k-1) of the best-k); the sorted-list IMPLEMENTATION is
+/// not (a head corrupted to MAX blocks all future bids).
+
+/// Specification-level server: stores a multiset, recomputes the minimum
+/// on every bid. Tolerates corruption of any single stored bid.
+class SpecServer {
+ public:
+  explicit SpecServer(int k);
+  void bid(std::int64_t v);
+  /// Stored bids in descending order (the would-be winners).
+  std::vector<std::int64_t> winners() const;
+  /// Transient fault: overwrite stored bid `index` (0..k-1, arbitrary
+  /// internal order) with `value`.
+  void corrupt(std::size_t index, std::int64_t value);
+
+ private:
+  std::vector<std::int64_t> bids_;  // unordered
+};
+
+/// Sorted-list implementation: keeps bids ascending with the minimum at
+/// the head and compares incoming bids against the HEAD ONLY. Correct
+/// from initial states, NOT tolerant: if the head is corrupted upward,
+/// no new bid ever enters.
+class SortedListServer {
+ public:
+  explicit SortedListServer(int k);
+  void bid(std::int64_t v);
+  std::vector<std::int64_t> winners() const;
+  void corrupt(std::size_t index, std::int64_t value);
+  const std::vector<std::int64_t>& list() const { return bids_; }
+
+ private:
+  std::vector<std::int64_t> bids_;  // ascending; head = presumed minimum
+};
+
+/// The sorted-list implementation with a stabilization wrapper in the
+/// sense of the paper: before each bid the wrapper re-establishes the
+/// list's sort invariant (the "recovery action" that makes the composite
+/// track the spec again after a corruption).
+class WrappedServer {
+ public:
+  explicit WrappedServer(int k);
+  void bid(std::int64_t v);
+  std::vector<std::int64_t> winners() const;
+  void corrupt(std::size_t index, std::int64_t value);
+
+ private:
+  SortedListServer inner_;
+};
+
+/// The paper's "(k-1) out of best-k" tolerance measure: how many of the
+/// best k genuine bids (all bids ever submitted) appear among `winners`,
+/// divided by k-1 and capped at 1. A tolerant server scores 1.0 — the
+/// corruption may destroy at most one of the best k, so k-1 must still
+/// be served; the frozen sorted list scores below 1.
+double best_k_minus_1_score(const std::vector<std::int64_t>& genuine_bids,
+                            const std::vector<std::int64_t>& winners, int k);
+
+/// Automaton formulation over a tiny bid domain so the refinement
+/// checkers can analyze the example: state = k stored bids, each in
+/// 0..values-1; one environment action bid(v) per value v. The spec
+/// replaces the true minimum; the implementation compares slot 0 only
+/// and keeps the list sorted. Initial states: sorted tuples.
+System make_spec_system(int k, int values);
+System make_sorted_list_system(int k, int values);
+/// The sort wrapper as a system: one action that sorts an unsorted store.
+System make_sort_wrapper(int k, int values);
+
+}  // namespace cref::bidding

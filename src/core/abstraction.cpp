@@ -1,0 +1,48 @@
+#include "core/abstraction.hpp"
+
+#include <stdexcept>
+
+namespace cref {
+
+Abstraction::Abstraction(std::string name, SpacePtr from, SpacePtr to,
+                         std::function<void(const StateVec&, StateVec&)> map)
+    : name_(std::move(name)), from_(std::move(from)), to_(std::move(to)) {
+  if (!from_ || !to_) throw std::invalid_argument("Abstraction: null space");
+  table_.resize(from_->size());
+  StateVec c, a;
+  for (StateId s = 0; s < from_->size(); ++s) {
+    from_->decode_into(s, c);
+    a.assign(to_->var_count(), 0);
+    map(c, a);
+    table_[s] = to_->encode(a);
+  }
+}
+
+Abstraction Abstraction::identity(SpacePtr space) {
+  Abstraction a;
+  a.name_ = "id";
+  a.from_ = space;
+  a.to_ = std::move(space);
+  return a;
+}
+
+bool Abstraction::is_onto() const {
+  if (is_identity()) return true;
+  std::vector<char> hit(to_->size(), 0);
+  for (StateId img : table_) hit[img] = 1;
+  for (char h : hit)
+    if (!h) return false;
+  return true;
+}
+
+std::vector<StateId> Abstraction::missed_states() const {
+  std::vector<StateId> out;
+  if (is_identity()) return out;
+  std::vector<char> hit(to_->size(), 0);
+  for (StateId img : table_) hit[img] = 1;
+  for (StateId s = 0; s < to_->size(); ++s)
+    if (!hit[s]) out.push_back(s);
+  return out;
+}
+
+}  // namespace cref

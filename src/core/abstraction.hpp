@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/space.hpp"
+
+namespace cref {
+
+/// An abstraction function alpha : Sigma_C -> Sigma_A relating the state
+/// space of a concrete implementation to that of an abstract
+/// specification (paper Section 2.3). The paper requires alpha to be
+/// total (guaranteed by construction here) and onto; `is_onto()` checks
+/// the latter and `missed_states()` reports counterexamples.
+///
+/// For the identity case (same-space refinement, Sections 2.1-2.2) use
+/// `Abstraction::identity`.
+class Abstraction {
+ public:
+  /// Wraps a mapping over decoded states. The mapping is evaluated once
+  /// per concrete state and cached in a dense table (concrete spaces here
+  /// are small enough for that to always be the right trade).
+  Abstraction(std::string name, SpacePtr from, SpacePtr to,
+              std::function<void(const StateVec& concrete, StateVec& abstract)> map);
+
+  /// Identity abstraction on `space` (no table is materialized).
+  static Abstraction identity(SpacePtr space);
+
+  const std::string& name() const { return name_; }
+  const Space& from() const { return *from_; }
+  const Space& to() const { return *to_; }
+  bool is_identity() const { return table_.empty(); }
+
+  /// Image of concrete state `s`.
+  StateId apply(StateId s) const { return table_.empty() ? s : table_[s]; }
+
+  /// True if every abstract state is the image of some concrete state.
+  bool is_onto() const;
+
+  /// Abstract states with no preimage (empty iff is_onto()).
+  std::vector<StateId> missed_states() const;
+
+ private:
+  Abstraction() = default;
+  std::string name_;
+  SpacePtr from_;
+  SpacePtr to_;
+  std::vector<StateId> table_;  // empty => identity
+};
+
+}  // namespace cref

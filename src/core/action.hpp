@@ -1,0 +1,25 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/space.hpp"
+
+namespace cref {
+
+/// A guarded command `guard -> effect`, the unit from which systems are
+/// composed (exactly the notation of the paper). The guard reads a decoded
+/// state; the effect mutates it in place. Effects must be deterministic
+/// and total on states satisfying the guard.
+///
+/// `process` records which ring process (or component) owns the action;
+/// it drives the simulation daemons (sim/) and pretty-printing. Use -1 for
+/// wrapper/global actions that are not owned by a single process.
+struct Action {
+  std::string name;
+  int process = -1;
+  std::function<bool(const StateVec&)> guard;
+  std::function<void(StateVec&)> effect;
+};
+
+}  // namespace cref

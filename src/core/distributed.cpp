@@ -1,0 +1,75 @@
+#include "core/distributed.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace cref {
+
+System make_distributed(const System& sys, const std::vector<int>& processes) {
+  if (processes.empty())
+    throw std::invalid_argument("make_distributed: no processes");
+  if (processes.size() > 20)
+    throw std::invalid_argument("make_distributed: subset explosion (>20 processes)");
+
+  // Copy the original actions by value so the closures own them.
+  auto actions = std::make_shared<const std::vector<Action>>(sys.actions());
+
+  // Applies process p's first enabled state-changing action to `next`,
+  // reading guards and values from `old_state`. Returns true if p moved.
+  auto apply_process = [actions](int p, const StateVec& old_state, StateVec& next) {
+    StateVec scratch;
+    for (const Action& a : *actions) {
+      if (a.process != p || !a.guard(old_state)) continue;
+      scratch = old_state;
+      a.effect(scratch);
+      if (scratch == old_state) continue;
+      for (std::size_t v = 0; v < old_state.size(); ++v)
+        if (scratch[v] != old_state[v]) next[v] = scratch[v];
+      return true;
+    }
+    return false;
+  };
+
+  std::vector<Action> subset_actions;
+  const std::size_t count = processes.size();
+  for (std::size_t mask = 1; mask < (std::size_t{1} << count); ++mask) {
+    std::vector<int> members;
+    std::string name = "sync{";
+    for (std::size_t i = 0; i < count; ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        if (members.size() > 0) name += ",";
+        members.push_back(processes[i]);
+        name += std::to_string(processes[i]);
+      }
+    }
+    name += "}";
+    Action a;
+    a.name = std::move(name);
+    a.process = -1;
+    a.guard = [members, apply_process](const StateVec& s) {
+      StateVec next = s;
+      for (int p : members)
+        if (apply_process(p, s, next)) return true;
+      return false;
+    };
+    a.effect = [members, apply_process](StateVec& s) {
+      StateVec next = s;
+      for (int p : members) apply_process(p, s, next);
+      s = std::move(next);
+    };
+    subset_actions.push_back(std::move(a));
+  }
+
+  std::optional<StatePredicate> initial;
+  if (sys.has_initial()) {
+    SpacePtr space = sys.space_ptr();
+    initial = [ids = sys.initial_states(), space](const StateVec& s) {
+      return std::binary_search(ids.begin(), ids.end(), space->encode(s));
+    };
+  }
+  return System("distributed(" + sys.name() + ")", sys.space_ptr(),
+                std::move(subset_actions), std::move(initial));
+}
+
+}  // namespace cref

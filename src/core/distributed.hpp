@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace cref {
+
+/// The DISTRIBUTED-daemon closure of a system: at each step the daemon
+/// selects any nonempty subset of processes, and every selected process
+/// that has an enabled, state-changing action executes it against the OLD
+/// state; the per-process writes are merged (ascending process order,
+/// last writer wins — irrelevant for the protocols here, whose actions
+/// write only the owning process's variables).
+///
+/// When a process has several enabled actions, its FIRST one in
+/// declaration order is taken (the protocols in ring/ declare at most one
+/// simultaneously-enabled action per process except on token crossings,
+/// where the convention is documented by the tests).
+///
+/// The result is an ordinary System (one action per process subset), so
+/// every decision procedure in refinement/ applies unchanged — this is
+/// what lets bench_daemon_ablation settle exactly whether Dijkstra's
+/// rings stabilize under distributed scheduling, a question outside the
+/// paper's central-daemon model. Subset count is 2^|processes| - 1: keep
+/// the ring small.
+System make_distributed(const System& sys, const std::vector<int>& processes);
+
+}  // namespace cref

@@ -1,0 +1,53 @@
+#include "core/dot.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace cref {
+
+std::string to_dot(const TransitionGraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << options.name << " {\n";
+  os << "  rankdir=LR;\n  node [shape=circle, fontsize=10];\n";
+
+  std::set<std::pair<StateId, StateId>> hot;
+  for (std::size_t i = 0; i + 1 < options.highlight.states.size(); ++i)
+    hot.emplace(options.highlight.states[i], options.highlight.states[i + 1]);
+
+  std::vector<char> isolated(g.num_states(), 1);
+  if (options.skip_isolated) {
+    for (StateId s = 0; s < g.num_states(); ++s)
+      for (StateId t : g.successors(s)) {
+        isolated[s] = 0;
+        isolated[t] = 0;
+      }
+  } else {
+    std::fill(isolated.begin(), isolated.end(), 0);
+  }
+
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    if (isolated[s]) continue;
+    os << "  n" << s << " [label=\"";
+    if (options.space)
+      os << options.space->format(s);
+    else
+      os << s;
+    os << "\"";
+    if (std::find(options.accent_states.begin(), options.accent_states.end(), s) !=
+        options.accent_states.end())
+      os << ", shape=doublecircle";
+    os << "];\n";
+  }
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    for (StateId t : g.successors(s)) {
+      os << "  n" << s << " -> n" << t;
+      if (hot.count({s, t})) os << " [color=red, penwidth=2.0]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cref

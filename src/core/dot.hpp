@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "core/graph.hpp"
+#include "core/space.hpp"
+#include "core/trace.hpp"
+
+namespace cref {
+
+/// Options for Graphviz export of a transition graph.
+struct DotOptions {
+  /// Render state labels via Space::format (requires the matching space);
+  /// raw StateIds otherwise.
+  const Space* space = nullptr;
+  /// States to draw double-circled (e.g. initial states).
+  std::vector<StateId> accent_states;
+  /// A path/cycle whose edges are drawn bold red (e.g. a witness trace).
+  Trace highlight;
+  /// Graph name in the emitted `digraph <name> { ... }`.
+  std::string name = "system";
+  /// Skip states with no incident edges (token spaces are mostly
+  /// unreachable garbage; isolated deadlocks usually matter though, so
+  /// default off).
+  bool skip_isolated = false;
+};
+
+/// Renders `g` as a Graphviz dot document. Intended for the small
+/// abstract systems and for witness visualization:
+///
+///   auto r = checker.stabilizing_to();
+///   std::ofstream("witness.dot") << to_dot(checker.c_graph(),
+///       {.space = &sys.space(), .highlight = r.witness});
+std::string to_dot(const TransitionGraph& g, const DotOptions& options = {});
+
+}  // namespace cref

@@ -1,0 +1,75 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cref {
+
+TransitionGraph TransitionGraph::build(const System& sys, StateId max_states) {
+  const StateId n = sys.space().size();
+  if (n > max_states)
+    throw std::length_error("TransitionGraph::build: state space of " + sys.name() +
+                            " has " + std::to_string(n) + " states (limit " +
+                            std::to_string(max_states) + ")");
+  TransitionGraph g;
+  g.offsets_.assign(n + 1, 0);
+  // Two passes: count, then fill (keeps memory at exactly CSR size).
+  std::vector<std::vector<StateId>> adj(n);
+  for (StateId s = 0; s < n; ++s) adj[s] = sys.successors(s);
+  std::size_t total = 0;
+  for (StateId s = 0; s < n; ++s) {
+    g.offsets_[s] = total;
+    total += adj[s].size();
+  }
+  g.offsets_[n] = total;
+  g.targets_.resize(total);
+  for (StateId s = 0; s < n; ++s)
+    std::copy(adj[s].begin(), adj[s].end(), g.targets_.begin() + g.offsets_[s]);
+  return g;
+}
+
+TransitionGraph TransitionGraph::from_edges(StateId num_states,
+                                            std::vector<std::pair<StateId, StateId>> edges) {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  TransitionGraph g;
+  g.offsets_.assign(num_states + 1, 0);
+  g.targets_.reserve(edges.size());
+  std::size_t idx = 0;
+  for (StateId s = 0; s < num_states; ++s) {
+    g.offsets_[s] = g.targets_.size();
+    while (idx < edges.size() && edges[idx].first == s) {
+      if (edges[idx].first >= num_states || edges[idx].second >= num_states)
+        throw std::out_of_range("TransitionGraph::from_edges: endpoint out of range");
+      g.targets_.push_back(edges[idx].second);
+      ++idx;
+    }
+  }
+  if (idx != edges.size())
+    throw std::out_of_range("TransitionGraph::from_edges: source out of range");
+  g.offsets_[num_states] = g.targets_.size();
+  return g;
+}
+
+bool TransitionGraph::has_edge(StateId s, StateId t) const {
+  auto succ = successors(s);
+  return std::binary_search(succ.begin(), succ.end(), t);
+}
+
+TransitionGraph TransitionGraph::reversed() const {
+  const StateId n = num_states();
+  TransitionGraph r;
+  r.offsets_.assign(n + 1, 0);
+  for (StateId t : targets_) ++r.offsets_[t + 1];
+  for (StateId s = 0; s < n; ++s) r.offsets_[s + 1] += r.offsets_[s];
+  r.targets_.resize(targets_.size());
+  std::vector<std::size_t> cursor(r.offsets_.begin(), r.offsets_.end() - 1);
+  for (StateId s = 0; s < n; ++s)
+    for (StateId t : successors(s)) r.targets_[cursor[t]++] = s;
+  // Successor lists of the reverse graph must also be sorted.
+  for (StateId s = 0; s < n; ++s)
+    std::sort(r.targets_.begin() + r.offsets_[s], r.targets_.begin() + r.offsets_[s + 1]);
+  return r;
+}
+
+}  // namespace cref

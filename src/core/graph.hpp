@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace cref {
+
+/// The full transition relation of a system over its ENTIRE state space,
+/// materialized in compressed-sparse-row form. All decision procedures in
+/// the `refinement` module run on this structure: transient faults can
+/// land the system anywhere in Sigma, so the relations of the paper
+/// quantify over all states, not just the reachable ones.
+///
+/// Successor lists are sorted, enabling O(log d) edge-membership queries.
+class TransitionGraph {
+ public:
+  /// An empty graph (0 states); assign a built graph over it.
+  TransitionGraph() : offsets_(1, 0) {}
+
+  /// Explores every state of `sys.space()` and records its successors.
+  /// Throws std::length_error if the space exceeds `max_states` (guard
+  /// against accidentally materializing an astronomically large Sigma).
+  static TransitionGraph build(const System& sys, StateId max_states = (1ull << 26));
+
+  /// Builds a graph directly from adjacency lists (used by tests and by
+  /// the Figure-1 hand-constructed automata). Lists need not be sorted.
+  static TransitionGraph from_edges(StateId num_states,
+                                    std::vector<std::pair<StateId, StateId>> edges);
+
+  /// Number of states (== space size when built from a system).
+  StateId num_states() const { return static_cast<StateId>(offsets_.size() - 1); }
+
+  /// Total number of transitions.
+  std::size_t num_edges() const { return targets_.size(); }
+
+  /// Sorted successor list of `s`.
+  std::span<const StateId> successors(StateId s) const {
+    return {targets_.data() + offsets_[s], targets_.data() + offsets_[s + 1]};
+  }
+
+  /// True if (s, t) is a transition.
+  bool has_edge(StateId s, StateId t) const;
+
+  /// True if `s` has no outgoing transitions.
+  bool is_deadlock(StateId s) const { return offsets_[s] == offsets_[s + 1]; }
+
+  /// The reverse graph (predecessor lists), built on demand and cached by
+  /// the caller if reused.
+  TransitionGraph reversed() const;
+
+ private:
+  std::vector<std::size_t> offsets_;  // num_states + 1
+  std::vector<StateId> targets_;
+};
+
+}  // namespace cref

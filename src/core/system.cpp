@@ -1,0 +1,137 @@
+#include "core/system.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cref {
+
+System::System(std::string name, SpacePtr space, std::vector<Action> actions,
+               std::optional<StatePredicate> initial)
+    : name_(std::move(name)),
+      space_(std::move(space)),
+      actions_(std::move(actions)),
+      initial_(std::move(initial)) {
+  if (!space_) throw std::invalid_argument("System: null space");
+}
+
+const std::vector<StateId>& System::initial_states() const {
+  if (!initial_cache_) {
+    std::vector<StateId> ids;
+    if (initial_) {
+      StateVec v;
+      for (StateId id = 0; id < space_->size(); ++id) {
+        space_->decode_into(id, v);
+        if ((*initial_)(v)) ids.push_back(id);
+      }
+    }
+    initial_cache_ = std::move(ids);
+  }
+  return *initial_cache_;
+}
+
+std::vector<StateId> System::successors(StateId s) const {
+  std::vector<StateId> out;
+  StateVec v, w;
+  space_->decode_into(s, v);
+  for (const auto& a : actions_) {
+    if (!a.guard(v)) continue;
+    w = v;
+    a.effect(w);
+    StateId t = space_->encode(w);
+    if (t != s) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::string> System::enabled_actions(StateId s) const {
+  std::vector<std::string> out;
+  StateVec v;
+  space_->decode_into(s, v);
+  for (const auto& a : actions_)
+    if (a.guard(v)) out.push_back(a.name);
+  return out;
+}
+
+System box(const System& a, const System& b) {
+  if (!a.space().same_shape_as(b.space()))
+    throw std::invalid_argument("box: state spaces differ (" + a.name() + " vs " + b.name() + ")");
+  std::vector<Action> actions = a.actions();
+  actions.insert(actions.end(), b.actions().begin(), b.actions().end());
+  // The operands may be temporaries, so the composite's predicate must not
+  // reference them: materialize the donor's initial set by value.
+  std::optional<StatePredicate> initial;
+  if (a.has_initial() || b.has_initial()) {
+    const System& donor = a.has_initial() ? a : b;
+    SpacePtr space = a.space_ptr();
+    initial = [ids = donor.initial_states(), space](const StateVec& s) {
+      return std::binary_search(ids.begin(), ids.end(), space->encode(s));
+    };
+  }
+  return System(a.name() + " [] " + b.name(), a.space_ptr(), std::move(actions),
+                std::move(initial));
+}
+
+System box_priority(const System& sys, const System& wrapper) {
+  if (!sys.space().same_shape_as(wrapper.space()))
+    throw std::invalid_argument("box_priority: state spaces differ (" + sys.name() + " vs " +
+                                wrapper.name() + ")");
+  // Copy the wrapper's actions by value so the preemption test does not
+  // dangle if `wrapper` is a temporary.
+  auto wrapper_actions = std::make_shared<const std::vector<Action>>(wrapper.actions());
+  auto wrapper_changes_state = [wrapper_actions](const StateVec& s) {
+    StateVec scratch;
+    for (const Action& w : *wrapper_actions) {
+      if (!w.guard(s)) continue;
+      scratch = s;
+      w.effect(scratch);
+      if (scratch != s) return true;
+    }
+    return false;
+  };
+  std::vector<Action> actions;
+  for (const Action& a : sys.actions()) {
+    Action guarded = a;
+    guarded.guard = [inner = a.guard, wrapper_changes_state](const StateVec& s) {
+      return inner(s) && !wrapper_changes_state(s);
+    };
+    actions.push_back(std::move(guarded));
+  }
+  actions.insert(actions.end(), wrapper_actions->begin(), wrapper_actions->end());
+  std::optional<StatePredicate> initial;
+  if (sys.has_initial() || wrapper.has_initial()) {
+    const System& donor = sys.has_initial() ? sys : wrapper;
+    SpacePtr space = sys.space_ptr();
+    initial = [ids = donor.initial_states(), space](const StateVec& s) {
+      return std::binary_search(ids.begin(), ids.end(), space->encode(s));
+    };
+  }
+  return System(sys.name() + " <| " + wrapper.name(), sys.space_ptr(), std::move(actions),
+                std::move(initial));
+}
+
+System with_reachable_initial(const System& sys, const StateVec& seed) {
+  std::unordered_set<StateId> seen;
+  std::deque<StateId> queue;
+  StateId start = sys.space().encode(seed);
+  seen.insert(start);
+  queue.push_back(start);
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    for (StateId t : sys.successors(s))
+      if (seen.insert(t).second) queue.push_back(t);
+  }
+  std::vector<StateId> ids(seen.begin(), seen.end());
+  std::sort(ids.begin(), ids.end());
+  SpacePtr space = sys.space_ptr();
+  StatePredicate pred = [ids = std::move(ids), space](const StateVec& s) {
+    return std::binary_search(ids.begin(), ids.end(), space->encode(s));
+  };
+  return System(sys.name(), space, sys.actions(), std::move(pred));
+}
+
+}  // namespace cref

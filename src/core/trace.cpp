@@ -1,0 +1,39 @@
+#include "core/trace.hpp"
+
+namespace cref {
+
+bool Trace::is_path_of(const TransitionGraph& g) const {
+  for (std::size_t i = 0; i + 1 < states.size(); ++i)
+    if (!g.has_edge(states[i], states[i + 1])) return false;
+  return true;
+}
+
+std::string Trace::format(const Space& space) const {
+  std::string out;
+  for (StateId s : states) {
+    out += "  ";
+    out += space.format(s);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Trace::format_ids() const {
+  std::string out;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += std::to_string(states[i]);
+  }
+  return out;
+}
+
+Trace collapse_stutter(const Trace& t, const std::vector<StateId>& image) {
+  Trace out;
+  for (StateId s : t.states) {
+    StateId img = image.empty() ? s : image[s];
+    if (out.states.empty() || out.states.back() != img) out.states.push_back(img);
+  }
+  return out;
+}
+
+}  // namespace cref

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/space.hpp"
+
+namespace cref {
+
+/// A finite prefix of a computation: a sequence of StateIds chained by
+/// transitions. Used for witnesses/counterexamples produced by the
+/// refinement checkers and for simulation traces.
+struct Trace {
+  std::vector<StateId> states;
+
+  bool empty() const { return states.empty(); }
+  std::size_t length() const { return states.empty() ? 0 : states.size() - 1; }
+
+  /// True if consecutive states are transitions of `g` (vacuously true for
+  /// sequences of length < 2).
+  bool is_path_of(const TransitionGraph& g) const;
+
+  /// Renders one state per line using `space.format`.
+  std::string format(const Space& space) const;
+
+  /// Renders as a one-line arrow chain of raw ids: "3 -> 7 -> 1".
+  std::string format_ids() const;
+};
+
+/// Stutter-collapses the image of `t` under a per-state mapping: maps each
+/// state and removes consecutive duplicates (paper Section 2.3 semantics —
+/// abstraction images advance only when the abstract state changes).
+Trace collapse_stutter(const Trace& t, const std::vector<StateId>& image);
+
+}  // namespace cref

@@ -1,0 +1,84 @@
+#pragma once
+
+// Abstract syntax of the guarded-command language (GCL) in which the
+// paper writes its systems. A file declares one system: variables with
+// finite domains, guarded actions, and an optional initial-state
+// predicate. See parser.hpp for the grammar and compile.hpp for the
+// translation to a cref::System.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cref::gcl {
+
+/// Expression operators (precedence is handled by the parser).
+enum class Op {
+  Const,  // integer literal             (value)
+  Var,    // variable reference          (name, resolved to index)
+  Not,    // !a
+  Neg,    // -a
+  Add,    // a + b
+  Sub,    // a - b
+  Mul,    // a * b
+  Mod,    // a % b
+  Div,    // a / b
+  Eq,     // a == b
+  Ne,     // a != b
+  Lt,     // a < b
+  Le,     // a <= b
+  Gt,     // a > b
+  Ge,     // a >= b
+  And,    // a && b
+  Or,     // a || b
+};
+
+/// Expression tree node. Integer semantics throughout; comparisons and
+/// logical operators yield 0/1, and any nonzero value is truthy.
+struct Expr {
+  Op op = Op::Const;
+  std::int64_t value = 0;         // Op::Const
+  std::string name;               // Op::Var (display)
+  std::size_t var_index = 0;      // Op::Var (resolved by the parser)
+  std::vector<Expr> children;     // operands
+
+  static Expr constant(std::int64_t v) {
+    Expr e;
+    e.op = Op::Const;
+    e.value = v;
+    return e;
+  }
+};
+
+/// `x := expr`. All assignments of an action are evaluated against the
+/// OLD state, then written (guarded-command multiple assignment).
+struct AssignmentAst {
+  std::string var;
+  std::size_t var_index = 0;
+  Expr value;
+};
+
+/// `action name @process : guard -> assignments ;`
+struct ActionAst {
+  std::string name;
+  int process = -1;
+  Expr guard;
+  std::vector<AssignmentAst> assignments;
+};
+
+/// `var name : 0..k;` or `var name : bool;`
+struct VarDeclAst {
+  std::string name;
+  int cardinality = 2;
+};
+
+/// A whole `system NAME { ... }` declaration.
+struct SystemAst {
+  std::string name;
+  std::vector<VarDeclAst> vars;
+  std::vector<ActionAst> actions;
+  std::unique_ptr<Expr> init;  // null if the system declares no initial states
+};
+
+}  // namespace cref::gcl

@@ -1,0 +1,87 @@
+#include "gcl/compile.hpp"
+
+#include <memory>
+
+#include "gcl/parser.hpp"
+
+namespace cref::gcl {
+
+std::int64_t eval(const Expr& e, const StateVec& s) {
+  switch (e.op) {
+    case Op::Const: return e.value;
+    case Op::Var: return static_cast<std::int64_t>(s[e.var_index]);
+    case Op::Not: return eval(e.children[0], s) == 0 ? 1 : 0;
+    case Op::Neg: return -eval(e.children[0], s);
+    case Op::Add: return eval(e.children[0], s) + eval(e.children[1], s);
+    case Op::Sub: return eval(e.children[0], s) - eval(e.children[1], s);
+    case Op::Mul: return eval(e.children[0], s) * eval(e.children[1], s);
+    case Op::Mod: {
+      std::int64_t d = eval(e.children[1], s);
+      if (d == 0) return 0;
+      std::int64_t r = eval(e.children[0], s) % d;
+      return r < 0 ? r + (d > 0 ? d : -d) : r;
+    }
+    case Op::Div: {
+      std::int64_t d = eval(e.children[1], s);
+      return d == 0 ? 0 : eval(e.children[0], s) / d;
+    }
+    case Op::Eq: return eval(e.children[0], s) == eval(e.children[1], s);
+    case Op::Ne: return eval(e.children[0], s) != eval(e.children[1], s);
+    case Op::Lt: return eval(e.children[0], s) < eval(e.children[1], s);
+    case Op::Le: return eval(e.children[0], s) <= eval(e.children[1], s);
+    case Op::Gt: return eval(e.children[0], s) > eval(e.children[1], s);
+    case Op::Ge: return eval(e.children[0], s) >= eval(e.children[1], s);
+    case Op::And:
+      return eval(e.children[0], s) != 0 && eval(e.children[1], s) != 0;
+    case Op::Or:
+      return eval(e.children[0], s) != 0 || eval(e.children[1], s) != 0;
+  }
+  return 0;
+}
+
+System compile(const SystemAst& ast) {
+  std::vector<VarSpec> vars;
+  std::vector<int> cards;
+  for (const VarDeclAst& v : ast.vars) {
+    vars.push_back({v.name, static_cast<Value>(v.cardinality)});
+    cards.push_back(v.cardinality);
+  }
+  auto space = std::make_shared<Space>(std::move(vars));
+
+  std::vector<Action> actions;
+  for (const ActionAst& a : ast.actions) {
+    Action action;
+    action.name = a.name;
+    action.process = a.process;
+    // Share the AST between guard and effect closures.
+    auto guard_ast = std::make_shared<Expr>(a.guard);
+    auto assigns = std::make_shared<std::vector<AssignmentAst>>(a.assignments);
+    auto cards_ptr = std::make_shared<std::vector<int>>(cards);
+    action.guard = [guard_ast](const StateVec& s) { return eval(*guard_ast, s) != 0; };
+    action.effect = [assigns, cards_ptr](StateVec& s) {
+      // Guarded-command multiple assignment: all right-hand sides are
+      // evaluated against the old state first.
+      std::vector<std::int64_t> values;
+      values.reserve(assigns->size());
+      for (const AssignmentAst& asg : *assigns) values.push_back(eval(asg.value, s));
+      for (std::size_t i = 0; i < assigns->size(); ++i) {
+        std::int64_t card = (*cards_ptr)[(*assigns)[i].var_index];
+        std::int64_t v = values[i] % card;
+        if (v < 0) v += card;
+        s[(*assigns)[i].var_index] = static_cast<Value>(v);
+      }
+    };
+    actions.push_back(std::move(action));
+  }
+
+  std::optional<StatePredicate> init;
+  if (ast.init) {
+    auto init_ast = std::make_shared<Expr>(*ast.init);
+    init = [init_ast](const StateVec& s) { return eval(*init_ast, s) != 0; };
+  }
+  return System(ast.name, std::move(space), std::move(actions), std::move(init));
+}
+
+System load_system(const std::string& source) { return compile(parse(source)); }
+
+}  // namespace cref::gcl

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "core/system.hpp"
+#include "gcl/ast.hpp"
+
+namespace cref::gcl {
+
+/// Evaluates an expression over a decoded state (int64 arithmetic;
+/// comparisons/logic yield 0/1; any nonzero value is truthy). Division
+/// or modulo by zero evaluates to 0 (total semantics — model checking
+/// must not trap on corrupted states).
+std::int64_t eval(const Expr& e, const StateVec& s);
+
+/// Compiles a parsed system into a cref::System over a fresh Space.
+/// Assignment values are reduced into the variable's domain modulo its
+/// cardinality (mathematically, so negative values wrap upward) — which
+/// gives mod-K counters for free: with `var c : 0..2;`, `c := c + 1` is
+/// the paper's (+) 1. Actions keep their declared process ids; `init`
+/// becomes the initial-state predicate (absent init -> no initial
+/// states, i.e. a wrapper).
+System compile(const SystemAst& ast);
+
+/// Convenience: parse + compile in one call.
+System load_system(const std::string& source);
+
+}  // namespace cref::gcl

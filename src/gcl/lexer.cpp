@@ -1,0 +1,148 @@
+#include "gcl/lexer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace cref::gcl {
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("gcl: line " + std::to_string(line) + ": " + what);
+}
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  auto peek = [&](std::size_t ahead = 0) -> char {
+    return i + ahead < n ? source[i + ahead] : '\0';
+  };
+  auto push = [&](Tok kind, std::size_t advance) {
+    out.push_back({kind, "", 0, line});
+    i += advance;
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' || (c == '/' && peek(1) == '/')) {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_'))
+        ++i;
+      out.push_back({Tok::Ident, source.substr(start, i - start), 0, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      Token t{Tok::Number, "", 0, line};
+      t.number = std::stoll(source.substr(start, i - start));
+      out.push_back(t);
+      continue;
+    }
+    switch (c) {
+      case '{': push(Tok::LBrace, 1); break;
+      case '}': push(Tok::RBrace, 1); break;
+      case '(': push(Tok::LParen, 1); break;
+      case ')': push(Tok::RParen, 1); break;
+      case ';': push(Tok::Semi, 1); break;
+      case ',': push(Tok::Comma, 1); break;
+      case '@': push(Tok::At, 1); break;
+      case '+': push(Tok::Plus, 1); break;
+      case '*': push(Tok::Star, 1); break;
+      case '%': push(Tok::Percent, 1); break;
+      case '/': push(Tok::Slash, 1); break;
+      case '.':
+        if (peek(1) == '.') push(Tok::DotDot, 2);
+        else fail(line, "unexpected '.'");
+        break;
+      case ':':
+        if (peek(1) == '=') push(Tok::Assign, 2);
+        else push(Tok::Colon, 1);
+        break;
+      case '-':
+        if (peek(1) == '>') push(Tok::Arrow, 2);
+        else push(Tok::Minus, 1);
+        break;
+      case '=':
+        if (peek(1) == '=') push(Tok::Eq, 2);
+        else fail(line, "'=' (did you mean '==' or ':='?)");
+        break;
+      case '!':
+        if (peek(1) == '=') push(Tok::Ne, 2);
+        else push(Tok::Bang, 1);
+        break;
+      case '<':
+        if (peek(1) == '=') push(Tok::Le, 2);
+        else push(Tok::Lt, 1);
+        break;
+      case '>':
+        if (peek(1) == '=') push(Tok::Ge, 2);
+        else push(Tok::Gt, 1);
+        break;
+      case '&':
+        if (peek(1) == '&') push(Tok::AndAnd, 2);
+        else fail(line, "'&' (did you mean '&&'?)");
+        break;
+      case '|':
+        if (peek(1) == '|') push(Tok::OrOr, 2);
+        else fail(line, "'|' (did you mean '||'?)");
+        break;
+      default:
+        fail(line, std::string("unexpected character '") + c + "'");
+    }
+  }
+  out.push_back({Tok::End, "", 0, line});
+  return out;
+}
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::Ident: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::Colon: return "':'";
+    case Tok::Semi: return "';'";
+    case Tok::Comma: return "','";
+    case Tok::At: return "'@'";
+    case Tok::DotDot: return "'..'";
+    case Tok::Assign: return "':='";
+    case Tok::Arrow: return "'->'";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Percent: return "'%'";
+    case Tok::Slash: return "'/'";
+    case Tok::Eq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::Le: return "'<='";
+    case Tok::Ge: return "'>='";
+    case Tok::Lt: return "'<'";
+    case Tok::Gt: return "'>'";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::Bang: return "'!'";
+    case Tok::End: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace cref::gcl

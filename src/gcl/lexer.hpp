@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cref::gcl {
+
+/// Token kinds of the GCL surface syntax.
+enum class Tok {
+  Ident,    // names and keywords (keywords resolved by the parser)
+  Number,   // decimal literal
+  LBrace,   // {
+  RBrace,   // }
+  LParen,   // (
+  RParen,   // )
+  Colon,    // :
+  Semi,     // ;
+  Comma,    // ,
+  At,       // @
+  DotDot,   // ..
+  Assign,   // :=
+  Arrow,    // ->
+  Plus,     // +
+  Minus,    // -
+  Star,     // *
+  Percent,  // %
+  Slash,    // /
+  Eq,       // ==
+  Ne,       // !=
+  Le,       // <=
+  Ge,       // >=
+  Lt,       // <
+  Gt,       // >
+  AndAnd,   // &&
+  OrOr,     // ||
+  Bang,     // !
+  End,      // end of input
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;        // identifier text
+  std::int64_t number = 0; // numeric value
+  int line = 1;            // 1-based source line, for error messages
+};
+
+/// Tokenizes `source`. Comments run from '#' or "//" to end of line.
+/// Throws std::runtime_error with a line number on an unexpected
+/// character. The final token is always Tok::End.
+std::vector<Token> lex(const std::string& source);
+
+/// Human-readable token-kind name (diagnostics).
+const char* tok_name(Tok t);
+
+}  // namespace cref::gcl

@@ -1,0 +1,242 @@
+#include "gcl/parser.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "gcl/lexer.hpp"
+
+namespace cref::gcl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  SystemAst parse_file() {
+    expect_keyword("system");
+    ast_.name = expect(Tok::Ident).text;
+    expect(Tok::LBrace);
+    while (!at(Tok::RBrace)) parse_decl();
+    expect(Tok::RBrace);
+    expect(Tok::End);
+    return std::move(ast_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("gcl: line " + std::to_string(cur().line) + ": " + what);
+  }
+
+  const Token& cur() const { return tokens_[pos_]; }
+  bool at(Tok kind) const { return cur().kind == kind; }
+  bool at_keyword(const char* kw) const { return at(Tok::Ident) && cur().text == kw; }
+  Token advance() { return tokens_[pos_++]; }
+
+  Token expect(Tok kind) {
+    if (!at(kind))
+      fail(std::string("expected ") + tok_name(kind) + ", found " + tok_name(cur().kind) +
+           (cur().kind == Tok::Ident ? " '" + cur().text + "'" : ""));
+    return advance();
+  }
+
+  void expect_keyword(const char* kw) {
+    if (!at_keyword(kw)) fail(std::string("expected '") + kw + "'");
+    advance();
+  }
+
+  void parse_decl() {
+    if (at_keyword("var")) {
+      parse_var();
+    } else if (at_keyword("action")) {
+      parse_action();
+    } else if (at_keyword("init")) {
+      advance();
+      expect(Tok::Colon);
+      if (ast_.init) fail("duplicate init declaration");
+      ast_.init = std::make_unique<Expr>(parse_expr());
+      expect(Tok::Semi);
+    } else {
+      fail("expected 'var', 'action' or 'init'");
+    }
+  }
+
+  void parse_var() {
+    advance();  // var
+    Token name = expect(Tok::Ident);
+    if (var_index_.count(name.text)) fail("duplicate variable '" + name.text + "'");
+    expect(Tok::Colon);
+    int cardinality;
+    if (at_keyword("bool")) {
+      advance();
+      cardinality = 2;
+    } else {
+      Token lo = expect(Tok::Number);
+      if (lo.number != 0) fail("variable domains must start at 0");
+      expect(Tok::DotDot);
+      Token hi = expect(Tok::Number);
+      if (hi.number < 0 || hi.number > 254) fail("domain upper bound out of range (0..254)");
+      cardinality = static_cast<int>(hi.number) + 1;
+    }
+    expect(Tok::Semi);
+    var_index_[name.text] = ast_.vars.size();
+    ast_.vars.push_back({name.text, cardinality});
+  }
+
+  void parse_action() {
+    advance();  // action
+    ActionAst action;
+    action.name = expect(Tok::Ident).text;
+    if (at(Tok::At)) {
+      advance();
+      action.process = static_cast<int>(expect(Tok::Number).number);
+    }
+    expect(Tok::Colon);
+    action.guard = parse_expr();
+    expect(Tok::Arrow);
+    while (true) {
+      AssignmentAst assign;
+      Token var = expect(Tok::Ident);
+      assign.var = var.text;
+      assign.var_index = resolve(var);
+      expect(Tok::Assign);
+      assign.value = parse_expr();
+      action.assignments.push_back(std::move(assign));
+      if (!at(Tok::Comma)) break;
+      advance();
+    }
+    expect(Tok::Semi);
+    ast_.actions.push_back(std::move(action));
+  }
+
+  std::size_t resolve(const Token& name) {
+    auto it = var_index_.find(name.text);
+    if (it == var_index_.end()) fail("unknown variable '" + name.text + "'");
+    return it->second;
+  }
+
+  // --- expression grammar, lowest precedence first -------------------
+  Expr parse_expr() { return parse_or(); }
+
+  Expr binary(Op op, Expr lhs, Expr rhs) {
+    Expr e;
+    e.op = op;
+    e.children.push_back(std::move(lhs));
+    e.children.push_back(std::move(rhs));
+    return e;
+  }
+
+  Expr parse_or() {
+    Expr lhs = parse_and();
+    while (at(Tok::OrOr)) {
+      advance();
+      lhs = binary(Op::Or, std::move(lhs), parse_and());
+    }
+    return lhs;
+  }
+
+  Expr parse_and() {
+    Expr lhs = parse_cmp();
+    while (at(Tok::AndAnd)) {
+      advance();
+      lhs = binary(Op::And, std::move(lhs), parse_cmp());
+    }
+    return lhs;
+  }
+
+  Expr parse_cmp() {
+    Expr lhs = parse_add();
+    while (true) {
+      Op op;
+      switch (cur().kind) {
+        case Tok::Eq: op = Op::Eq; break;
+        case Tok::Ne: op = Op::Ne; break;
+        case Tok::Lt: op = Op::Lt; break;
+        case Tok::Le: op = Op::Le; break;
+        case Tok::Gt: op = Op::Gt; break;
+        case Tok::Ge: op = Op::Ge; break;
+        default: return lhs;
+      }
+      advance();
+      lhs = binary(op, std::move(lhs), parse_add());
+    }
+  }
+
+  Expr parse_add() {
+    Expr lhs = parse_mul();
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      Op op = at(Tok::Plus) ? Op::Add : Op::Sub;
+      advance();
+      lhs = binary(op, std::move(lhs), parse_mul());
+    }
+    return lhs;
+  }
+
+  Expr parse_mul() {
+    Expr lhs = parse_unary();
+    while (at(Tok::Star) || at(Tok::Percent) || at(Tok::Slash)) {
+      Op op = at(Tok::Star) ? Op::Mul : at(Tok::Percent) ? Op::Mod : Op::Div;
+      advance();
+      lhs = binary(op, std::move(lhs), parse_unary());
+    }
+    return lhs;
+  }
+
+  Expr parse_unary() {
+    if (at(Tok::Bang)) {
+      advance();
+      Expr e;
+      e.op = Op::Not;
+      e.children.push_back(parse_unary());
+      return e;
+    }
+    if (at(Tok::Minus)) {
+      advance();
+      Expr e;
+      e.op = Op::Neg;
+      e.children.push_back(parse_unary());
+      return e;
+    }
+    return parse_atom();
+  }
+
+  Expr parse_atom() {
+    if (at(Tok::Number)) return Expr::constant(advance().number);
+    if (at(Tok::LParen)) {
+      advance();
+      Expr e = parse_expr();
+      expect(Tok::RParen);
+      return e;
+    }
+    if (at(Tok::Ident)) {
+      if (at_keyword("true")) {
+        advance();
+        return Expr::constant(1);
+      }
+      if (at_keyword("false")) {
+        advance();
+        return Expr::constant(0);
+      }
+      Token name = advance();
+      Expr e;
+      e.op = Op::Var;
+      e.name = name.text;
+      e.var_index = resolve(name);
+      return e;
+    }
+    fail(std::string("expected an expression, found ") + tok_name(cur().kind));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  SystemAst ast_;
+  std::map<std::string, std::size_t> var_index_;
+};
+
+}  // namespace
+
+SystemAst parse(const std::string& source) {
+  return Parser(lex(source)).parse_file();
+}
+
+}  // namespace cref::gcl

@@ -1,0 +1,39 @@
+#pragma once
+
+// Recursive-descent parser for the guarded-command language. Grammar:
+//
+//   file    := "system" IDENT "{" decl* "}"
+//   decl    := "var" IDENT ":" ("bool" | NUMBER ".." NUMBER) ";"
+//            | "action" IDENT ["@" NUMBER] ":" expr "->" assigns ";"
+//            | "init" ":" expr ";"
+//   assigns := IDENT ":=" expr ("," IDENT ":=" expr)*
+//   expr    := or-expression with C precedence:
+//              ||  <  &&  <  == != < <= > >=  <  + -  <  * % /  <  ! - (unary)
+//
+// Variable domains must start at 0 ("0..k"); `bool` is sugar for 0..1.
+// Variables must be declared before use; every name resolves to its
+// declaration index. Comments run from '#' or '//' to end of line.
+//
+// Example (Dijkstra's 3-state ring, n = 2):
+//
+//   system dijkstra3 {
+//     var c0 : 0..2;  var c1 : 0..2;  var c2 : 0..2;
+//     action top    @2 : c1 == c0 && (c1 + 1) % 3 != c2 -> c2 := (c1 + 1) % 3;
+//     action bottom @0 : c1 == (c0 + 1) % 3            -> c0 := (c1 + 1) % 3;
+//     action up1    @1 : c0 == (c1 + 1) % 3            -> c1 := c0;
+//     action down1  @1 : c2 == (c1 + 1) % 3            -> c1 := c2;
+//     init : c0 == 1 && c1 == 0 && c2 == 0;
+//   }
+
+#include <string>
+
+#include "gcl/ast.hpp"
+
+namespace cref::gcl {
+
+/// Parses a GCL source text into an AST. Throws std::runtime_error with
+/// a source line number on any lexical, syntactic, or resolution error
+/// (unknown variable, duplicate declaration, non-zero domain base, ...).
+SystemAst parse(const std::string& source);
+
+}  // namespace cref::gcl

@@ -1,0 +1,136 @@
+#include "jvmsim/automaton.hpp"
+
+#include <stdexcept>
+
+namespace cref::jvm {
+
+namespace {
+
+// Variable layout of the packed VM space.
+struct Layout {
+  int num_insns;
+  int num_locals;
+  int max_stack;
+
+  std::size_t pc() const { return 0; }
+  std::size_t local(int i) const { return 1 + static_cast<std::size_t>(i); }
+  std::size_t stack_size() const { return 1 + static_cast<std::size_t>(num_locals); }
+  std::size_t slot(int i) const {
+    return 2 + static_cast<std::size_t>(num_locals) + static_cast<std::size_t>(i);
+  }
+  int halted_pc() const { return num_insns; }
+
+  VmState unpack(const StateVec& v) const {
+    VmState s;
+    int pc_val = v[pc()];
+    s.pc_index = pc_val == halted_pc() ? -1 : pc_val;
+    s.locals.resize(num_locals);
+    for (int i = 0; i < num_locals; ++i) s.locals[i] = v[local(i)];
+    int size = v[stack_size()];
+    s.stack.resize(size);
+    for (int i = 0; i < size; ++i) s.stack[i] = v[slot(i)];
+    return s;
+  }
+
+  void pack(const VmState& s, StateVec& v) const {
+    v[pc()] = static_cast<Value>(s.pc_index < 0 ? halted_pc() : s.pc_index);
+    for (int i = 0; i < num_locals; ++i) v[local(i)] = static_cast<Value>(s.locals[i]);
+    v[stack_size()] = static_cast<Value>(s.stack.size());
+    // Slots above the new stack size keep their previous (don't-care)
+    // values so the effect stays a deterministic function of the state.
+    for (std::size_t i = 0; i < s.stack.size(); ++i)
+      v[slot(static_cast<int>(i))] = static_cast<Value>(s.stack[i]);
+  }
+};
+
+}  // namespace
+
+VmAutomaton make_vm_automaton(const Program& program, int num_locals, int max_stack,
+                              int value_card, int observed_local) {
+  for (const Insn& i : program.insns())
+    if (i.op == Op::IConst && (i.arg < 0 || i.arg >= value_card))
+      throw std::invalid_argument("make_vm_automaton: constant outside value domain");
+  if (observed_local < 0 || observed_local >= num_locals)
+    throw std::invalid_argument("make_vm_automaton: bad observed_local");
+
+  Layout l{static_cast<int>(program.insns().size()), num_locals, max_stack};
+  std::vector<VarSpec> vars;
+  vars.push_back({"pc", static_cast<Value>(l.num_insns + 1)});
+  for (int i = 0; i < num_locals; ++i)
+    vars.push_back({"local" + std::to_string(i), static_cast<Value>(value_card)});
+  vars.push_back({"sp", static_cast<Value>(max_stack + 1)});
+  for (int i = 0; i < max_stack; ++i)
+    vars.push_back({"stk" + std::to_string(i), static_cast<Value>(value_card)});
+  auto space = std::make_shared<Space>(std::move(vars));
+
+  Action step_action;
+  step_action.name = "step";
+  step_action.process = 0;
+  step_action.guard = [l](const StateVec& v) { return v[l.pc()] != l.halted_pc(); };
+  step_action.effect = [l, program, max_stack](StateVec& v) {
+    VmState s = l.unpack(v);
+    program.step(s, max_stack);
+    l.pack(s, v);
+  };
+
+  StatePredicate initial = [l](const StateVec& v) {
+    if (v[l.pc()] != 0 || v[l.stack_size()] != 0) return false;
+    for (int i = 0; i < l.num_locals; ++i)
+      if (v[l.local(i)] != 0) return false;
+    for (int i = 0; i < l.max_stack; ++i)
+      if (v[l.slot(i)] != 0) return false;
+    return true;
+  };
+
+  System system("bytecode", space, {std::move(step_action)}, std::move(initial));
+  Abstraction to_local("vm-to-x", space, make_x_space(value_card),
+                       [l, observed_local](const StateVec& vm, StateVec& x) {
+                         x[0] = vm[l.local(observed_local)];
+                       });
+  return VmAutomaton{std::move(system), std::move(to_local)};
+}
+
+System make_vm_watchdog(const Program& program, int num_locals, int max_stack,
+                        int value_card) {
+  Layout l{static_cast<int>(program.insns().size()), num_locals, max_stack};
+  std::vector<VarSpec> vars;
+  vars.push_back({"pc", static_cast<Value>(l.num_insns + 1)});
+  for (int i = 0; i < num_locals; ++i)
+    vars.push_back({"local" + std::to_string(i), static_cast<Value>(value_card)});
+  vars.push_back({"sp", static_cast<Value>(max_stack + 1)});
+  for (int i = 0; i < max_stack; ++i)
+    vars.push_back({"stk" + std::to_string(i), static_cast<Value>(value_card)});
+  auto space = std::make_shared<Space>(std::move(vars));
+
+  Action restart;
+  restart.name = "watchdog-restart";
+  restart.process = 0;
+  restart.guard = [l](const StateVec& v) { return v[l.pc()] == l.halted_pc(); };
+  restart.effect = [l](StateVec& v) {
+    v[l.pc()] = 0;
+    v[l.stack_size()] = 0;
+  };
+  return System("vm-watchdog", space, {std::move(restart)}, std::nullopt);
+}
+
+SpacePtr make_x_space(int value_card) {
+  return std::make_shared<Space>(
+      std::vector<VarSpec>{{"x", static_cast<Value>(value_card)}});
+}
+
+System make_source_loop(SpacePtr x_space) {
+  Action a;
+  a.name = "x := 0";
+  a.process = 0;
+  a.guard = [](const StateVec&) { return true; };
+  a.effect = [](StateVec& s) { s[0] = 0; };
+  StatePredicate initial = [](const StateVec& s) { return s[0] == 0; };
+  return System("source-loop", std::move(x_space), {std::move(a)}, std::move(initial));
+}
+
+System make_always_zero_spec(SpacePtr x_space) {
+  StatePredicate initial = [](const StateVec& s) { return s[0] == 0; };
+  return System("always-zero", std::move(x_space), {}, std::move(initial));
+}
+
+}  // namespace cref::jvm

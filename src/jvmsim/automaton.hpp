@@ -1,0 +1,56 @@
+#pragma once
+
+#include "core/abstraction.hpp"
+#include "core/system.hpp"
+#include "jvmsim/vm.hpp"
+
+namespace cref::jvm {
+
+/// Exposes a bytecode program's execution as a finite system so the
+/// refinement/stabilization checkers can analyze it. The packed state is
+///
+///   pc (insns+1 values; the last one means "halted"), then each local,
+///   then stack_size, then each stack slot,
+///
+/// with every data value restricted to 0..value_card-1 (the paper's
+/// example only ever needs {0, 1}). Stack slots above stack_size are
+/// "don't care" bits; the VM never reads them, so distinct encodings of
+/// the same logical configuration simply track each other.
+///
+/// Initial states: pc at the first instruction, all locals and stack
+/// slots zero, empty stack.
+struct VmAutomaton {
+  System system;
+  /// Maps a packed VM state to the value of `observed_local` — the
+  /// abstraction onto the source-level variable space (e.g. x for the
+  /// paper's example). Built by make_vm_automaton.
+  Abstraction to_local;
+};
+
+VmAutomaton make_vm_automaton(const Program& program, int num_locals, int max_stack,
+                              int value_card, int observed_local);
+
+/// The source-level program "while(x==x) { x=0; }" over the x space: one
+/// action, guard true, effect x := 0 (a no-op execution from x == 0 is
+/// not a transition, so 0 is a deadlock — the loop's steady state).
+System make_source_loop(SpacePtr x_space);
+
+/// The specification B = "x is always 0": no transitions, initial x = 0.
+/// "Stabilizing to B" is exactly the paper's "eventually ensures x is
+/// always 0".
+System make_always_zero_spec(SpacePtr x_space);
+
+/// The shared 1-variable space of x (cardinality value_card).
+SpacePtr make_x_space(int value_card);
+
+/// A watchdog wrapper for a VM automaton built by make_vm_automaton over
+/// the same program/limits: when the machine has halted (the fatal state
+/// of the intro example), restart it — reset pc to the first instruction
+/// and clear the stack (locals are left alone; the program re-initializes
+/// them). Composed with the bytecode system this recovers the tolerance
+/// the compiler lost: (bytecode [] watchdog) is stabilizing to
+/// "x always 0" again, which bench_intro_bytecode machine-checks.
+System make_vm_watchdog(const Program& program, int num_locals, int max_stack,
+                        int value_card);
+
+}  // namespace cref::jvm

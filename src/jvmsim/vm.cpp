@@ -1,0 +1,116 @@
+#include "jvmsim/vm.hpp"
+
+#include <stdexcept>
+
+namespace cref::jvm {
+
+Program::Program(std::vector<Insn> insns) : insns_(std::move(insns)) {
+  if (insns_.empty()) throw std::invalid_argument("Program: empty");
+}
+
+int Program::index_of_addr(int addr) const {
+  for (std::size_t i = 0; i < insns_.size(); ++i)
+    if (insns_[i].addr == addr) return static_cast<int>(i);
+  return -1;
+}
+
+bool Program::step(VmState& s, int max_stack) const {
+  if (s.halted()) return false;
+  if (s.pc_index >= static_cast<int>(insns_.size())) {
+    s.pc_index = -1;
+    return true;
+  }
+  const Insn& insn = insns_[s.pc_index];
+  auto halt = [&] { s.pc_index = -1; };
+  auto jump = [&](int addr) {
+    int idx = index_of_addr(addr);
+    if (idx < 0)
+      halt();
+    else
+      s.pc_index = idx;
+  };
+  switch (insn.op) {
+    case Op::IConst:
+      if (static_cast<int>(s.stack.size()) >= max_stack) {
+        halt();
+        break;
+      }
+      s.stack.push_back(insn.arg);
+      ++s.pc_index;
+      break;
+    case Op::IStore:
+      if (s.stack.empty() || insn.arg < 0 ||
+          insn.arg >= static_cast<int>(s.locals.size())) {
+        halt();
+        break;
+      }
+      s.locals[insn.arg] = s.stack.back();
+      s.stack.pop_back();
+      ++s.pc_index;
+      break;
+    case Op::ILoad:
+      if (static_cast<int>(s.stack.size()) >= max_stack || insn.arg < 0 ||
+          insn.arg >= static_cast<int>(s.locals.size())) {
+        halt();
+        break;
+      }
+      s.stack.push_back(s.locals[insn.arg]);
+      ++s.pc_index;
+      break;
+    case Op::Goto:
+      jump(insn.arg);
+      break;
+    case Op::IfICmpEq: {
+      if (s.stack.size() < 2) {
+        halt();
+        break;
+      }
+      int b = s.stack.back();
+      s.stack.pop_back();
+      int a = s.stack.back();
+      s.stack.pop_back();
+      if (a == b)
+        jump(insn.arg);
+      else
+        ++s.pc_index;
+      break;
+    }
+    case Op::Return:
+      halt();
+      break;
+  }
+  return true;
+}
+
+Program Program::paper_example() {
+  return Program({
+      {0, Op::IConst, 0},
+      {1, Op::IStore, 1},
+      {2, Op::Goto, 7},
+      {5, Op::IConst, 0},
+      {6, Op::IStore, 1},
+      {7, Op::ILoad, 1},
+      {8, Op::ILoad, 1},
+      {9, Op::IfICmpEq, 5},
+      {12, Op::Return, 0},
+  });
+}
+
+std::string Program::disassemble() const {
+  std::string out;
+  for (const Insn& i : insns_) {
+    out += "  " + std::to_string(i.addr) + "\t";
+    switch (i.op) {
+      case Op::IConst: out += "iconst " + std::to_string(i.arg); break;
+      case Op::IStore: out += "istore " + std::to_string(i.arg); break;
+      case Op::ILoad: out += "iload " + std::to_string(i.arg); break;
+      case Op::Goto: out += "goto " + std::to_string(i.arg); break;
+      case Op::IfICmpEq: out += "if_icmpeq " + std::to_string(i.arg); break;
+      case Op::Return: out += "return"; break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cref::jvm

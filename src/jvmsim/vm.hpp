@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cref::jvm {
+
+/// The six bytecode instructions needed for the paper's introductory
+/// example (the Java compilation of "int x=0; while(x==x){x=0;}").
+enum class Op {
+  IConst,    // push constant arg
+  IStore,    // pop into local slot arg
+  ILoad,     // push local slot arg
+  Goto,      // jump to address arg
+  IfICmpEq,  // pop two; jump to address arg if equal
+  Return,    // halt
+};
+
+/// One instruction at a bytecode address (addresses are sparse, exactly
+/// as javap prints them: 0,1,2,5,6,7,8,9,12 in the paper's listing).
+struct Insn {
+  int addr;
+  Op op;
+  int arg = 0;
+};
+
+/// Interpreter state of the mini stack machine.
+struct VmState {
+  int pc_index = 0;              // index into Program::insns(); -1 == halted
+  std::vector<int> locals;
+  std::vector<int> stack;
+
+  bool halted() const { return pc_index < 0; }
+};
+
+/// A straight-line bytecode program over the mini instruction set.
+class Program {
+ public:
+  explicit Program(std::vector<Insn> insns);
+
+  const std::vector<Insn>& insns() const { return insns_; }
+
+  /// Index of the instruction at bytecode address `addr`; -1 if none.
+  int index_of_addr(int addr) const;
+
+  /// Executes one instruction. Any fault of the machine model — stack
+  /// underflow/overflow, bad jump target, bad local slot — halts the
+  /// machine (pc_index := -1), keeping the step function total so the
+  /// automaton adapter can quantify over every corrupted state. Returns
+  /// false if the machine was already halted.
+  bool step(VmState& s, int max_stack) const;
+
+  /// The bytecode listing from the paper's introduction: the compiled
+  /// form of "int x=0; while(x==x){x=0;}" with x in local slot 1.
+  static Program paper_example();
+
+  /// Disassembly, one instruction per line ("  7  iload 1").
+  std::string disassemble() const;
+
+ private:
+  std::vector<Insn> insns_;
+};
+
+}  // namespace cref::jvm

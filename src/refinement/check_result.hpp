@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/trace.hpp"
+
+namespace cref {
+
+/// How one concrete transition relates to the abstract system, after
+/// mapping both endpoints through the abstraction function:
+///
+/// - Exact: the image pair is a transition of A.
+/// - Stutter: both endpoints have the same image (invisible abstractly).
+/// - Compressed: the image pair is NOT a transition of A but the target
+///   image is reachable from the source image in A — the concrete step
+///   "drops" the interior states of that A-path (paper Section 4.2).
+/// - Invalid: the target image is not reachable from the source image in
+///   A at all; no computation of A can be tracked through this step.
+enum class EdgeClass : std::uint8_t { Exact, Stutter, Compressed, Invalid };
+
+/// Returns "exact" / "stutter" / "compressed" / "invalid".
+const char* to_string(EdgeClass c);
+
+/// Classification counts over the whole concrete transition relation.
+struct EdgeStats {
+  std::size_t exact = 0;
+  std::size_t stutter = 0;
+  std::size_t compressed = 0;
+  std::size_t invalid = 0;
+
+  std::size_t total() const { return exact + stutter + compressed + invalid; }
+};
+
+/// Verdict of one refinement / stabilization check. When the check fails,
+/// `reason` explains which condition broke and `witness` carries a
+/// concrete-side path or cycle exhibiting the violation (states are
+/// StateIds of the concrete space).
+struct CheckResult {
+  bool holds = false;
+  std::string reason;
+  Trace witness;
+
+  explicit operator bool() const { return holds; }
+
+  static CheckResult ok() { return {true, "", {}}; }
+  static CheckResult fail(std::string why, Trace w = {}) {
+    return {false, std::move(why), std::move(w)};
+  }
+};
+
+}  // namespace cref

@@ -1,0 +1,373 @@
+#include "refinement/checker.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "refinement/reachability.hpp"
+
+namespace cref {
+
+namespace {
+
+// Above this many A-side SCCs the condensation closure bitsets would use
+// too much memory; reachability queries fall back to per-query BFS.
+constexpr std::size_t kMaxCompsForClosure = 20000;
+
+std::vector<StateId> build_alpha_table(const Abstraction& alpha) {
+  if (alpha.is_identity()) return {};
+  std::vector<StateId> table(alpha.from().size());
+  for (StateId s = 0; s < alpha.from().size(); ++s) table[s] = alpha.apply(s);
+  return table;
+}
+
+}  // namespace
+
+RefinementChecker::RefinementChecker(const System& c, const System& a, Abstraction alpha)
+    : c_(TransitionGraph::build(c)),
+      a_(TransitionGraph::build(a)),
+      c_init_(c.initial_states()),
+      a_init_(a.initial_states()),
+      alpha_(build_alpha_table(alpha)),
+      c_name_(c.name()),
+      a_name_(a.name()) {
+  if (&alpha.from() != &c.space() && alpha.from().size() != c.space().size())
+    throw std::invalid_argument("RefinementChecker: alpha domain does not match C");
+  if (&alpha.to() != &a.space() && alpha.to().size() != a.space().size())
+    throw std::invalid_argument("RefinementChecker: alpha codomain does not match A");
+}
+
+RefinementChecker::RefinementChecker(const System& c, const System& a)
+    : RefinementChecker(c, a, Abstraction::identity(c.space_ptr())) {
+  if (!c.space().same_shape_as(a.space()))
+    throw std::invalid_argument("RefinementChecker: same-space check needs equal spaces");
+}
+
+RefinementChecker::RefinementChecker(TransitionGraph c, TransitionGraph a,
+                                     std::vector<StateId> c_init, std::vector<StateId> a_init,
+                                     std::vector<StateId> alpha_table)
+    : c_(std::move(c)),
+      a_(std::move(a)),
+      c_init_(std::move(c_init)),
+      a_init_(std::move(a_init)),
+      alpha_(std::move(alpha_table)) {
+  if (!alpha_.empty() && alpha_.size() != c_.num_states())
+    throw std::invalid_argument("RefinementChecker: alpha table size mismatch");
+  if (alpha_.empty() && c_.num_states() != a_.num_states())
+    throw std::invalid_argument("RefinementChecker: identity alpha needs equal state counts");
+  std::sort(c_init_.begin(), c_init_.end());
+  std::sort(a_init_.begin(), a_init_.end());
+}
+
+const std::vector<char>& RefinementChecker::a_reachable() const {
+  if (!a_reach_) a_reach_ = reachable_from(a_, a_init_);
+  return *a_reach_;
+}
+
+const Scc& RefinementChecker::c_scc() const {
+  if (!c_scc_) c_scc_.emplace(c_);
+  return *c_scc_;
+}
+
+bool RefinementChecker::reachable_in_a(StateId src, StateId dst) const {
+  if (!a_scc_) a_scc_.emplace(a_);
+  const Scc& scc = *a_scc_;
+  if (!comp_reach_built_ && !comp_reach_too_big_) {
+    if (scc.count() > kMaxCompsForClosure) {
+      comp_reach_too_big_ = true;
+    } else {
+      // Condensation transitive closure. Tarjan ids are in reverse
+      // topological order (cross edges go from higher to lower id), so a
+      // single pass in increasing id order sees every successor
+      // component's closure completed.
+      const std::size_t words = (scc.count() + 63) / 64;
+      comp_reach_.assign(scc.count(), std::vector<std::uint64_t>(words, 0));
+      // Bucket states by component.
+      std::vector<std::vector<StateId>> members(scc.count());
+      for (StateId s = 0; s < a_.num_states(); ++s) members[scc.component(s)].push_back(s);
+      for (std::size_t comp = 0; comp < scc.count(); ++comp) {
+        auto& row = comp_reach_[comp];
+        if (scc.size_of(comp) >= 2) row[comp / 64] |= 1ull << (comp % 64);
+        for (StateId s : members[comp]) {
+          for (StateId t : a_.successors(s)) {
+            std::size_t ct = scc.component(t);
+            if (ct == comp) continue;
+            row[ct / 64] |= 1ull << (ct % 64);
+            const auto& sub = comp_reach_[ct];
+            for (std::size_t w = 0; w < words; ++w) row[w] |= sub[w];
+          }
+        }
+      }
+      comp_reach_built_ = true;
+    }
+  }
+  if (comp_reach_built_) {
+    std::size_t cs = scc.component(src), ct = scc.component(dst);
+    return (comp_reach_[cs][ct / 64] >> (ct % 64)) & 1;
+  }
+  // Fallback: plain BFS (rare: only for very large A graphs).
+  std::vector<char> seen(a_.num_states(), 0);
+  std::deque<StateId> queue{src};
+  seen[src] = 1;
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    for (StateId t : a_.successors(s)) {
+      if (t == dst) return true;
+      if (!seen[t]) {
+        seen[t] = 1;
+        queue.push_back(t);
+      }
+    }
+  }
+  return false;
+}
+
+EdgeClass RefinementChecker::classify_edge(StateId s, StateId t) const {
+  StateId is = image(s), it = image(t);
+  if (is == it) return EdgeClass::Stutter;
+  if (a_.has_edge(is, it)) return EdgeClass::Exact;
+  if (reachable_in_a(is, it)) return EdgeClass::Compressed;
+  return EdgeClass::Invalid;
+}
+
+EdgeStats RefinementChecker::edge_stats() const {
+  EdgeStats st;
+  for (StateId s = 0; s < c_.num_states(); ++s) {
+    for (StateId t : c_.successors(s)) {
+      switch (classify_edge(s, t)) {
+        case EdgeClass::Exact: ++st.exact; break;
+        case EdgeClass::Stutter: ++st.stutter; break;
+        case EdgeClass::Compressed: ++st.compressed; break;
+        case EdgeClass::Invalid: ++st.invalid; break;
+      }
+    }
+  }
+  return st;
+}
+
+bool RefinementChecker::initial_states_match() const {
+  for (StateId s : c_init_)
+    if (!std::binary_search(a_init_.begin(), a_init_.end(), image(s))) return false;
+  return true;
+}
+
+std::optional<Trace> RefinementChecker::find_stutter_cycle(const std::vector<char>* filter) const {
+  // Subgraph of stutter edges whose image is NOT an A-deadlock (infinite
+  // stuttering at an A-deadlock image collapses to a maximal finite
+  // computation of A and is therefore permitted).
+  std::vector<std::pair<StateId, StateId>> edges;
+  for (StateId s = 0; s < c_.num_states(); ++s) {
+    if (filter && !(*filter)[s]) continue;
+    for (StateId t : c_.successors(s)) {
+      if (filter && !(*filter)[t]) continue;
+      if (image(s) == image(t) && !a_.is_deadlock(image(s))) edges.emplace_back(s, t);
+    }
+  }
+  if (edges.empty()) return std::nullopt;
+  TransitionGraph sub = TransitionGraph::from_edges(c_.num_states(), edges);
+  Scc scc(sub);
+  for (StateId s = 0; s < sub.num_states(); ++s) {
+    if (scc.size_of(scc.component(s)) < 2) continue;
+    // Build the membership filter of this component and close the cycle.
+    std::vector<char> in_comp(sub.num_states(), 0);
+    for (StateId u = 0; u < sub.num_states(); ++u)
+      in_comp[u] = scc.component(u) == scc.component(s);
+    for (StateId t : sub.successors(s)) {
+      if (!in_comp[t]) continue;
+      if (auto back = find_path_within(sub, t, s, in_comp)) {
+        Trace cycle;
+        cycle.states.push_back(s);
+        cycle.states.insert(cycle.states.end(), back->states.begin(), back->states.end());
+        return cycle;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+CheckResult RefinementChecker::check_region(const std::vector<char>* filter,
+                                            bool allow_compressed_off_cycle,
+                                            bool allow_invalid_off_cycle,
+                                            const char* relation_name) const {
+  const Scc& scc = c_scc();
+  auto edge_witness = [&](StateId s, StateId t) {
+    // For init-scoped checks, exhibit a run from the initial states.
+    if (filter) {
+      if (auto path = find_path(c_, c_init_, s)) {
+        path->states.push_back(t);
+        return *path;
+      }
+    }
+    return Trace{{s, t}};
+  };
+  auto cycle_witness = [&](StateId s, StateId t) {
+    // Present the cycle as s -> t -> ... -> s.
+    std::vector<char> in_comp(c_.num_states(), 0);
+    for (StateId u = 0; u < c_.num_states(); ++u)
+      in_comp[u] = scc.component(u) == scc.component(s);
+    Trace cycle;
+    cycle.states.push_back(s);
+    if (auto back = find_path_within(c_, t, s, in_comp))
+      cycle.states.insert(cycle.states.end(), back->states.begin(), back->states.end());
+    else
+      cycle.states.push_back(t);
+    return cycle;
+  };
+
+  for (StateId s = 0; s < c_.num_states(); ++s) {
+    if (filter && !(*filter)[s]) continue;
+    for (StateId t : c_.successors(s)) {
+      EdgeClass cls = classify_edge(s, t);
+      if (cls == EdgeClass::Exact || cls == EdgeClass::Stutter) continue;
+      bool on_cycle = scc.edge_on_cycle(s, t);
+      if (cls == EdgeClass::Compressed) {
+        if (on_cycle)
+          return CheckResult::fail(std::string(relation_name) +
+                                       ": compressed edge on a cycle (a computation looping "
+                                       "through it drops infinitely many states of A)",
+                                   cycle_witness(s, t));
+        if (!allow_compressed_off_cycle)
+          return CheckResult::fail(std::string(relation_name) +
+                                       ": transition is not a transition of A (it compresses "
+                                       "an A-path)",
+                                   edge_witness(s, t));
+      } else {  // Invalid
+        if (on_cycle || !allow_invalid_off_cycle)
+          return CheckResult::fail(std::string(relation_name) +
+                                       ": transition's image is not even reachable in A",
+                                   on_cycle ? cycle_witness(s, t) : edge_witness(s, t));
+      }
+    }
+    if (c_.is_deadlock(s) && !a_.is_deadlock(image(s)))
+      return CheckResult::fail(std::string(relation_name) +
+                                   ": C deadlocks but A must keep moving (final states differ)",
+                               Trace{{s}});
+  }
+  if (auto cyc = find_stutter_cycle(filter))
+    return CheckResult::fail(std::string(relation_name) +
+                                 ": divergence — a cycle of pure-stutter transitions whose "
+                                 "image is not a deadlock of A",
+                             *cyc);
+  return CheckResult::ok();
+}
+
+CheckResult RefinementChecker::refinement_init() const {
+  if (c_init_.empty()) return CheckResult::ok();  // vacuous
+  std::vector<char> reach = reachable_from(c_, c_init_);
+  return check_region(&reach, /*allow_compressed_off_cycle=*/false,
+                      /*allow_invalid_off_cycle=*/false, "[C (= A]_init");
+}
+
+CheckResult RefinementChecker::everywhere_refinement() const {
+  return check_region(nullptr, /*allow_compressed_off_cycle=*/false,
+                      /*allow_invalid_off_cycle=*/false, "[C (= A]");
+}
+
+CheckResult RefinementChecker::convergence_refinement() const {
+  if (auto init = refinement_init(); !init) return init;
+  return check_region(nullptr, /*allow_compressed_off_cycle=*/true,
+                      /*allow_invalid_off_cycle=*/false, "[C <~ A]");
+}
+
+CheckResult RefinementChecker::everywhere_eventually_refinement() const {
+  if (auto init = refinement_init(); !init) return init;
+  return check_region(nullptr, /*allow_compressed_off_cycle=*/true,
+                      /*allow_invalid_off_cycle=*/true, "[C ee A]");
+}
+
+CheckResult RefinementChecker::stabilizing_to() const {
+  if (a_init_.empty())
+    return CheckResult::fail("stabilizing-to: A has no initial states, so no computation of A "
+                             "starts at one");
+  const std::vector<char>& ra = a_reachable();
+  const Scc& scc = c_scc();
+  auto cycle_witness = [&](StateId s, StateId t) {
+    std::vector<char> in_comp(c_.num_states(), 0);
+    for (StateId u = 0; u < c_.num_states(); ++u)
+      in_comp[u] = scc.component(u) == scc.component(s);
+    Trace cycle;
+    cycle.states.push_back(s);
+    if (auto back = find_path_within(c_, t, s, in_comp))
+      cycle.states.insert(cycle.states.end(), back->states.begin(), back->states.end());
+    else
+      cycle.states.push_back(t);
+    return cycle;
+  };
+
+  for (StateId s = 0; s < c_.num_states(); ++s) {
+    for (StateId t : c_.successors(s)) {
+      if (!scc.edge_on_cycle(s, t)) continue;
+      StateId is = image(s), it = image(t);
+      bool good = ra[is] && ra[it] && (is == it || a_.has_edge(is, it));
+      if (!good)
+        return CheckResult::fail(
+            "stabilizing-to: a cycle of C contains a transition that does not follow A within "
+            "A's reachable states — some computation never settles into a suffix of A",
+            cycle_witness(s, t));
+    }
+    if (c_.is_deadlock(s)) {
+      StateId is = image(s);
+      if (!ra[is] || !a_.is_deadlock(is))
+        return CheckResult::fail(
+            "stabilizing-to: C deadlocks in a state whose image is not a reachable deadlock "
+            "of A",
+            Trace{{s}});
+    }
+  }
+  // Divergence: a pure-stutter cycle collapses to a finite image of an
+  // infinite computation; that image can only be a suffix of an
+  // A-computation if it is a reachable deadlock of A. Reuse the stutter
+  // search but with the R_A + deadlock exemption.
+  std::vector<std::pair<StateId, StateId>> edges;
+  for (StateId s = 0; s < c_.num_states(); ++s)
+    for (StateId t : c_.successors(s)) {
+      StateId is = image(s);
+      if (is == image(t) && !(ra[is] && a_.is_deadlock(is))) edges.emplace_back(s, t);
+    }
+  if (!edges.empty()) {
+    TransitionGraph sub = TransitionGraph::from_edges(c_.num_states(), edges);
+    Scc sscc(sub);
+    for (StateId s = 0; s < sub.num_states(); ++s) {
+      if (sscc.size_of(sscc.component(s)) >= 2) {
+        std::vector<char> in_comp(sub.num_states(), 0);
+        for (StateId u = 0; u < sub.num_states(); ++u)
+          in_comp[u] = sscc.component(u) == sscc.component(s);
+        for (StateId t : sub.successors(s)) {
+          if (!in_comp[t]) continue;
+          if (auto back = find_path_within(sub, t, s, in_comp)) {
+            Trace cycle;
+            cycle.states.push_back(s);
+            cycle.states.insert(cycle.states.end(), back->states.begin(), back->states.end());
+            return CheckResult::fail(
+                "stabilizing-to: divergence — an infinite computation whose image stalls at a "
+                "non-final state of A",
+                cycle);
+          }
+        }
+      }
+    }
+  }
+  return CheckResult::ok();
+}
+
+std::optional<std::pair<Trace, Trace>> RefinementChecker::example_compression() const {
+  for (StateId s = 0; s < c_.num_states(); ++s)
+    for (StateId t : c_.successors(s))
+      if (classify_edge(s, t) == EdgeClass::Compressed)
+        if (auto path = find_path(a_, {image(s)}, image(t)))
+          return std::make_pair(Trace{{s, t}}, *path);
+  return std::nullopt;
+}
+
+const char* to_string(EdgeClass c) {
+  switch (c) {
+    case EdgeClass::Exact: return "exact";
+    case EdgeClass::Stutter: return "stutter";
+    case EdgeClass::Compressed: return "compressed";
+    case EdgeClass::Invalid: return "invalid";
+  }
+  return "?";
+}
+
+}  // namespace cref

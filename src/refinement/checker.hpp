@@ -1,0 +1,138 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/abstraction.hpp"
+#include "core/graph.hpp"
+#include "core/system.hpp"
+#include "refinement/check_result.hpp"
+#include "refinement/scc.hpp"
+
+namespace cref {
+
+/// Decision procedures for every relation of the paper, between a
+/// concrete system C and an abstract system A related by an abstraction
+/// function alpha (identity for same-space refinement). All procedures
+/// are exact on the full finite state spaces.
+///
+/// Reduction to graph conditions (each is proved in the corresponding
+/// method's documentation): on a finite system, an infinite computation
+/// eventually traverses only edges that lie on cycles, and a finite
+/// computation ends in a deadlock state. Hence each relation becomes a
+/// set of conditions on (a) edges reachable from the initial states,
+/// (b) edges on cycles, and (c) deadlock states, after classifying every
+/// concrete edge against A (EdgeClass).
+///
+/// Stuttering (paper Section 2.3 / Section 6): a concrete edge whose two
+/// endpoints have the same abstract image is invisible abstractly; images
+/// of computations are stutter-collapsed before comparison. A reachable
+/// cycle of pure-stutter edges would collapse to a *finite* image of an
+/// *infinite* computation, which can only be a computation of A if the
+/// image state is an A-deadlock — such "divergence" is therefore a
+/// violation except at A-deadlock images.
+class RefinementChecker {
+ public:
+  /// Builds graphs for `c` and `a` and checks relations through `alpha`
+  /// (whose from/to spaces must match c/a).
+  RefinementChecker(const System& c, const System& a, Abstraction alpha);
+
+  /// Same-space convenience: identity abstraction. The spaces of `c` and
+  /// `a` must have the same shape.
+  RefinementChecker(const System& c, const System& a);
+
+  /// Hand-built automata (tests, Figure 1). `alpha_table` maps every
+  /// C-state to an A-state; empty means identity (same state count).
+  RefinementChecker(TransitionGraph c, TransitionGraph a, std::vector<StateId> c_init,
+                    std::vector<StateId> a_init, std::vector<StateId> alpha_table = {});
+
+  /// [C subseteq A]_init — every computation of C that starts from an
+  /// initial state of C is (after stutter-collapse of its image) a
+  /// computation of A. Conditions on the subgraph reachable from I_C:
+  /// every edge Exact or Stutter; every deadlock maps to an A-deadlock;
+  /// no pure-stutter cycle (except at A-deadlock images).
+  CheckResult refinement_init() const;
+
+  /// [C subseteq A] — everywhere refinement: the refinement_init
+  /// conditions over ALL of Sigma_C.
+  CheckResult everywhere_refinement() const;
+
+  /// [C curlypreceq A] — convergence refinement: refinement_init, plus
+  /// over all of Sigma_C: no Invalid edge anywhere; no Compressed edge on
+  /// a cycle (a computation looping through a compression would drop
+  /// infinitely many states); no pure-stutter cycle (except at A-deadlock
+  /// images); every deadlock maps to an A-deadlock.
+  CheckResult convergence_refinement() const;
+
+  /// Everywhere-eventually refinement (paper Section 7, from [1]):
+  /// refinement_init, plus every computation is an arbitrary finite
+  /// prefix followed by a computation of A. Off-cycle edges are
+  /// unconstrained; cycle edges must be Exact/Stutter; deadlocks map to
+  /// A-deadlocks; stutter-cycle condition as above.
+  CheckResult everywhere_eventually_refinement() const;
+
+  /// C is stabilizing to A — every computation of C has a suffix that is
+  /// a suffix of some computation of A starting at an initial state of A.
+  /// With R_A = reachable(A, I_A): every cycle edge of C must be "good"
+  /// (image edge in T_A with both images in R_A, or stutter with image in
+  /// R_A); pure-stutter cycles only at A-deadlock images inside R_A;
+  /// every C-deadlock maps to an A-deadlock inside R_A.
+  CheckResult stabilizing_to() const;
+
+  /// Classification of one concrete transition (s, t). Precondition:
+  /// (s, t) is an edge of C (not checked).
+  EdgeClass classify_edge(StateId s, StateId t) const;
+
+  /// Classification counts over the entire concrete transition relation.
+  EdgeStats edge_stats() const;
+
+  /// True if alpha maps the initial states of C into the initial states
+  /// of A (reported separately: the paper's refinement definition
+  /// constrains computations, not the initial sets themselves).
+  bool initial_states_match() const;
+
+  /// An example of a Compressed concrete edge together with the dropped
+  /// interior A-path it compresses; nullopt if no compressed edge exists.
+  /// The first trace is the single concrete edge (2 states), the second
+  /// the A-path between the images.
+  std::optional<std::pair<Trace, Trace>> example_compression() const;
+
+  const TransitionGraph& c_graph() const { return c_; }
+  const TransitionGraph& a_graph() const { return a_; }
+  const std::vector<StateId>& c_initial() const { return c_init_; }
+  const std::vector<StateId>& a_initial() const { return a_init_; }
+
+  /// Image of concrete state `s` under alpha.
+  StateId image(StateId s) const { return alpha_.empty() ? s : alpha_[s]; }
+
+  /// Membership vector of R_A = reachable(A, I_A) (computed lazily).
+  const std::vector<char>& a_reachable() const;
+
+  /// SCC decomposition of C (computed lazily).
+  const Scc& c_scc() const;
+
+ private:
+  bool reachable_in_a(StateId src, StateId dst) const;
+  CheckResult check_region(const std::vector<char>* filter, bool allow_compressed_off_cycle,
+                           bool allow_invalid_off_cycle, const char* relation_name) const;
+  std::optional<Trace> find_stutter_cycle(const std::vector<char>* filter) const;
+
+  TransitionGraph c_;
+  TransitionGraph a_;
+  std::vector<StateId> c_init_;
+  std::vector<StateId> a_init_;
+  std::vector<StateId> alpha_;  // empty => identity
+  std::string c_name_ = "C";
+  std::string a_name_ = "A";
+
+  mutable std::optional<std::vector<char>> a_reach_;
+  mutable std::optional<Scc> c_scc_;
+  mutable std::optional<Scc> a_scc_;
+  mutable std::vector<std::vector<std::uint64_t>> comp_reach_;  // condensation closure
+  mutable bool comp_reach_built_ = false;
+  mutable bool comp_reach_too_big_ = false;
+};
+
+}  // namespace cref

@@ -1,0 +1,107 @@
+#include "refinement/convergence_time.hpp"
+
+#include <deque>
+
+namespace cref {
+
+ConvergenceTimeResult convergence_time(const RefinementChecker& rc) {
+  const TransitionGraph& c = rc.c_graph();
+  const TransitionGraph& a = rc.a_graph();
+  const std::vector<char>& ra = rc.a_reachable();
+  const StateId n = c.num_states();
+
+  ConvergenceTimeResult res;
+  res.locked.assign(n, 1);
+
+  // Seed removals: bad images, bad edges, bad deadlocks.
+  auto edge_good = [&](StateId s, StateId t) {
+    StateId is = rc.image(s), it = rc.image(t);
+    return ra[is] && ra[it] && (is == it || a.has_edge(is, it));
+  };
+  std::deque<StateId> queue;
+  auto remove = [&](StateId s) {
+    if (res.locked[s]) {
+      res.locked[s] = 0;
+      queue.push_back(s);
+    }
+  };
+  for (StateId s = 0; s < n; ++s) {
+    if (!ra[rc.image(s)]) {
+      remove(s);
+      continue;
+    }
+    if (c.is_deadlock(s)) {
+      if (!a.is_deadlock(rc.image(s))) remove(s);
+      continue;
+    }
+    for (StateId t : c.successors(s))
+      if (!edge_good(s, t)) {
+        remove(s);
+        break;
+      }
+  }
+  // Propagate: a state with an edge into a removed state is removed.
+  TransitionGraph rev = c.reversed();
+  while (!queue.empty()) {
+    StateId t = queue.front();
+    queue.pop_front();
+    for (StateId s : rev.successors(t)) remove(s);
+  }
+  for (StateId s = 0; s < n; ++s) res.locked_count += res.locked[s];
+
+  // Longest path outside G, iterative DFS with cycle detection.
+  // color: 0 = unvisited, 1 = on stack, 2 = done.
+  std::vector<char> color(n, 0);
+  std::vector<std::size_t> depth(n, 0);
+  res.bounded = true;
+  for (StateId root = 0; root < n && res.bounded; ++root) {
+    if (res.locked[root] || color[root] != 0) continue;
+    struct Frame {
+      StateId s;
+      std::size_t child;
+    };
+    std::vector<Frame> stack{{root, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      auto succ = c.successors(f.s);
+      if (f.child < succ.size()) {
+        StateId t = succ[f.child++];
+        if (res.locked[t]) {
+          depth[f.s] = std::max(depth[f.s], std::size_t{1});
+          continue;
+        }
+        if (color[t] == 1) {  // cycle outside G
+          res.bounded = false;
+          break;
+        }
+        if (color[t] == 2) {
+          depth[f.s] = std::max(depth[f.s], depth[t] + 1);
+          continue;
+        }
+        color[t] = 1;
+        stack.push_back({t, 0});
+      } else {
+        color[f.s] = 2;
+        // Deadlocks outside G have depth 0 (they never converge, but the
+        // stabilization verdict already reported that; here we just avoid
+        // miscounting).
+        StateId done = f.s;
+        stack.pop_back();
+        if (!stack.empty())
+          depth[stack.back().s] = std::max(depth[stack.back().s], depth[done] + 1);
+      }
+    }
+  }
+  if (res.bounded) {
+    for (StateId s = 0; s < n; ++s) {
+      if (!res.locked[s] && depth[s] > res.worst_steps) {
+        res.worst_steps = depth[s];
+        res.worst_state = s;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace cref

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "refinement/checker.hpp"
+
+namespace cref {
+
+/// Exact worst-case convergence analysis of a stabilizing system.
+///
+/// The *locked region* G is the largest set of concrete states from which
+/// the computation is already inside its final suffix: every outgoing
+/// transition is "good" (its image follows T_A within R_A, or stutters
+/// inside R_A) and stays in G, and deadlocks map to reachable A-deadlocks.
+/// It is computed as a greatest fixpoint by iterated removal.
+///
+/// `worst_steps` is the longest transition path that stays outside G —
+/// the exact worst-case number of steps an adversarial central daemon can
+/// keep the system away from its legitimate suffix. If a cycle exists
+/// outside G the worst case is unbounded (every computation still
+/// converges, but no uniform bound exists); `bounded` is then false.
+struct ConvergenceTimeResult {
+  bool bounded = false;
+  std::size_t worst_steps = 0;   // valid when bounded
+  StateId worst_state = 0;       // a state realizing worst_steps
+  std::size_t locked_count = 0;  // |G|
+  std::vector<char> locked;      // membership vector of G
+};
+
+/// Runs the analysis on the (C, A, alpha) triple held by `rc`. Meaningful
+/// when rc.stabilizing_to() holds; otherwise the result simply reports
+/// the locked region that does exist.
+ConvergenceTimeResult convergence_time(const RefinementChecker& rc);
+
+}  // namespace cref

@@ -1,0 +1,37 @@
+#include "refinement/equivalence.hpp"
+
+#include <stdexcept>
+
+namespace cref {
+
+RelationComparison compare_relations(const TransitionGraph& first,
+                                     const TransitionGraph& second) {
+  if (first.num_states() != second.num_states())
+    throw std::invalid_argument("compare_relations: state counts differ");
+  RelationComparison out;
+  for (StateId s = 0; s < first.num_states(); ++s) {
+    for (StateId t : first.successors(s))
+      if (!second.has_edge(s, t)) {
+        ++out.only_in_first;
+        if (!out.example_only_first) out.example_only_first = {s, t};
+      }
+    for (StateId t : second.successors(s))
+      if (!first.has_edge(s, t)) {
+        ++out.only_in_second;
+        if (!out.example_only_second) out.example_only_second = {s, t};
+      }
+  }
+  out.first_subset_of_second = out.only_in_first == 0;
+  out.second_subset_of_first = out.only_in_second == 0;
+  out.equal = out.first_subset_of_second && out.second_subset_of_first;
+  return out;
+}
+
+std::string RelationComparison::verdict() const {
+  if (equal) return "equal";
+  if (first_subset_of_second) return "first (= second";
+  if (second_subset_of_first) return "second (= first";
+  return "incomparable";
+}
+
+}  // namespace cref

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/graph.hpp"
+
+namespace cref {
+
+/// Outcome of comparing two transition relations over the same state
+/// space. Used to machine-check the paper's "the resulting system is
+/// equal to Dijkstra's ..." claims (Sections 5.2 and 6) and the
+/// guard-relaxation claim of Section 4.2.
+struct RelationComparison {
+  bool equal = false;
+  bool first_subset_of_second = false;
+  bool second_subset_of_first = false;
+  std::size_t only_in_first = 0;
+  std::size_t only_in_second = 0;
+  /// An example transition present only in the respective system.
+  std::optional<std::pair<StateId, StateId>> example_only_first;
+  std::optional<std::pair<StateId, StateId>> example_only_second;
+
+  /// "equal" / "first (= second" / "second (= first" / "incomparable".
+  std::string verdict() const;
+};
+
+/// Compares the transition relations edge-by-edge. Both graphs must have
+/// the same number of states (same packed space).
+RelationComparison compare_relations(const TransitionGraph& first, const TransitionGraph& second);
+
+}  // namespace cref

@@ -1,0 +1,68 @@
+#include "refinement/random_systems.hpp"
+
+#include <algorithm>
+
+namespace cref {
+
+TransitionGraph SystemSampler::random_graph(StateId n, double edge_prob) {
+  std::bernoulli_distribution flip(edge_prob);
+  std::vector<std::pair<StateId, StateId>> edges;
+  for (StateId s = 0; s < n; ++s)
+    for (StateId t = 0; t < n; ++t)
+      if (s != t && flip(rng_)) edges.emplace_back(s, t);
+  return TransitionGraph::from_edges(n, std::move(edges));
+}
+
+std::vector<StateId> SystemSampler::random_subset(StateId n, double p, bool nonempty) {
+  std::bernoulli_distribution flip(p);
+  std::vector<StateId> out;
+  for (StateId s = 0; s < n; ++s)
+    if (flip(rng_)) out.push_back(s);
+  if (nonempty && out.empty() && n > 0) {
+    std::uniform_int_distribution<StateId> pick(0, n - 1);
+    out.push_back(pick(rng_));
+  }
+  return out;
+}
+
+TransitionGraph SystemSampler::drop_edges(const TransitionGraph& g, double keep_prob) {
+  std::bernoulli_distribution keep(keep_prob);
+  std::vector<std::pair<StateId, StateId>> edges;
+  for (StateId s = 0; s < g.num_states(); ++s)
+    for (StateId t : g.successors(s))
+      if (keep(rng_)) edges.emplace_back(s, t);
+  return TransitionGraph::from_edges(g.num_states(), std::move(edges));
+}
+
+TransitionGraph SystemSampler::add_shortcuts(const TransitionGraph& g, int attempts) {
+  std::vector<std::pair<StateId, StateId>> edges;
+  for (StateId s = 0; s < g.num_states(); ++s)
+    for (StateId t : g.successors(s)) edges.emplace_back(s, t);
+  if (g.num_states() == 0) return g;
+  std::uniform_int_distribution<StateId> pick(0, g.num_states() - 1);
+  for (int i = 0; i < attempts; ++i) {
+    StateId s = pick(rng_);
+    auto s1 = g.successors(s);
+    if (s1.empty()) continue;
+    std::uniform_int_distribution<std::size_t> pick1(0, s1.size() - 1);
+    StateId x = s1[pick1(rng_)];
+    auto s2 = g.successors(x);
+    if (s2.empty()) continue;
+    std::uniform_int_distribution<std::size_t> pick2(0, s2.size() - 1);
+    StateId t = s2[pick2(rng_)];
+    if (t == s || g.has_edge(s, t)) continue;
+    edges.emplace_back(s, t);
+  }
+  return TransitionGraph::from_edges(g.num_states(), std::move(edges));
+}
+
+TransitionGraph graph_union(const TransitionGraph& a, const TransitionGraph& b) {
+  std::vector<std::pair<StateId, StateId>> edges;
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    for (StateId t : a.successors(s)) edges.emplace_back(s, t);
+    for (StateId t : b.successors(s)) edges.emplace_back(s, t);
+  }
+  return TransitionGraph::from_edges(a.num_states(), std::move(edges));
+}
+
+}  // namespace cref

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace cref {
+
+/// Generators of random finite automata, used by the property-test suite
+/// and by bench_theory_properties (experiment E16) to machine-check the
+/// paper's meta-theorems (Theorems 0/1/3/5 and the relation hierarchy) on
+/// thousands of random (C, A, W) triples: wherever the checkers report
+/// the premises of a theorem, its conclusion must also be reported.
+class SystemSampler {
+ public:
+  explicit SystemSampler(std::uint64_t seed) : rng_(seed) {}
+
+  /// Random graph on `n` states: each ordered pair (s, t), s != t, is an
+  /// edge with probability `edge_prob`.
+  TransitionGraph random_graph(StateId n, double edge_prob);
+
+  /// Random subset of {0..n-1}; each element kept with probability `p`.
+  /// If `nonempty`, one uniformly random element is force-included.
+  std::vector<StateId> random_subset(StateId n, double p, bool nonempty);
+
+  /// Keeps each edge of `g` independently with probability `keep_prob`
+  /// (a candidate refinement: subsets of T_A are everywhere refinements
+  /// modulo deadlock/divergence conditions).
+  TransitionGraph drop_edges(const TransitionGraph& g, double keep_prob);
+
+  /// Adds up to `attempts` shortcut edges to `g`: picks s with a 2-step
+  /// path s -> x -> t (t != s, (s,t) not an edge) and inserts (s, t).
+  /// Such edges are "compressed" w.r.t. the original graph, producing
+  /// candidate convergence refinements that are not everywhere
+  /// refinements.
+  TransitionGraph add_shortcuts(const TransitionGraph& g, int attempts);
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Union of two automata over the same state count — the paper's box
+/// composition "[]" expressed directly on transition relations.
+TransitionGraph graph_union(const TransitionGraph& a, const TransitionGraph& b);
+
+}  // namespace cref

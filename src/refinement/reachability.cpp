@@ -1,0 +1,78 @@
+#include "refinement/reachability.hpp"
+
+#include <deque>
+
+namespace cref {
+
+std::vector<char> reachable_from(const TransitionGraph& g, const std::vector<StateId>& sources) {
+  std::vector<char> seen(g.num_states(), 0);
+  std::deque<StateId> queue;
+  for (StateId s : sources) {
+    if (!seen[s]) {
+      seen[s] = 1;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    for (StateId t : g.successors(s)) {
+      if (!seen[t]) {
+        seen[t] = 1;
+        queue.push_back(t);
+      }
+    }
+  }
+  return seen;
+}
+
+namespace {
+
+// Shared BFS-with-parents; `allowed` may be null (all states allowed).
+std::optional<Trace> bfs_path(const TransitionGraph& g, const std::vector<StateId>& sources,
+                              StateId target, const std::vector<char>* allowed) {
+  constexpr StateId kNone = ~StateId{0};
+  std::vector<StateId> parent(g.num_states(), kNone);
+  std::vector<char> seen(g.num_states(), 0);
+  std::deque<StateId> queue;
+  for (StateId s : sources) {
+    if (allowed && !(*allowed)[s]) continue;
+    if (seen[s]) continue;
+    seen[s] = 1;
+    queue.push_back(s);
+    if (s == target) {
+      return Trace{{s}};
+    }
+  }
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    for (StateId t : g.successors(s)) {
+      if (seen[t] || (allowed && !(*allowed)[t])) continue;
+      seen[t] = 1;
+      parent[t] = s;
+      if (t == target) {
+        Trace tr;
+        for (StateId cur = t; cur != kNone; cur = parent[cur]) tr.states.push_back(cur);
+        std::reverse(tr.states.begin(), tr.states.end());
+        return tr;
+      }
+      queue.push_back(t);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Trace> find_path(const TransitionGraph& g, const std::vector<StateId>& sources,
+                               StateId target) {
+  return bfs_path(g, sources, target, nullptr);
+}
+
+std::optional<Trace> find_path_within(const TransitionGraph& g, StateId source, StateId target,
+                                      const std::vector<char>& allowed) {
+  return bfs_path(g, {source}, target, &allowed);
+}
+
+}  // namespace cref

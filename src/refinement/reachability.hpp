@@ -1,0 +1,26 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/trace.hpp"
+
+namespace cref {
+
+/// Breadth-first reachable set from `sources` (inclusive). The result is
+/// a 0/1 membership vector indexed by StateId.
+std::vector<char> reachable_from(const TransitionGraph& g, const std::vector<StateId>& sources);
+
+/// Shortest path from any state in `sources` to `target` (inclusive of
+/// both endpoints); std::nullopt if unreachable. If `target` is itself a
+/// source, the path is the single state.
+std::optional<Trace> find_path(const TransitionGraph& g, const std::vector<StateId>& sources,
+                               StateId target);
+
+/// Shortest path from `source` to `target` restricted to states for which
+/// `allowed[s] != 0`; both endpoints must be allowed.
+std::optional<Trace> find_path_within(const TransitionGraph& g, StateId source, StateId target,
+                                      const std::vector<char>& allowed);
+
+}  // namespace cref

@@ -1,0 +1,70 @@
+#include "refinement/scc.hpp"
+
+#include <limits>
+
+namespace cref {
+
+namespace {
+constexpr std::size_t kUndef = std::numeric_limits<std::size_t>::max();
+}
+
+Scc::Scc(const TransitionGraph& g) {
+  const StateId n = g.num_states();
+  comp_.assign(n, kUndef);
+  std::vector<std::size_t> index(n, kUndef);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<StateId> stack;
+  std::size_t next_index = 0;
+
+  // Explicit DFS frame: state + position within its successor list.
+  struct Frame {
+    StateId s;
+    std::size_t child;
+  };
+  std::vector<Frame> frames;
+
+  for (StateId root = 0; root < n; ++root) {
+    if (index[root] != kUndef) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      auto succ = g.successors(f.s);
+      if (f.child < succ.size()) {
+        StateId t = succ[f.child++];
+        if (index[t] == kUndef) {
+          index[t] = lowlink[t] = next_index++;
+          stack.push_back(t);
+          on_stack[t] = 1;
+          frames.push_back({t, 0});
+        } else if (on_stack[t]) {
+          lowlink[f.s] = std::min(lowlink[f.s], index[t]);
+        }
+      } else {
+        if (lowlink[f.s] == index[f.s]) {
+          std::size_t c = count_++;
+          std::size_t members = 0;
+          StateId w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            comp_[w] = c;
+            ++members;
+          } while (w != f.s);
+          sizes_.push_back(members);
+        }
+        StateId finished = f.s;
+        frames.pop_back();
+        if (!frames.empty())
+          lowlink[frames.back().s] = std::min(lowlink[frames.back().s], lowlink[finished]);
+      }
+    }
+  }
+}
+
+}  // namespace cref

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace cref {
+
+/// Strongly-connected-component decomposition (iterative Tarjan — state
+/// spaces run to millions of states, so no recursion).
+///
+/// The cycle structure of the concrete system is what every relation in
+/// the paper reduces to on finite automata: an infinite computation of a
+/// finite system eventually traverses only edges that lie on cycles, so
+/// "finitely many omissions on every computation" (convergence
+/// isomorphism) and "has a suffix that ..." (stabilization) are both
+/// conditions on intra-SCC edges.
+class Scc {
+ public:
+  explicit Scc(const TransitionGraph& g);
+
+  /// Component id of state `s` (ids are in reverse topological order of
+  /// the condensation: an edge between different components goes from a
+  /// higher id to a lower id).
+  std::size_t component(StateId s) const { return comp_[s]; }
+
+  /// Number of components.
+  std::size_t count() const { return count_; }
+
+  /// Number of states in component `c`.
+  std::size_t size_of(std::size_t c) const { return sizes_[c]; }
+
+  /// True iff the edge (s, t) lies on some cycle, i.e. both endpoints are
+  /// in the same component of size >= 2. (Self-loops cannot occur: the
+  /// transition semantics excludes no-op steps.)
+  bool edge_on_cycle(StateId s, StateId t) const {
+    return comp_[s] == comp_[t] && sizes_[comp_[s]] >= 2;
+  }
+
+ private:
+  std::vector<std::size_t> comp_;
+  std::vector<std::size_t> sizes_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cref

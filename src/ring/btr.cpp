@@ -1,0 +1,106 @@
+#include "ring/btr.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cref::ring {
+
+BtrLayout::BtrLayout(int n) : n_(n) {
+  if (n < 1) throw std::invalid_argument("BtrLayout: need n >= 1");
+  std::vector<VarSpec> vars;
+  // Order: ut_1..ut_n, then dt_0..dt_{n-1}.
+  for (int j = 1; j <= n; ++j) vars.push_back({"ut" + std::to_string(j), 2});
+  for (int j = 0; j <= n - 1; ++j) vars.push_back({"dt" + std::to_string(j), 2});
+  space_ = std::make_shared<Space>(std::move(vars));
+}
+
+std::size_t BtrLayout::ut(int j) const {
+  assert(j >= 1 && j <= n_);
+  return static_cast<std::size_t>(j - 1);
+}
+
+std::size_t BtrLayout::dt(int j) const {
+  assert(j >= 0 && j <= n_ - 1);
+  return static_cast<std::size_t>(n_ + j);
+}
+
+int BtrLayout::token_count(const StateVec& s) const {
+  int count = 0;
+  for (Value v : s) count += v;
+  return count;
+}
+
+StatePredicate BtrLayout::single_token() const {
+  BtrLayout self = *this;
+  return [self](const StateVec& s) { return self.token_count(s) == 1; };
+}
+
+System make_btr(const BtrLayout& l) {
+  const int n = l.n();
+  std::vector<Action> actions;
+  // Top process n: ut_n -> ut_n := false; dt_{n-1} := true.
+  actions.push_back({"top", n,
+                     [l](const StateVec& s) { return s[l.ut(l.n())] != 0; },
+                     [l](StateVec& s) {
+                       s[l.ut(l.n())] = 0;
+                       s[l.dt(l.n() - 1)] = 1;
+                     }});
+  // Bottom process 0: dt_0 -> dt_0 := false; ut_1 := true.
+  actions.push_back({"bottom", 0,
+                     [l](const StateVec& s) { return s[l.dt(0)] != 0; },
+                     [l](StateVec& s) {
+                       s[l.dt(0)] = 0;
+                       s[l.ut(1)] = 1;
+                     }});
+  for (int j = 1; j <= n - 1; ++j) {
+    actions.push_back({"up" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return s[l.ut(j)] != 0; },
+                       [l, j](StateVec& s) {
+                         s[l.ut(j)] = 0;
+                         s[l.ut(j + 1)] = 1;
+                       }});
+    actions.push_back({"down" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return s[l.dt(j)] != 0; },
+                       [l, j](StateVec& s) {
+                         s[l.dt(j)] = 0;
+                         s[l.dt(j - 1)] = 1;
+                       }});
+  }
+  return System("BTR", l.space(), std::move(actions), l.single_token());
+}
+
+System make_w1(const BtrLayout& l) {
+  const int n = l.n();
+  Action a;
+  a.name = "W1";
+  a.process = n;
+  a.guard = [l, n](const StateVec& s) {
+    // No token at any process except possibly n: every variable other
+    // than ut_n is false (ut_j covers j in 1..n-1 plus dt_j for 0..n-1).
+    for (int j = 1; j <= n - 1; ++j)
+      if (s[l.ut(j)] != 0) return false;
+    for (int j = 0; j <= n - 1; ++j)
+      if (s[l.dt(j)] != 0) return false;
+    return true;
+  };
+  a.effect = [l, n](StateVec& s) { s[l.ut(n)] = 1; };
+  return System("W1", l.space(), {std::move(a)}, std::nullopt);
+}
+
+System make_w2(const BtrLayout& l) {
+  std::vector<Action> actions;
+  // Both ut_j and dt_j exist only for j in 1..n-1.
+  for (int j = 1; j <= l.n() - 1; ++j) {
+    actions.push_back({"W2_" + std::to_string(j), j,
+                       [l, j](const StateVec& s) {
+                         return s[l.ut(j)] != 0 && s[l.dt(j)] != 0;
+                       },
+                       [l, j](StateVec& s) {
+                         s[l.ut(j)] = 0;
+                         s[l.dt(j)] = 0;
+                       }});
+  }
+  return System("W2", l.space(), std::move(actions), std::nullopt);
+}
+
+}  // namespace cref::ring

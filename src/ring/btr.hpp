@@ -1,0 +1,57 @@
+#pragma once
+
+#include "core/system.hpp"
+
+namespace cref::ring {
+
+/// Layout of the abstract bidirectional token-ring state space (paper
+/// Section 3.1). Processes are 0..n (n+1 processes; n is the paper's N).
+/// The token variables are:
+///
+///   ut_j ("process j received the token from j-1"), defined for j in 1..n
+///   dt_j ("process j received the token from j+1"), defined for j in 0..n-1
+///
+/// so the space has 2n boolean variables. ut_0 and dt_n are undefined,
+/// exactly as in the paper.
+class BtrLayout {
+ public:
+  /// Builds the layout for processes 0..n. Requires n >= 1.
+  explicit BtrLayout(int n);
+
+  int n() const { return n_; }
+  const SpacePtr& space() const { return space_; }
+
+  /// Variable index of ut_j. Precondition: 1 <= j <= n.
+  std::size_t ut(int j) const;
+  /// Variable index of dt_j. Precondition: 0 <= j <= n-1.
+  std::size_t dt(int j) const;
+
+  /// Number of tokens (set bits) in a decoded state.
+  int token_count(const StateVec& s) const;
+
+  /// Predicate "exactly one token" — the invariant I1 ^ I2 ^ I3 of the
+  /// paper, used as BTR's initial-state set.
+  StatePredicate single_token() const;
+
+ private:
+  int n_;
+  SpacePtr space_;
+};
+
+/// The abstract bidirectional token-ring system BTR (paper Section 3.1):
+/// the token travels up via ut, bounces at the top process n into dt,
+/// travels down, and bounces at the bottom process 0 back into ut.
+/// Initial states: exactly one token. Fault-intolerant on its own.
+System make_btr(const BtrLayout& l);
+
+/// Wrapper W1 (paper Section 3.2): if no process other than n holds a
+/// token, create ut_n. Guarantees eventually I1 (at least one token).
+/// Declares no initial states (wrappers inherit them through box()).
+System make_w1(const BtrLayout& l);
+
+/// Wrapper W2 (paper Section 3.2): a process holding both ut_j and dt_j
+/// drops both — tokens moving toward each other cancel. Guarantees
+/// eventually I2 ^ I3 (at most one token).
+System make_w2(const BtrLayout& l);
+
+}  // namespace cref::ring

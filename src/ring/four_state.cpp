@@ -1,0 +1,206 @@
+#include "ring/four_state.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cref::ring {
+
+FourStateLayout::FourStateLayout(int n) : n_(n) {
+  if (n < 1) throw std::invalid_argument("FourStateLayout: need n >= 1");
+  std::vector<VarSpec> vars;
+  for (int j = 0; j <= n; ++j) vars.push_back({"c" + std::to_string(j), 2});
+  for (int j = 1; j <= n - 1; ++j) vars.push_back({"up" + std::to_string(j), 2});
+  space_ = std::make_shared<Space>(std::move(vars));
+}
+
+std::size_t FourStateLayout::c(int j) const {
+  assert(j >= 0 && j <= n_);
+  return static_cast<std::size_t>(j);
+}
+
+std::size_t FourStateLayout::up(int j) const {
+  assert(j >= 1 && j <= n_ - 1);
+  return static_cast<std::size_t>(n_ + j);
+}
+
+Value FourStateLayout::up_val(const StateVec& s, int j) const {
+  if (j == 0) return 1;   // up_0 == true
+  if (j == n_) return 0;  // up_n == false
+  return s[up(j)];
+}
+
+bool FourStateLayout::ut_image(const StateVec& s, int j) const {
+  assert(j >= 1 && j <= n_);
+  return s[c(j)] != s[c(j - 1)] && up_val(s, j - 1) != 0 && up_val(s, j) == 0;
+}
+
+bool FourStateLayout::dt_image(const StateVec& s, int j) const {
+  assert(j >= 0 && j <= n_ - 1);
+  return s[c(j)] == s[c(j + 1)] && up_val(s, j + 1) == 0 && up_val(s, j) != 0;
+}
+
+int FourStateLayout::image_token_count(const StateVec& s) const {
+  int count = 0;
+  for (int j = 1; j <= n_; ++j) count += ut_image(s, j);
+  for (int j = 0; j <= n_ - 1; ++j) count += dt_image(s, j);
+  return count;
+}
+
+StatePredicate FourStateLayout::single_token_image() const {
+  FourStateLayout self = *this;
+  return [self](const StateVec& s) { return self.image_token_count(s) == 1; };
+}
+
+StateVec FourStateLayout::canonical_state() const {
+  return StateVec(space_->var_count(), 0);
+}
+
+Abstraction make_alpha4(const FourStateLayout& l, const BtrLayout& btr) {
+  assert(l.n() == btr.n());
+  return Abstraction("alpha4", l.space(), btr.space(),
+                     [l, btr](const StateVec& cs, StateVec& as) {
+                       for (int j = 1; j <= l.n(); ++j)
+                         as[btr.ut(j)] = l.ut_image(cs, j) ? 1 : 0;
+                       for (int j = 0; j <= l.n() - 1; ++j)
+                         as[btr.dt(j)] = l.dt_image(cs, j) ? 1 : 0;
+                     });
+}
+
+namespace {
+
+// The four concrete actions shared by BTR4 and C1; BTR4 additionally
+// appends the neighbor-writing clauses that the concrete model forbids.
+void add_common_actions(const FourStateLayout& l, bool abstract_model,
+                        std::vector<Action>& actions) {
+  const int n = l.n();
+  // Top: c_n != c_{n-1} ^ up_{n-1}  ->  c_n := c_{n-1}.
+  // The paper's commented clause "(up_{n-1})" is implied by the guard, so
+  // top is identical in both models.
+  actions.push_back({"top", n,
+                     [l, n](const StateVec& s) {
+                       return s[l.c(n)] != s[l.c(n - 1)] && l.up_val(s, n - 1) != 0;
+                     },
+                     [l, n](StateVec& s) { s[l.c(n)] = s[l.c(n - 1)]; }});
+  // Bottom: c_0 == c_1 ^ !up_1  ->  c_0 := !c_0. The commented clause
+  // "(!up_1)" is likewise implied by the guard.
+  actions.push_back({"bottom", 0,
+                     [l](const StateVec& s) {
+                       return s[l.c(0)] == s[l.c(1)] && l.up_val(s, 1) == 0;
+                     },
+                     [l](StateVec& s) { s[l.c(0)] ^= 1; }});
+  for (int j = 1; j <= n - 1; ++j) {
+    // Up-move: c_j != c_{j-1} ^ up_{j-1} ^ !up_j
+    //   -> c_j := c_{j-1}; up_j := true;  // (c_{j+1} != c_j ^ !up_{j+1})
+    actions.push_back({"up" + std::to_string(j), j,
+                       [l, j](const StateVec& s) {
+                         return s[l.c(j)] != s[l.c(j - 1)] && l.up_val(s, j - 1) != 0 &&
+                                l.up_val(s, j) == 0;
+                       },
+                       [l, j, n, abstract_model](StateVec& s) {
+                         s[l.c(j)] = s[l.c(j - 1)];
+                         s[l.up(j)] = 1;
+                         if (abstract_model) {
+                           // Force ut_{j+1} to hold: the moved token must
+                           // reappear at the right neighbor.
+                           if (s[l.c(j + 1)] == s[l.c(j)]) s[l.c(j + 1)] = s[l.c(j)] ^ 1;
+                           if (j + 1 <= n - 1 && s[l.up(j + 1)] != 0) s[l.up(j + 1)] = 0;
+                         }
+                       }});
+    // Down-move: c_j == c_{j+1} ^ !up_{j+1} ^ up_j
+    //   -> up_j := false;  // (c_{j-1} == c_j ^ up_{j-1})
+    actions.push_back({"down" + std::to_string(j), j,
+                       [l, j](const StateVec& s) {
+                         return s[l.c(j)] == s[l.c(j + 1)] && l.up_val(s, j + 1) == 0 &&
+                                l.up_val(s, j) != 0;
+                       },
+                       [l, j, abstract_model](StateVec& s) {
+                         s[l.up(j)] = 0;
+                         if (abstract_model) {
+                           // Force dt_{j-1} to hold.
+                           if (s[l.c(j - 1)] != s[l.c(j)]) s[l.c(j - 1)] = s[l.c(j)];
+                           if (j - 1 >= 1 && s[l.up(j - 1)] == 0) s[l.up(j - 1)] = 1;
+                         }
+                       }});
+  }
+}
+
+}  // namespace
+
+System make_btr4(const FourStateLayout& l) {
+  std::vector<Action> actions;
+  add_common_actions(l, /*abstract_model=*/true, actions);
+  return System("BTR4", l.space(), std::move(actions), l.single_token_image());
+}
+
+System make_c1(const FourStateLayout& l) {
+  std::vector<Action> actions;
+  add_common_actions(l, /*abstract_model=*/false, actions);
+  return System("C1", l.space(), std::move(actions), l.single_token_image());
+}
+
+System make_w1_prime(const FourStateLayout& l) {
+  const int n = l.n();
+  Action a;
+  a.name = "W1'";
+  a.process = n;
+  a.guard = [l, n](const StateVec& s) {
+    for (int j = 1; j <= n - 1; ++j)
+      if (l.up_val(s, j) == 0) return false;
+    return s[l.c(n - 1)] != s[l.c(n)];
+  };
+  a.effect = [l, n](StateVec& s) {
+    // c_n := !c_{n-1}; up_{n-1} := true. Both are already implied by the
+    // guard (the paper's point: W1' is vacuous), so this never produces a
+    // transition; it is kept verbatim so the framework can verify that.
+    s[l.c(n)] = s[l.c(n - 1)] ^ 1;
+    if (n - 1 >= 1) s[l.up(n - 1)] = 1;
+  };
+  return System("W1'", l.space(), {std::move(a)}, std::nullopt);
+}
+
+System make_w2_prime(const FourStateLayout& l) {
+  std::vector<Action> actions;
+  for (int j = 1; j <= l.n() - 1; ++j) {
+    actions.push_back({"W2'_" + std::to_string(j), j,
+                       [l, j](const StateVec& s) {
+                         // ut_j ^ dt_j: contains up_{j-1} ^ ... ^ !up_j ^
+                         // up_j, hence unsatisfiable — as the paper notes.
+                         return l.ut_image(s, j) && l.dt_image(s, j);
+                       },
+                       [l, j](StateVec& s) {
+                         s[l.up(j)] = 0;  // unreachable
+                       }});
+  }
+  return System("W2'", l.space(), std::move(actions), std::nullopt);
+}
+
+System make_dijkstra4(const FourStateLayout& l) {
+  const int n = l.n();
+  std::vector<Action> actions;
+  // Guards of top and up-move are relaxed relative to C1.
+  actions.push_back({"top", n,
+                     [l, n](const StateVec& s) { return s[l.c(n - 1)] != s[l.c(n)]; },
+                     [l, n](StateVec& s) { s[l.c(n)] = s[l.c(n - 1)]; }});
+  actions.push_back({"bottom", 0,
+                     [l](const StateVec& s) {
+                       return s[l.c(1)] == s[l.c(0)] && l.up_val(s, 1) == 0;
+                     },
+                     [l](StateVec& s) { s[l.c(0)] ^= 1; }});
+  for (int j = 1; j <= n - 1; ++j) {
+    actions.push_back({"up" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return s[l.c(j - 1)] != s[l.c(j)]; },
+                       [l, j](StateVec& s) {
+                         s[l.c(j)] = s[l.c(j - 1)];
+                         s[l.up(j)] = 1;
+                       }});
+    actions.push_back({"down" + std::to_string(j), j,
+                       [l, j](const StateVec& s) {
+                         return s[l.c(j + 1)] == s[l.c(j)] && l.up_val(s, j + 1) == 0 &&
+                                l.up_val(s, j) != 0;
+                       },
+                       [l, j](StateVec& s) { s[l.up(j)] = 0; }});
+  }
+  return System("Dijkstra4", l.space(), std::move(actions), l.single_token_image());
+}
+
+}  // namespace cref::ring

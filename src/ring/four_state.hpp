@@ -1,0 +1,83 @@
+#pragma once
+
+#include "core/abstraction.hpp"
+#include "core/system.hpp"
+#include "ring/btr.hpp"
+
+namespace cref::ring {
+
+/// State-space layout of the 4-state token-ring family (paper Section 4):
+/// booleans c_j for j in 0..n plus up_j for j in 1..n-1. The paper fixes
+/// up_0 = true and up_n = false; they are constants here, not variables,
+/// so every process has at most 4 states (c, up) — hence "4-state".
+class FourStateLayout {
+ public:
+  explicit FourStateLayout(int n);
+
+  int n() const { return n_; }
+  const SpacePtr& space() const { return space_; }
+
+  /// Variable index of c_j (0 <= j <= n).
+  std::size_t c(int j) const;
+  /// Variable index of up_j (1 <= j <= n-1).
+  std::size_t up(int j) const;
+  /// Value of up_j including the constants up_0 = 1 and up_n = 0.
+  Value up_val(const StateVec& s, int j) const;
+
+  /// The paper's mapping from (c, up) states to BTR token states:
+  ///   ut_j == c_j != c_{j-1}  ^  up_{j-1}  ^  !up_j
+  ///   dt_j == c_j == c_{j+1}  ^  !up_{j+1} ^  up_j
+  /// (with the up_0/up_n constants making the j = 0 / j = n special
+  /// cases of the paper come out of the same formula).
+  bool ut_image(const StateVec& s, int j) const;
+  bool dt_image(const StateVec& s, int j) const;
+
+  /// Tokens in the BTR image of a 4-state state.
+  int image_token_count(const StateVec& s) const;
+
+  /// Predicate "the BTR image has exactly one token" — the initial-state
+  /// set of every system in this family (derived from BTR's through the
+  /// mapping, as the paper prescribes). NOTE: this preimage contains
+  /// corrupted encodings; for refinement_init-style checks prefer
+  /// with_reachable_initial(sys, canonical_state()) — see EXPERIMENTS.md.
+  StatePredicate single_token_image() const;
+
+  /// The canonical legitimate state (all c and up zero: the single token
+  /// is dt_0). Seed for with_reachable_initial.
+  StateVec canonical_state() const;
+
+ private:
+  int n_;
+  SpacePtr space_;
+};
+
+/// The abstraction function alpha4 from the 4-state space onto the BTR
+/// token space (`l` and `btr` must be built for the same n).
+Abstraction make_alpha4(const FourStateLayout& l, const BtrLayout& btr);
+
+/// BTR4 (paper Section 4): the image of BTR under the 4-state mapping,
+/// in the ABSTRACT execution model — an action may write the neighbor
+/// state to force the moved token's defining predicate to hold.
+System make_btr4(const FourStateLayout& l);
+
+/// C1 (paper Section 4.2): the concrete-model refinement of BTR4 — the
+/// neighbor-writing clauses are commented out, so in corrupted states a
+/// move may silently cancel a neighboring token (a "compression" of a
+/// BTR computation).
+System make_c1(const FourStateLayout& l);
+
+/// W1' (paper Section 4.1): the image of wrapper W1. Its guard already
+/// implies its effect, so it produces no transitions ("vacuously
+/// implemented") — kept as a real system so that claim is machine-checked.
+System make_w1_prime(const FourStateLayout& l);
+
+/// W2' (paper Section 4.1): the image of wrapper W2. Its guard maps to
+/// false (a process cannot hold ut and dt simultaneously in this
+/// encoding), so it too produces no transitions.
+System make_w2_prime(const FourStateLayout& l);
+
+/// Dijkstra's 4-state stabilizing token ring, as obtained in the paper by
+/// relaxing the guards of (C1 [] W1' [] W2').
+System make_dijkstra4(const FourStateLayout& l);
+
+}  // namespace cref::ring

@@ -1,0 +1,129 @@
+#include "ring/kstate.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cref::ring {
+
+UtrLayout::UtrLayout(int n) : n_(n) {
+  if (n < 1) throw std::invalid_argument("UtrLayout: need n >= 1");
+  std::vector<VarSpec> vars;
+  for (int j = 0; j <= n; ++j) vars.push_back({"t" + std::to_string(j), 2});
+  space_ = std::make_shared<Space>(std::move(vars));
+}
+
+std::size_t UtrLayout::t(int j) const {
+  assert(j >= 0 && j <= n_);
+  return static_cast<std::size_t>(j);
+}
+
+int UtrLayout::token_count(const StateVec& s) const {
+  int count = 0;
+  for (Value v : s) count += v;
+  return count;
+}
+
+StatePredicate UtrLayout::single_token() const {
+  UtrLayout self = *this;
+  return [self](const StateVec& s) { return self.token_count(s) == 1; };
+}
+
+System make_utr(const UtrLayout& l) {
+  std::vector<Action> actions;
+  const int count = l.n() + 1;
+  for (int j = 0; j < count; ++j) {
+    int next = (j + 1) % count;
+    actions.push_back({"move" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return s[l.t(j)] != 0; },
+                       [l, j, next](StateVec& s) {
+                         s[l.t(j)] = 0;
+                         s[l.t(next)] = 1;
+                       }});
+  }
+  return System("UTR", l.space(), std::move(actions), l.single_token());
+}
+
+System make_wu_create(const UtrLayout& l) {
+  Action a;
+  a.name = "WUcreate";
+  a.process = 0;
+  a.guard = [l](const StateVec& s) { return l.token_count(s) == 0; };
+  a.effect = [l](StateVec& s) { s[l.t(0)] = 1; };
+  return System("WUcreate", l.space(), {std::move(a)}, std::nullopt);
+}
+
+System make_wu_cancel(const UtrLayout& l) {
+  std::vector<Action> actions;
+  const int count = l.n() + 1;
+  for (int j = 0; j < count; ++j) {
+    int next = (j + 1) % count;
+    actions.push_back({"WUcancel" + std::to_string(j), j,
+                       [l, j, next](const StateVec& s) {
+                         return s[l.t(j)] != 0 && s[l.t(next)] != 0;
+                       },
+                       [l, j, next](StateVec& s) {
+                         s[l.t(j)] = 0;
+                         s[l.t(next)] = 0;
+                       }});
+  }
+  return System("WUcancel", l.space(), std::move(actions), std::nullopt);
+}
+
+KStateLayout::KStateLayout(int n, int k) : n_(n), k_(k) {
+  if (n < 1) throw std::invalid_argument("KStateLayout: need n >= 1");
+  if (k < 2 || k > 255) throw std::invalid_argument("KStateLayout: need 2 <= k <= 255");
+  std::vector<VarSpec> vars;
+  for (int j = 0; j <= n; ++j)
+    vars.push_back({"c" + std::to_string(j), static_cast<Value>(k)});
+  space_ = std::make_shared<Space>(std::move(vars));
+}
+
+std::size_t KStateLayout::c(int j) const {
+  assert(j >= 0 && j <= n_);
+  return static_cast<std::size_t>(j);
+}
+
+bool KStateLayout::token_image(const StateVec& s, int j) const {
+  if (j == 0) return s[c(0)] == s[c(n_)];
+  return s[c(j)] != s[c(j - 1)];
+}
+
+int KStateLayout::image_token_count(const StateVec& s) const {
+  int count = 0;
+  for (int j = 0; j <= n_; ++j) count += token_image(s, j);
+  return count;
+}
+
+StatePredicate KStateLayout::single_token_image() const {
+  KStateLayout self = *this;
+  return [self](const StateVec& s) { return self.image_token_count(s) == 1; };
+}
+
+Abstraction make_alpha_k(const KStateLayout& l, const UtrLayout& utr) {
+  assert(l.n() == utr.n());
+  return Abstraction("alphaK", l.space(), utr.space(),
+                     [l, utr](const StateVec& cs, StateVec& as) {
+                       for (int j = 0; j <= l.n(); ++j)
+                         as[utr.t(j)] = l.token_image(cs, j) ? 1 : 0;
+                     });
+}
+
+System make_kstate(const KStateLayout& l) {
+  std::vector<Action> actions;
+  const int n = l.n();
+  const int k = l.k();
+  actions.push_back({"bottom", 0,
+                     [l, n](const StateVec& s) { return s[l.c(0)] == s[l.c(n)]; },
+                     [l, k](StateVec& s) {
+                       s[l.c(0)] = static_cast<Value>((s[l.c(0)] + 1) % k);
+                     }});
+  for (int j = 1; j <= n; ++j) {
+    actions.push_back({"copy" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return s[l.c(j)] != s[l.c(j - 1)]; },
+                       [l, j](StateVec& s) { s[l.c(j)] = s[l.c(j - 1)]; }});
+  }
+  return System("KState(n=" + std::to_string(n) + ",K=" + std::to_string(k) + ")",
+                l.space(), std::move(actions), l.single_token_image());
+}
+
+}  // namespace cref::ring

@@ -1,0 +1,75 @@
+#pragma once
+
+#include "core/abstraction.hpp"
+#include "core/system.hpp"
+
+namespace cref::ring {
+
+/// Layout of the abstract UNIDIRECTIONAL token ring UTR: one token bit
+/// t_j per process j in 0..n; the token moves j -> j+1 mod (n+1). This is
+/// the abstract system from which the full version of the paper derives
+/// Dijkstra's K-state protocol (our reproduction of that result — see
+/// DESIGN.md Section 5).
+class UtrLayout {
+ public:
+  explicit UtrLayout(int n);
+
+  int n() const { return n_; }
+  const SpacePtr& space() const { return space_; }
+  std::size_t t(int j) const;
+  int token_count(const StateVec& s) const;
+  StatePredicate single_token() const;
+
+ private:
+  int n_;
+  SpacePtr space_;
+};
+
+/// UTR: t_j -> t_j := false; t_{j+1 mod n+1} := true. Moving a token onto
+/// an occupied slot merges the two (set semantics) — the abstract image
+/// of a K-state value-copy collision. Initial states: one token.
+System make_utr(const UtrLayout& l);
+
+/// Creation wrapper for UTR: if no process holds a token, process 0
+/// creates one (the unidirectional analogue of W1).
+System make_wu_create(const UtrLayout& l);
+
+/// Cancellation wrapper for UTR: two tokens on adjacent processes are
+/// both dropped (the unidirectional analogue of W2; note DESIGN.md's
+/// honesty caveat — an adversarial daemon can keep two tokens apart, so
+/// UTR [] wrappers is NOT expected to stabilize; the bench reports what
+/// actually holds).
+System make_wu_cancel(const UtrLayout& l);
+
+/// Layout of Dijkstra's K-state ring: counters c_j in 0..K-1 for
+/// processes 0..n. The privilege ("token") image is
+///   t_0 == (c_0 == c_n),  t_j == (c_j != c_{j-1}) for j in 1..n.
+class KStateLayout {
+ public:
+  KStateLayout(int n, int k);
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  const SpacePtr& space() const { return space_; }
+  std::size_t c(int j) const;
+
+  bool token_image(const StateVec& s, int j) const;
+  int image_token_count(const StateVec& s) const;
+  StatePredicate single_token_image() const;
+
+ private:
+  int n_;
+  int k_;
+  SpacePtr space_;
+};
+
+/// The abstraction alpha_K from K-state states onto UTR token states.
+Abstraction make_alpha_k(const KStateLayout& l, const UtrLayout& utr);
+
+/// Dijkstra's K-state protocol: process 0 increments (mod K) when
+/// c_0 == c_n; process j > 0 copies c_{j-1} when it differs. Stabilizing
+/// to the unique circulating privilege iff K is large enough relative to
+/// n — bench_kstate_grid maps the exact boundary.
+System make_kstate(const KStateLayout& l);
+
+}  // namespace cref::ring

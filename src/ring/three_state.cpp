@@ -1,0 +1,270 @@
+#include "ring/three_state.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cref::ring {
+
+ThreeStateLayout::ThreeStateLayout(int n) : n_(n) {
+  if (n < 1) throw std::invalid_argument("ThreeStateLayout: need n >= 1");
+  std::vector<VarSpec> vars;
+  for (int j = 0; j <= n; ++j) vars.push_back({"c" + std::to_string(j), 3});
+  space_ = std::make_shared<Space>(std::move(vars));
+}
+
+std::size_t ThreeStateLayout::c(int j) const {
+  assert(j >= 0 && j <= n_);
+  return static_cast<std::size_t>(j);
+}
+
+bool ThreeStateLayout::ut_image(const StateVec& s, int j) const {
+  assert(j >= 1 && j <= n_);
+  return s[c(j - 1)] == add3(s[c(j)], 1);
+}
+
+bool ThreeStateLayout::dt_image(const StateVec& s, int j) const {
+  assert(j >= 0 && j <= n_ - 1);
+  return s[c(j + 1)] == add3(s[c(j)], 1);
+}
+
+int ThreeStateLayout::image_token_count(const StateVec& s) const {
+  int count = 0;
+  for (int j = 1; j <= n_; ++j) count += ut_image(s, j);
+  for (int j = 0; j <= n_ - 1; ++j) count += dt_image(s, j);
+  return count;
+}
+
+StatePredicate ThreeStateLayout::single_token_image() const {
+  ThreeStateLayout self = *this;
+  return [self](const StateVec& s) { return self.image_token_count(s) == 1; };
+}
+
+StateVec ThreeStateLayout::canonical_state() const {
+  StateVec s(space_->var_count(), 0);
+  s[c(0)] = 1;
+  return s;
+}
+
+Abstraction make_alpha3(const ThreeStateLayout& l, const BtrLayout& btr) {
+  assert(l.n() == btr.n());
+  return Abstraction("alpha3", l.space(), btr.space(),
+                     [l, btr](const StateVec& cs, StateVec& as) {
+                       for (int j = 1; j <= l.n(); ++j)
+                         as[btr.ut(j)] = l.ut_image(cs, j) ? 1 : 0;
+                       for (int j = 0; j <= l.n() - 1; ++j)
+                         as[btr.dt(j)] = l.dt_image(cs, j) ? 1 : 0;
+                     });
+}
+
+namespace {
+
+// Top and bottom actions are shared verbatim by BTR3, C2 and C3.
+void add_top_bottom(const ThreeStateLayout& l, std::vector<Action>& actions) {
+  const int n = l.n();
+  // Top: c_{n-1} == c_n (+) 1  ->  c_n := c_{n-1} (+) 1  (the up-token at
+  // n is consumed and reappears as the down-token at n-1).
+  actions.push_back({"top", n,
+                     [l, n](const StateVec& s) { return l.ut_image(s, n); },
+                     [l, n](StateVec& s) { s[l.c(n)] = add3(s[l.c(n - 1)], 1); }});
+  // Bottom: c_1 == c_0 (+) 1  ->  c_0 := c_1 (+) 1.
+  actions.push_back({"bottom", 0,
+                     [l](const StateVec& s) { return l.dt_image(s, 0); },
+                     [l](StateVec& s) { s[l.c(0)] = add3(s[l.c(1)], 1); }});
+}
+
+}  // namespace
+
+System make_btr3(const ThreeStateLayout& l) {
+  std::vector<Action> actions;
+  add_top_bottom(l, actions);
+  for (int j = 1; j <= l.n() - 1; ++j) {
+    // Up-move with the abstract-model clause: after c_j := c_{j-1}, force
+    // ut_{j+1} (c_j == c_{j+1} (+) 1, i.e. c_{j+1} := c_j (-) 1).
+    actions.push_back({"up" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return l.ut_image(s, j); },
+                       [l, j](StateVec& s) {
+                         s[l.c(j)] = s[l.c(j - 1)];
+                         s[l.c(j + 1)] = add3(s[l.c(j)], -1);
+                       }});
+    // Down-move with the abstract-model clause: force dt_{j-1}
+    // (c_j == c_{j-1} (+) 1, i.e. c_{j-1} := c_j (-) 1).
+    actions.push_back({"down" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return l.dt_image(s, j); },
+                       [l, j](StateVec& s) {
+                         s[l.c(j)] = s[l.c(j + 1)];
+                         s[l.c(j - 1)] = add3(s[l.c(j)], -1);
+                       }});
+  }
+  return System("BTR3", l.space(), std::move(actions), l.single_token_image());
+}
+
+System make_c2(const ThreeStateLayout& l) {
+  std::vector<Action> actions;
+  add_top_bottom(l, actions);
+  for (int j = 1; j <= l.n() - 1; ++j) {
+    actions.push_back({"up" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return l.ut_image(s, j); },
+                       [l, j](StateVec& s) { s[l.c(j)] = s[l.c(j - 1)]; }});
+    actions.push_back({"down" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return l.dt_image(s, j); },
+                       [l, j](StateVec& s) { s[l.c(j)] = s[l.c(j + 1)]; }});
+  }
+  return System("C2", l.space(), std::move(actions), l.single_token_image());
+}
+
+System make_w1_prime3(const ThreeStateLayout& l) {
+  const int n = l.n();
+  Action a;
+  a.name = "W1'";
+  a.process = -1;  // global guard
+  a.guard = [l, n](const StateVec& s) {
+    for (int j = 1; j <= n - 1; ++j)
+      if (s[l.c(j)] != s[l.c(0)]) return false;
+    return s[l.c(n)] != add3(s[l.c(n - 1)], 1);
+  };
+  a.effect = [l, n](StateVec& s) { s[l.c(n)] = add3(s[l.c(n - 1)], 1); };
+  return System("W1'", l.space(), {std::move(a)}, std::nullopt);
+}
+
+System make_w1_dprime(const ThreeStateLayout& l) {
+  const int n = l.n();
+  Action a;
+  a.name = "W1''";
+  a.process = n;
+  a.guard = [l, n](const StateVec& s) {
+    return s[l.c(n - 1)] == s[l.c(0)] && s[l.c(n)] != add3(s[l.c(n - 1)], 1);
+  };
+  a.effect = [l, n](StateVec& s) { s[l.c(n)] = add3(s[l.c(n - 1)], 1); };
+  return System("W1''", l.space(), {std::move(a)}, std::nullopt);
+}
+
+System make_w2_prime3(const ThreeStateLayout& l) {
+  std::vector<Action> actions;
+  for (int j = 1; j <= l.n() - 1; ++j) {
+    actions.push_back({"W2'_" + std::to_string(j), j,
+                       [l, j](const StateVec& s) {
+                         return l.ut_image(s, j) && l.dt_image(s, j);
+                       },
+                       [l, j](StateVec& s) { s[l.c(j)] = s[l.c(j - 1)]; }});
+  }
+  return System("W2'", l.space(), std::move(actions), std::nullopt);
+}
+
+System make_c2_merged(const ThreeStateLayout& l) {
+  const int n = l.n();
+  std::vector<Action> actions;
+  actions.push_back({"top", n,
+                     [l, n](const StateVec& s) {
+                       return s[l.c(n - 1)] == s[l.c(0)] &&
+                              add3(s[l.c(n - 1)], 1) != s[l.c(n)];
+                     },
+                     [l, n](StateVec& s) { s[l.c(n)] = add3(s[l.c(n - 1)], 1); }});
+  actions.push_back({"bottom", 0,
+                     [l](const StateVec& s) { return l.dt_image(s, 0); },
+                     [l](StateVec& s) { s[l.c(0)] = add3(s[l.c(1)], 1); }});
+  for (int j = 1; j <= n - 1; ++j) {
+    // Verbatim if-then-else from Section 5.2 (W2' embedded; both branches
+    // coincide, which is exactly why the system equals Dijkstra's).
+    actions.push_back({"up" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return l.ut_image(s, j); },
+                       [l, j](StateVec& s) {
+                         if (s[l.c(j - 1)] == s[l.c(j + 1)])
+                           s[l.c(j)] = s[l.c(j - 1)];
+                         else
+                           s[l.c(j)] = s[l.c(j - 1)];
+                       }});
+    actions.push_back({"down" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return l.dt_image(s, j); },
+                       [l, j](StateVec& s) {
+                         if (s[l.c(j - 1)] == s[l.c(j + 1)])
+                           s[l.c(j)] = s[l.c(j - 1)];
+                         else
+                           s[l.c(j)] = s[l.c(j + 1)];
+                       }});
+  }
+  return System("C2[]W1''[]W2' merged", l.space(), std::move(actions),
+                l.single_token_image());
+}
+
+System make_dijkstra3(const ThreeStateLayout& l) {
+  const int n = l.n();
+  std::vector<Action> actions;
+  actions.push_back({"top", n,
+                     [l, n](const StateVec& s) {
+                       return s[l.c(n - 1)] == s[l.c(0)] &&
+                              add3(s[l.c(n - 1)], 1) != s[l.c(n)];
+                     },
+                     [l, n](StateVec& s) { s[l.c(n)] = add3(s[l.c(n - 1)], 1); }});
+  actions.push_back({"bottom", 0,
+                     [l](const StateVec& s) { return l.dt_image(s, 0); },
+                     [l](StateVec& s) { s[l.c(0)] = add3(s[l.c(1)], 1); }});
+  for (int j = 1; j <= n - 1; ++j) {
+    actions.push_back({"up" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return l.ut_image(s, j); },
+                       [l, j](StateVec& s) { s[l.c(j)] = s[l.c(j - 1)]; }});
+    actions.push_back({"down" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return l.dt_image(s, j); },
+                       [l, j](StateVec& s) { s[l.c(j)] = s[l.c(j + 1)]; }});
+  }
+  return System("Dijkstra3", l.space(), std::move(actions), l.single_token_image());
+}
+
+System make_c3(const ThreeStateLayout& l) {
+  std::vector<Action> actions;
+  add_top_bottom(l, actions);
+  for (int j = 1; j <= l.n() - 1; ++j) {
+    // Reads the OPPOSITE neighbor: on a legitimate single up-token,
+    // c_{j+1} == c_j, so c_j := c_{j+1} (+) 1 == c_{j-1} — the same move
+    // as C2; on corrupted states the assignment may be a no-op (tau).
+    actions.push_back({"up" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return l.ut_image(s, j); },
+                       [l, j](StateVec& s) { s[l.c(j)] = add3(s[l.c(j + 1)], 1); }});
+    actions.push_back({"down" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return l.dt_image(s, j); },
+                       [l, j](StateVec& s) { s[l.c(j)] = add3(s[l.c(j - 1)], 1); }});
+  }
+  return System("C3", l.space(), std::move(actions), l.single_token_image());
+}
+
+System make_c3_aggressive(const ThreeStateLayout& l) {
+  const int n = l.n();
+  std::vector<Action> actions;
+  actions.push_back({"top", n,
+                     [l, n](const StateVec& s) {
+                       return s[l.c(n - 1)] == s[l.c(0)] &&
+                              add3(s[l.c(n - 1)], 1) != s[l.c(n)];
+                     },
+                     [l, n](StateVec& s) { s[l.c(n)] = add3(s[l.c(n - 1)], 1); }});
+  actions.push_back({"bottom", 0,
+                     [l](const StateVec& s) { return l.dt_image(s, 0); },
+                     [l](StateVec& s) { s[l.c(0)] = add3(s[l.c(1)], 1); }});
+  for (int j = 1; j <= n - 1; ++j) {
+    // Section 6's final step: C3's moves plus the aggressive W2' that
+    // deletes ut_j when ut_{j+1} holds too (and dt_j when dt_{j-1} does).
+    actions.push_back({"up" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return l.ut_image(s, j); },
+                       [l, j](StateVec& s) {
+                         if (s[l.c(j - 1)] == s[l.c(j + 1)]) {
+                           s[l.c(j)] = s[l.c(j - 1)];           // W2': both tokens die
+                         } else if (s[l.c(j)] == add3(s[l.c(j + 1)], 1)) {
+                           s[l.c(j)] = s[l.c(j - 1)];           // ut_{j+1} holds: drop ut_j
+                         } else {
+                           s[l.c(j)] = add3(s[l.c(j + 1)], 1);  // C3's plain move
+                         }
+                       }});
+    actions.push_back({"down" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return l.dt_image(s, j); },
+                       [l, j](StateVec& s) {
+                         if (s[l.c(j - 1)] == s[l.c(j + 1)]) {
+                           s[l.c(j)] = s[l.c(j + 1)];           // W2': both tokens die
+                         } else if (s[l.c(j)] == add3(s[l.c(j - 1)], 1)) {
+                           s[l.c(j)] = s[l.c(j + 1)];           // dt_{j-1} holds: drop dt_j
+                         } else {
+                           s[l.c(j)] = add3(s[l.c(j - 1)], 1);  // C3's plain move
+                         }
+                       }});
+  }
+  return System("C3 aggressive", l.space(), std::move(actions), l.single_token_image());
+}
+
+}  // namespace cref::ring

@@ -1,0 +1,95 @@
+#pragma once
+
+#include "core/abstraction.hpp"
+#include "core/system.hpp"
+#include "ring/btr.hpp"
+
+namespace cref::ring {
+
+/// State-space layout of the 3-state token-ring family (paper Sections
+/// 5-6): one mod-3 counter c_j per process j in 0..n. Token images (the
+/// paper's mapping, Section 5):
+///
+///   ut_j == (c_{j-1} == c_j (+) 1)   for j in 1..n
+///   dt_j == (c_{j+1} == c_j (+) 1)   for j in 0..n-1
+///
+/// where (+) is addition mod 3.
+class ThreeStateLayout {
+ public:
+  explicit ThreeStateLayout(int n);
+
+  int n() const { return n_; }
+  const SpacePtr& space() const { return space_; }
+
+  /// Variable index of c_j (0 <= j <= n).
+  std::size_t c(int j) const;
+
+  bool ut_image(const StateVec& s, int j) const;
+  bool dt_image(const StateVec& s, int j) const;
+  int image_token_count(const StateVec& s) const;
+
+  /// Predicate "the BTR image has exactly one token" (initial states).
+  /// NOTE: this preimage contains corrupted encodings; for
+  /// refinement_init-style checks prefer
+  /// with_reachable_initial(sys, canonical_state()) — see EXPERIMENTS.md.
+  StatePredicate single_token_image() const;
+
+  /// The canonical legitimate state c = (1, 0, ..., 0) (single token
+  /// ut_1). Seed for with_reachable_initial.
+  StateVec canonical_state() const;
+
+ private:
+  int n_;
+  SpacePtr space_;
+};
+
+/// Addition / subtraction modulo 3 on counter values.
+inline Value add3(Value v, int d) { return static_cast<Value>(((v + d) % 3 + 3) % 3); }
+
+/// The abstraction function alpha3 from the 3-state space onto the BTR
+/// token space.
+Abstraction make_alpha3(const ThreeStateLayout& l, const BtrLayout& btr);
+
+/// BTR3 (paper Section 5): the image of BTR under the mod-3 mapping in
+/// the abstract execution model (mid-process moves also write the
+/// receiving neighbor's counter so the moved token's predicate holds).
+System make_btr3(const ThreeStateLayout& l);
+
+/// C2 (paper Section 5.2): the concrete-model refinement of BTR3 with
+/// the neighbor-writing clauses commented out.
+System make_c2(const ThreeStateLayout& l);
+
+/// W1' for the 3-state family (paper Section 5.1): the GLOBAL wrapper
+/// obtained by mapping W1 — its guard reads the state of every process.
+System make_w1_prime3(const ThreeStateLayout& l);
+
+/// W1'' (paper Section 5.1): the LOCAL approximation of W1' at process n,
+/// guard c_{n-1} == c_0 ^ c_n != c_{n-1} (+) 1. Not an everywhere
+/// refinement of W1' (it is enabled in states W1' is not).
+System make_w1_dprime(const ThreeStateLayout& l);
+
+/// W2' for the 3-state family (paper Section 5.1): a process whose both
+/// neighbors are one ahead drops both tokens by copying the left one.
+System make_w2_prime3(const ThreeStateLayout& l);
+
+/// The merged form of (C2 [] W1'' [] W2') printed in Section 5.2 with
+/// if-then-else effects; the paper claims it equals Dijkstra's 3-state
+/// system, which bench_3state_derivation machine-checks.
+System make_c2_merged(const ThreeStateLayout& l);
+
+/// Dijkstra's 3-state stabilizing token ring.
+System make_dijkstra3(const ThreeStateLayout& l);
+
+/// C3, the paper's NEW 3-state system (Section 6): mid-process moves read
+/// the OPPOSITE neighbor (c_j := c_{j+1} (+) 1 on an up-token), so in
+/// corrupted states the action may fire without changing the state
+/// (tau-step / stuttering) instead of compressing.
+System make_c3(const ThreeStateLayout& l);
+
+/// C3 with the more aggressive W2' merged in (Section 6's final
+/// derivation step): also deletes ut_j when ut_{j+1} holds and dt_j when
+/// dt_{j-1} holds. The paper shows this rewrites to Dijkstra's 3-state
+/// system when K = 3; bench_new3state machine-checks the equality.
+System make_c3_aggressive(const ThreeStateLayout& l);
+
+}  // namespace cref::ring

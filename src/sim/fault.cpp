@@ -1,0 +1,22 @@
+#include "sim/fault.hpp"
+
+namespace cref::sim {
+
+void FaultInjector::corrupt(const Space& space, StateVec& s, std::size_t count) {
+  std::uniform_int_distribution<std::size_t> var(0, space.var_count() - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t v = var(rng_);
+    std::uniform_int_distribution<int> val(0, space.var(v).cardinality - 1);
+    s[v] = static_cast<Value>(val(rng_));
+  }
+}
+
+void FaultInjector::scramble(const Space& space, StateVec& s) {
+  s.resize(space.var_count());
+  for (std::size_t v = 0; v < space.var_count(); ++v) {
+    std::uniform_int_distribution<int> val(0, space.var(v).cardinality - 1);
+    s[v] = static_cast<Value>(val(rng_));
+  }
+}
+
+}  // namespace cref::sim

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <random>
+
+#include "core/space.hpp"
+
+namespace cref::sim {
+
+/// Transient-fault injection: arbitrary corruption of process state, the
+/// fault class the paper's stabilization results are about.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Corrupts `count` uniformly chosen variables of `s` to uniformly
+  /// chosen values of their domains (values may coincide with the old
+  /// ones — a transient fault need not be observable).
+  void corrupt(const Space& space, StateVec& s, std::size_t count);
+
+  /// Replaces the whole state by a uniformly random state of the space.
+  void scramble(const Space& space, StateVec& s);
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+}  // namespace cref::sim

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cref::sim {
+
+/// Streaming mean / variance (Welford) plus exact percentiles over the
+/// retained samples. Sized for simulation campaigns of up to millions of
+/// runs (samples are kept; each is one double).
+class Stats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const { return count() ? mean_ : 0.0; }
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Exact percentile (0 <= p <= 100) by sorting a copy of the samples.
+  double percentile(double p) const;
+
+ private:
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace cref::sim

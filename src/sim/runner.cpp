@@ -1,0 +1,63 @@
+#include "sim/runner.hpp"
+
+namespace cref::sim {
+
+std::vector<std::size_t> enabled_changing_actions(const System& sys, const StateVec& s) {
+  std::vector<std::size_t> out;
+  StateVec scratch;
+  for (std::size_t i = 0; i < sys.actions().size(); ++i) {
+    const Action& a = sys.actions()[i];
+    if (!a.guard(s)) continue;
+    scratch = s;
+    a.effect(scratch);
+    if (scratch != s) out.push_back(i);
+  }
+  return out;
+}
+
+RunResult run_until(const System& sys, StateVec start, Scheduler& sched,
+                    const StatePredicate& legitimate, const RunOptions& opts) {
+  RunResult res;
+  StateVec state = std::move(start);
+  if (opts.record_trace) res.trace.push_back(state);
+  for (res.steps = 0; res.steps < opts.max_steps; ++res.steps) {
+    if (legitimate(state)) {
+      res.converged = true;
+      return res;
+    }
+    auto enabled = enabled_changing_actions(sys, state);
+    if (enabled.empty()) {
+      res.deadlocked = true;
+      return res;
+    }
+    std::size_t idx = sched.pick(sys, state, enabled);
+    sys.actions()[idx].effect(state);
+    if (opts.record_trace) res.trace.push_back(state);
+  }
+  res.converged = legitimate(state);
+  return res;
+}
+
+bool step_synchronous(const System& sys, StateVec& state, const std::vector<int>& processes) {
+  StateVec next = state;
+  StateVec scratch;
+  bool changed = false;
+  for (int p : processes) {
+    for (const Action& a : sys.actions()) {
+      if (a.process != p || !a.guard(state)) continue;
+      scratch = state;
+      a.effect(scratch);
+      if (scratch == state) continue;
+      // Merge this process's writes (vars where scratch differs from the
+      // pre-step state) into the accumulated next state.
+      for (std::size_t v = 0; v < state.size(); ++v)
+        if (scratch[v] != state[v]) next[v] = scratch[v];
+      changed = true;
+      break;  // one action per process per synchronous round
+    }
+  }
+  if (changed) state = std::move(next);
+  return changed;
+}
+
+}  // namespace cref::sim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/scheduler.hpp"
+
+namespace cref::sim {
+
+/// Outcome of one simulated execution.
+struct RunResult {
+  bool converged = false;        // legitimacy predicate became true
+  std::size_t steps = 0;         // steps taken until convergence (or cap)
+  bool deadlocked = false;       // no state-changing action was enabled
+  std::vector<StateVec> trace;   // recorded states (only if requested)
+};
+
+/// Options for a simulated execution.
+struct RunOptions {
+  std::size_t max_steps = 1'000'000;
+  bool record_trace = false;
+};
+
+/// Indices of actions of `sys` enabled in `s` whose execution changes the
+/// state (no-op executions are not steps).
+std::vector<std::size_t> enabled_changing_actions(const System& sys, const StateVec& s);
+
+/// Runs `sys` from `start` under central-daemon semantics driven by
+/// `sched`, until `legitimate` holds, a deadlock is reached, or
+/// `opts.max_steps` steps have been taken. The legitimacy predicate is
+/// checked BEFORE the first step (a legitimate start converges in 0).
+RunResult run_until(const System& sys, StateVec start, Scheduler& sched,
+                    const StatePredicate& legitimate, const RunOptions& opts = {});
+
+/// One SYNCHRONOUS (or distributed-daemon) step: every process index in
+/// `processes` whose action set contains an enabled, state-changing
+/// action executes it against the OLD state; writes are merged in
+/// ascending process order. Only meaningful for systems whose actions
+/// write the owning process's variables (all concrete protocols here).
+/// Returns false if nothing changed.
+bool step_synchronous(const System& sys, StateVec& state, const std::vector<int>& processes);
+
+}  // namespace cref::sim

@@ -1,0 +1,43 @@
+#include "sim/scheduler.hpp"
+
+namespace cref::sim {
+
+std::size_t RandomDaemon::pick(const System&, const StateVec&,
+                               const std::vector<std::size_t>& enabled) {
+  std::uniform_int_distribution<std::size_t> dist(0, enabled.size() - 1);
+  return enabled[dist(rng_)];
+}
+
+std::size_t RoundRobinDaemon::pick(const System& sys, const StateVec&,
+                                   const std::vector<std::size_t>& enabled) {
+  const std::size_t total = sys.actions().size();
+  for (std::size_t probe = 0; probe < total; ++probe) {
+    std::size_t idx = (cursor_ + probe) % total;
+    for (std::size_t e : enabled) {
+      if (e == idx) {
+        cursor_ = (idx + 1) % total;
+        return idx;
+      }
+    }
+  }
+  return enabled.front();  // unreachable with a non-empty enabled list
+}
+
+std::size_t GreedyAdversaryDaemon::pick(const System& sys, const StateVec& state,
+                                        const std::vector<std::size_t>& enabled) {
+  std::size_t best = enabled.front();
+  double best_score = -1e300;
+  StateVec scratch;
+  for (std::size_t e : enabled) {
+    scratch = state;
+    sys.actions()[e].effect(scratch);
+    double s = score_(scratch);
+    if (s > best_score) {
+      best_score = s;
+      best = e;
+    }
+  }
+  return best;
+}
+
+}  // namespace cref::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace cref::sim {
+
+/// A central daemon: at each step it picks ONE of the enabled,
+/// state-changing actions (indices into sys.actions()). Enabled actions
+/// whose execution would not change the state are never offered — a
+/// computation is a sequence of states, so a no-op execution is not a
+/// step (see DESIGN.md, semantic conventions).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Picks one element of `enabled` (indices into sys.actions()); called
+  /// only with a non-empty list.
+  virtual std::size_t pick(const System& sys, const StateVec& state,
+                           const std::vector<std::size_t>& enabled) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Picks uniformly at random — the usual probabilistic central daemon.
+class RandomDaemon final : public Scheduler {
+ public:
+  explicit RandomDaemon(std::uint64_t seed) : rng_(seed) {}
+  std::size_t pick(const System&, const StateVec&,
+                   const std::vector<std::size_t>& enabled) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Cycles deterministically through the action list, granting the next
+/// enabled action at or after the cursor — a weakly fair daemon.
+class RoundRobinDaemon final : public Scheduler {
+ public:
+  std::size_t pick(const System&, const StateVec&,
+                   const std::vector<std::size_t>& enabled) override;
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Greedy adversary: picks the enabled action whose successor state
+/// maximizes `score` (ties broken by lowest action index). With a score
+/// like "number of tokens in the abstract image" it delays convergence
+/// as long as a one-step lookahead can.
+class GreedyAdversaryDaemon final : public Scheduler {
+ public:
+  explicit GreedyAdversaryDaemon(std::function<double(const StateVec&)> score)
+      : score_(std::move(score)) {}
+  std::size_t pick(const System& sys, const StateVec& state,
+                   const std::vector<std::size_t>& enabled) override;
+  std::string name() const override { return "greedy-adversary"; }
+
+ private:
+  std::function<double(const StateVec&)> score_;
+};
+
+}  // namespace cref::sim

@@ -1,0 +1,43 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace cref::util {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg{argv[i]};
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "1";
+    }
+  }
+}
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+long Cli::get_int(const std::string& key, long fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  long v = std::strtol(it->second.c_str(), &end, 10);
+  return (end && *end == '\0') ? v : fallback;
+}
+
+bool Cli::has(const std::string& key) const { return options_.count(key) > 0; }
+
+}  // namespace cref::util

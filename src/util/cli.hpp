@@ -1,0 +1,33 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cref::util {
+
+/// Minimal command-line parser used by examples and bench binaries.
+/// Accepts `--key=value`, `--key value`, and bare `--flag` (value "1")
+/// forms; anything else is collected as a positional argument.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// Returns the value of `--key`, or `fallback` if absent.
+  std::string get(const std::string& key, const std::string& fallback = "") const;
+
+  /// Returns the integer value of `--key`, or `fallback` if absent/invalid.
+  long get_int(const std::string& key, long fallback) const;
+
+  /// Returns true if `--key` was passed (with or without a value).
+  bool has(const std::string& key) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cref::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cref::util {
+
+/// Column-aligned ASCII table used by the bench harness to print
+/// paper-style result tables. Cells are free-form strings; columns are
+/// sized to the widest cell and separated by two spaces; a rule is drawn
+/// under the header row.
+class Table {
+ public:
+  /// Creates a table whose header row is `headers`. Every subsequent row
+  /// must have the same number of cells.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one data row; aborts (assert) if the cell count mismatches.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table (header, rule, rows) to a string ending in '\n'.
+  std::string to_string() const;
+
+  /// Streams the rendered table.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cref::util

@@ -1,0 +1,143 @@
+#include "bidding/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "refinement/checker.hpp"
+
+namespace cref::bidding {
+namespace {
+
+constexpr std::int64_t kMax = 1'000'000'000;
+
+TEST(SpecServerTest, KeepsHighestK) {
+  SpecServer s(3);
+  for (std::int64_t v : {5, 1, 9, 7, 3, 8}) s.bid(v);
+  EXPECT_EQ(s.winners(), (std::vector<std::int64_t>{9, 8, 7}));
+}
+
+TEST(SpecServerTest, IgnoresBidsBelowMinimum) {
+  SpecServer s(2);
+  s.bid(10);
+  s.bid(20);
+  s.bid(5);
+  EXPECT_EQ(s.winners(), (std::vector<std::int64_t>{20, 10}));
+}
+
+TEST(SpecServerTest, ToleratesOneCorruptedBid) {
+  // The paper's claim: the spec still serves (k-1) of the best k.
+  SpecServer s(3);
+  std::vector<std::int64_t> genuine;
+  for (std::int64_t v : {5, 9, 7}) {
+    s.bid(v);
+    genuine.push_back(v);
+  }
+  s.corrupt(0, kMax);  // one stored bid corrupted upward
+  for (std::int64_t v : {8, 6, 10}) {
+    s.bid(v);
+    genuine.push_back(v);
+  }
+  double score = best_k_minus_1_score(genuine, s.winners(), 3);
+  EXPECT_DOUBLE_EQ(score, 1.0);
+}
+
+TEST(SortedListServerTest, CorrectWithoutFaults) {
+  SortedListServer s(3);
+  std::vector<std::int64_t> genuine{5, 1, 9, 7, 3, 8};
+  for (std::int64_t v : genuine) s.bid(v);
+  EXPECT_EQ(s.winners(), (std::vector<std::int64_t>{9, 8, 7}));
+}
+
+TEST(SortedListServerTest, MaxCorruptionOfHeadFreezesTheList) {
+  // The paper's counterexample: head corrupted to MAX_INTEGER blocks
+  // every later bid.
+  SortedListServer s(3);
+  for (std::int64_t v : {5, 9, 7}) s.bid(v);
+  s.corrupt(0, kMax);  // the head (presumed minimum)
+  auto before = s.winners();
+  for (std::int64_t v : {8, 6, 100, 1000}) s.bid(v);
+  EXPECT_EQ(s.winners(), before);  // nothing entered
+  std::vector<std::int64_t> genuine{5, 9, 7, 8, 6, 100, 1000};
+  EXPECT_LT(best_k_minus_1_score(genuine, s.winners(), 3), 1.0);
+}
+
+TEST(WrappedServerTest, RecoversFromHeadCorruption) {
+  WrappedServer s(3);
+  std::vector<std::int64_t> genuine{5, 9, 7};
+  for (std::int64_t v : genuine) s.bid(v);
+  s.corrupt(0, kMax);
+  for (std::int64_t v : {8, 6, 100}) {
+    s.bid(v);
+    genuine.push_back(v);
+  }
+  // The corrupted MAX entry survives as a winner (it looks like a high
+  // bid), but the other k-1 slots hold the true best: score 1.
+  EXPECT_DOUBLE_EQ(best_k_minus_1_score(genuine, s.winners(), 3), 1.0);
+}
+
+TEST(ScoreTest, PartialCredit) {
+  // winners hold only one of the top-2 {9, 8}.
+  EXPECT_DOUBLE_EQ(best_k_minus_1_score({9, 8, 7}, {9, 1, 1}, 3), 0.5);
+  EXPECT_DOUBLE_EQ(best_k_minus_1_score({9, 8, 7}, {1, 1, 1}, 3), 0.0);
+}
+
+TEST(ScoreTest, DuplicateValuesNeedMultiplicity) {
+  // Top-2 genuine bids are {9, 9}: winners must hold two nines.
+  EXPECT_DOUBLE_EQ(best_k_minus_1_score({9, 9, 1}, {9, 9, 0}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(best_k_minus_1_score({9, 9, 1}, {9, 5, 0}, 3), 0.5);
+}
+
+// ------------------------------------------------------------------
+// Automaton formulation, analyzed with the refinement engine.
+// ------------------------------------------------------------------
+
+TEST(BiddingAutomatonTest, ImplementationRefinesSpecFromSortedStates) {
+  // Correct in the absence of faults: from sorted (initial) states the
+  // head IS the minimum and both systems take identical transitions.
+  System spec = make_spec_system(3, 4);
+  System impl = make_sorted_list_system(3, 4);
+  RefinementChecker rc(impl, spec);
+  EXPECT_TRUE(rc.refinement_init().holds);
+}
+
+TEST(BiddingAutomatonTest, ImplementationIsNotAnEverywhereRefinement) {
+  // From a corrupted (unsorted) store the implementation replaces the
+  // head instead of the minimum — not a spec transition.
+  System spec = make_spec_system(3, 4);
+  System impl = make_sorted_list_system(3, 4);
+  RefinementChecker rc(impl, spec);
+  EXPECT_FALSE(rc.everywhere_refinement().holds);
+  EXPECT_FALSE(rc.convergence_refinement().holds);
+}
+
+TEST(BiddingAutomatonTest, FrozenStateIsTheWitnessShape) {
+  // The corrupted store (head = max value, others small) deadlocks the
+  // implementation while the spec can still accept bids.
+  System spec = make_spec_system(2, 4);
+  System impl = make_sorted_list_system(2, 4);
+  const Space& space = impl.space();
+  StateId frozen = space.encode({3, 0});  // head corrupted to max
+  EXPECT_TRUE(impl.is_deadlock(frozen));
+  EXPECT_FALSE(spec.is_deadlock(frozen));
+}
+
+TEST(BiddingAutomatonTest, SortWrapperRestoresTheInvariant) {
+  System impl = make_sorted_list_system(3, 4);
+  System wrapper = make_sort_wrapper(3, 4);
+  const Space& space = impl.space();
+  StateId unsorted = space.encode({3, 0, 2});
+  System wrapped = box_priority(impl, wrapper);
+  auto succ = wrapped.successors(unsorted);
+  ASSERT_EQ(succ.size(), 1u);  // the wrapper preempts: sort first
+  EXPECT_EQ(space.decode(succ[0]), (StateVec{0, 2, 3}));
+}
+
+TEST(BiddingAutomatonTest, AllMaxStoreDeadlocksBothSystems) {
+  System spec = make_spec_system(2, 3);
+  System impl = make_sorted_list_system(2, 3);
+  StateId full = impl.space().encode({2, 2});
+  EXPECT_TRUE(spec.is_deadlock(full));
+  EXPECT_TRUE(impl.is_deadlock(full));
+}
+
+}  // namespace
+}  // namespace cref::bidding

@@ -1,0 +1,50 @@
+#include "core/abstraction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cref {
+namespace {
+
+TEST(AbstractionTest, IdentityAppliesAsIs) {
+  auto space = make_uniform_space(2, 3, "v");
+  Abstraction id = Abstraction::identity(space);
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_TRUE(id.is_onto());
+  EXPECT_TRUE(id.missed_states().empty());
+  for (StateId s = 0; s < space->size(); ++s) EXPECT_EQ(id.apply(s), s);
+}
+
+TEST(AbstractionTest, TableMapping) {
+  auto from = make_uniform_space(2, 2, "b");  // 4 states
+  auto to = make_uniform_space(1, 3, "x");    // 3 states
+  // Maps the number of set bits (0..2) to x.
+  Abstraction popcount("popcount", from, to, [](const StateVec& c, StateVec& a) {
+    a[0] = static_cast<Value>(c[0] + c[1]);
+  });
+  EXPECT_FALSE(popcount.is_identity());
+  EXPECT_EQ(popcount.apply(from->encode({0, 0})), to->encode({0}));
+  EXPECT_EQ(popcount.apply(from->encode({1, 0})), to->encode({1}));
+  EXPECT_EQ(popcount.apply(from->encode({1, 1})), to->encode({2}));
+  EXPECT_TRUE(popcount.is_onto());
+}
+
+TEST(AbstractionTest, DetectsNonOnto) {
+  auto from = make_uniform_space(1, 2, "b");
+  auto to = make_uniform_space(1, 4, "x");
+  Abstraction embed("embed", from, to,
+                    [](const StateVec& c, StateVec& a) { a[0] = c[0]; });
+  EXPECT_FALSE(embed.is_onto());
+  EXPECT_EQ(embed.missed_states(), (std::vector<StateId>{2, 3}));
+}
+
+TEST(AbstractionTest, NamesAndSpaces) {
+  auto from = make_uniform_space(1, 2, "b");
+  auto to = make_uniform_space(1, 2, "x");
+  Abstraction a("alpha", from, to, [](const StateVec& c, StateVec& out) { out[0] = c[0]; });
+  EXPECT_EQ(a.name(), "alpha");
+  EXPECT_EQ(a.from().size(), 2u);
+  EXPECT_EQ(a.to().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cref

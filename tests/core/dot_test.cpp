@@ -1,0 +1,62 @@
+#include "core/dot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cref {
+namespace {
+
+TEST(DotTest, EmitsNodesAndEdges) {
+  TransitionGraph g = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}});
+  std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph system {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2;"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(DotTest, HighlightsWitnessEdges) {
+  TransitionGraph g = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}});
+  DotOptions opt;
+  opt.highlight = Trace{{1, 2}};
+  std::string dot = to_dot(g, opt);
+  EXPECT_NE(dot.find("n1 -> n2 [color=red, penwidth=2.0];"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+}
+
+TEST(DotTest, AccentStatesAreDoubleCircled) {
+  TransitionGraph g = TransitionGraph::from_edges(2, {{0, 1}});
+  DotOptions opt;
+  opt.accent_states = {1};
+  std::string dot = to_dot(g, opt);
+  EXPECT_NE(dot.find("shape=doublecircle"), std::string::npos);
+}
+
+TEST(DotTest, SpaceLabels) {
+  Space space({{"x", 2}, {"y", 2}});
+  TransitionGraph g = TransitionGraph::from_edges(4, {{0, 3}});
+  DotOptions opt;
+  opt.space = &space;
+  std::string dot = to_dot(g, opt);
+  EXPECT_NE(dot.find("x=0 y=0"), std::string::npos);
+  EXPECT_NE(dot.find("x=1 y=1"), std::string::npos);
+}
+
+TEST(DotTest, SkipIsolatedDropsUnconnectedStates) {
+  TransitionGraph g = TransitionGraph::from_edges(4, {{0, 1}});
+  DotOptions opt;
+  opt.skip_isolated = true;
+  std::string dot = to_dot(g, opt);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_EQ(dot.find("n2"), std::string::npos);
+  EXPECT_EQ(dot.find("n3"), std::string::npos);
+}
+
+TEST(DotTest, CustomGraphName) {
+  TransitionGraph g = TransitionGraph::from_edges(1, {});
+  DotOptions opt;
+  opt.name = "btr";
+  EXPECT_NE(to_dot(g, opt).find("digraph btr {"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cref

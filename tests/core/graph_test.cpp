@@ -1,0 +1,90 @@
+#include "core/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cref {
+namespace {
+
+TransitionGraph diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  return TransitionGraph::from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+}
+
+TEST(GraphTest, FromEdgesBasics) {
+  TransitionGraph g = diamond();
+  EXPECT_EQ(g.num_states(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(std::vector<StateId>(g.successors(0).begin(), g.successors(0).end()),
+            (std::vector<StateId>{1, 2}));
+  EXPECT_TRUE(g.successors(3).empty());
+  EXPECT_TRUE(g.is_deadlock(3));
+  EXPECT_FALSE(g.is_deadlock(0));
+}
+
+TEST(GraphTest, FromEdgesSortsAndDeduplicates) {
+  TransitionGraph g = TransitionGraph::from_edges(3, {{0, 2}, {0, 1}, {0, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(std::vector<StateId>(g.successors(0).begin(), g.successors(0).end()),
+            (std::vector<StateId>{1, 2}));
+}
+
+TEST(GraphTest, HasEdge) {
+  TransitionGraph g = diamond();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(3, 0));
+}
+
+TEST(GraphTest, Reversed) {
+  TransitionGraph r = diamond().reversed();
+  EXPECT_EQ(r.num_edges(), 4u);
+  EXPECT_TRUE(r.has_edge(1, 0));
+  EXPECT_TRUE(r.has_edge(3, 1));
+  EXPECT_TRUE(r.has_edge(3, 2));
+  EXPECT_FALSE(r.has_edge(0, 1));
+  EXPECT_EQ(std::vector<StateId>(r.successors(3).begin(), r.successors(3).end()),
+            (std::vector<StateId>{1, 2}));
+}
+
+TEST(GraphTest, FromEdgesRejectsOutOfRange) {
+  EXPECT_THROW(TransitionGraph::from_edges(2, {{0, 5}}), std::out_of_range);
+  EXPECT_THROW(TransitionGraph::from_edges(2, {{5, 0}}), std::out_of_range);
+}
+
+TEST(GraphTest, BuildFromSystemMatchesSuccessors) {
+  auto space = make_uniform_space(2, 3, "v");
+  System sys("rotate", space,
+             {{"rot0", 0, [](const StateVec& s) { return s[0] != s[1]; },
+               [](StateVec& s) { s[0] = static_cast<Value>((s[0] + 1) % 3); }},
+              {"rot1", 1, [](const StateVec&) { return true; },
+               [](StateVec& s) { s[1] = static_cast<Value>((s[1] + 2) % 3); }}},
+             std::nullopt);
+  TransitionGraph g = TransitionGraph::build(sys);
+  ASSERT_EQ(g.num_states(), space->size());
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    auto expect = sys.successors(s);
+    EXPECT_EQ(std::vector<StateId>(g.successors(s).begin(), g.successors(s).end()), expect);
+  }
+}
+
+TEST(GraphTest, BuildRespectsStateLimit) {
+  auto space = make_uniform_space(8, 4, "v");  // 65536 states
+  System sys("big", space, {}, std::nullopt);
+  EXPECT_THROW(TransitionGraph::build(sys, /*max_states=*/1000), std::length_error);
+  EXPECT_NO_THROW(TransitionGraph::build(sys, /*max_states=*/70000));
+}
+
+TEST(GraphTest, SelfLoopsNeverAppearFromSystems) {
+  auto space = make_uniform_space(1, 2, "x");
+  System sys("id", space,
+             {{"id", 0, [](const StateVec&) { return true; }, [](StateVec&) {}}},
+             std::nullopt);
+  TransitionGraph g = TransitionGraph::build(sys);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace cref

@@ -1,0 +1,119 @@
+#include "core/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cref {
+namespace {
+
+TEST(SpaceTest, SingleVariable) {
+  Space s({{"x", 5}});
+  EXPECT_EQ(s.var_count(), 1u);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.encode({3}), 3u);
+  EXPECT_EQ(s.decode(4), (StateVec{4}));
+}
+
+TEST(SpaceTest, MixedRadixRoundTrip) {
+  Space s({{"a", 2}, {"b", 3}, {"c", 5}});
+  EXPECT_EQ(s.size(), 30u);
+  for (StateId id = 0; id < s.size(); ++id) {
+    EXPECT_EQ(s.encode(s.decode(id)), id);
+  }
+}
+
+TEST(SpaceTest, EncodeIsMixedRadixLittleEndian) {
+  Space s({{"a", 2}, {"b", 3}});
+  // id = a + 2*b
+  EXPECT_EQ(s.encode({1, 0}), 1u);
+  EXPECT_EQ(s.encode({0, 1}), 2u);
+  EXPECT_EQ(s.encode({1, 2}), 5u);
+}
+
+TEST(SpaceTest, ValueOfMatchesDecode) {
+  Space s({{"a", 4}, {"b", 7}, {"c", 2}});
+  for (StateId id = 0; id < s.size(); ++id) {
+    StateVec v = s.decode(id);
+    for (std::size_t i = 0; i < s.var_count(); ++i)
+      EXPECT_EQ(s.value_of(id, i), v[i]) << "id=" << id << " var=" << i;
+  }
+}
+
+TEST(SpaceTest, DecodeIntoReusesBuffer) {
+  Space s({{"a", 3}, {"b", 3}});
+  StateVec buf;
+  s.decode_into(4, buf);
+  EXPECT_EQ(buf, (StateVec{1, 1}));
+  s.decode_into(8, buf);
+  EXPECT_EQ(buf, (StateVec{2, 2}));
+}
+
+TEST(SpaceTest, Format) {
+  Space s({{"x", 2}, {"y", 3}});
+  EXPECT_EQ(s.format(s.encode({1, 2})), "x=1 y=2");
+}
+
+TEST(SpaceTest, SameShape) {
+  Space a({{"x", 2}, {"y", 3}});
+  Space b({{"x", 2}, {"y", 3}});
+  Space c({{"x", 2}, {"z", 3}});
+  Space d({{"x", 2}, {"y", 4}});
+  EXPECT_TRUE(a.same_shape_as(b));
+  EXPECT_FALSE(a.same_shape_as(c));
+  EXPECT_FALSE(a.same_shape_as(d));
+}
+
+TEST(SpaceTest, UniformSpaceFactory) {
+  SpacePtr s = make_uniform_space(4, 3, "c");
+  EXPECT_EQ(s->var_count(), 4u);
+  EXPECT_EQ(s->size(), 81u);
+  EXPECT_EQ(s->var(0).name, "c0");
+  EXPECT_EQ(s->var(3).name, "c3");
+}
+
+TEST(SpaceTest, RejectsEmptyAndZeroCardinality) {
+  EXPECT_THROW(Space({}), std::invalid_argument);
+  EXPECT_THROW(Space({{"x", 0}}), std::invalid_argument);
+}
+
+TEST(SpaceTest, OverflowingSpaceIsSparse) {
+  // 2^70 > 2^64: the space saturates, stays usable for simulation (the
+  // variable list is intact) but refuses to pack.
+  std::vector<VarSpec> vars(70, VarSpec{"b", 2});
+  Space s(std::move(vars));
+  EXPECT_FALSE(s.dense());
+  EXPECT_EQ(s.var_count(), 70u);
+  EXPECT_THROW(s.encode(StateVec(70, 0)), std::logic_error);
+  EXPECT_THROW(s.decode(0), std::logic_error);
+}
+
+TEST(SpaceTest, DenseFlagSetForNormalSpaces) {
+  Space s({{"a", 2}, {"b", 3}});
+  EXPECT_TRUE(s.dense());
+}
+
+// Parameterized round-trip sweep over assorted shapes.
+class SpaceShapeTest : public ::testing::TestWithParam<std::vector<Value>> {};
+
+TEST_P(SpaceShapeTest, ExhaustiveRoundTrip) {
+  std::vector<VarSpec> vars;
+  for (std::size_t i = 0; i < GetParam().size(); ++i)
+    vars.push_back({"v" + std::to_string(i), GetParam()[i]});
+  Space s(std::move(vars));
+  StateId expected_size = 1;
+  for (Value c : GetParam()) expected_size *= c;
+  ASSERT_EQ(s.size(), expected_size);
+  for (StateId id = 0; id < s.size(); ++id) EXPECT_EQ(s.encode(s.decode(id)), id);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SpaceShapeTest,
+                         ::testing::Values(std::vector<Value>{2},
+                                           std::vector<Value>{2, 2, 2, 2},
+                                           std::vector<Value>{3, 3, 3},
+                                           std::vector<Value>{5, 1, 4},
+                                           std::vector<Value>{7, 2, 3, 2},
+                                           std::vector<Value>{255, 2}));
+
+}  // namespace
+}  // namespace cref

@@ -1,0 +1,156 @@
+#include "core/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cref {
+namespace {
+
+// A 1-variable mod-m counter with an increment action, plus helpers.
+System make_counter(int m, bool with_reset = false) {
+  auto space = make_uniform_space(1, static_cast<Value>(m), "x");
+  std::vector<Action> actions;
+  actions.push_back({"inc", 0, [](const StateVec&) { return true; },
+                     [m](StateVec& s) { s[0] = static_cast<Value>((s[0] + 1) % m); }});
+  if (with_reset)
+    actions.push_back({"reset", 0, [](const StateVec& s) { return s[0] != 0; },
+                       [](StateVec& s) { s[0] = 0; }});
+  return System("counter", space, std::move(actions),
+                StatePredicate([](const StateVec& s) { return s[0] == 0; }));
+}
+
+TEST(SystemTest, SuccessorsFollowActions) {
+  System sys = make_counter(4);
+  EXPECT_EQ(sys.successors(0), (std::vector<StateId>{1}));
+  EXPECT_EQ(sys.successors(3), (std::vector<StateId>{0}));
+}
+
+TEST(SystemTest, SuccessorsAreDeduplicatedAndSorted) {
+  System sys = make_counter(4, /*with_reset=*/true);
+  // From 3: inc -> 0, reset -> 0. One deduplicated successor.
+  EXPECT_EQ(sys.successors(3), (std::vector<StateId>{0}));
+  // From 2: inc -> 3, reset -> 0; sorted ascending.
+  EXPECT_EQ(sys.successors(2), (std::vector<StateId>{0, 3}));
+}
+
+TEST(SystemTest, NoOpExecutionsAreNotTransitions) {
+  // An action whose effect is the identity never yields a transition —
+  // the tau-step convention used for C3 (DESIGN.md).
+  auto space = make_uniform_space(1, 3, "x");
+  System sys("noop", space,
+             {{"noop", 0, [](const StateVec&) { return true; }, [](StateVec&) {}}},
+             std::nullopt);
+  for (StateId s = 0; s < space->size(); ++s) {
+    EXPECT_TRUE(sys.successors(s).empty());
+    EXPECT_TRUE(sys.is_deadlock(s));
+  }
+}
+
+TEST(SystemTest, InitialStatesMaterialized) {
+  System sys = make_counter(4);
+  EXPECT_TRUE(sys.has_initial());
+  EXPECT_EQ(sys.initial_states(), (std::vector<StateId>{0}));
+}
+
+TEST(SystemTest, WrapperHasNoInitialStates) {
+  auto space = make_uniform_space(1, 3, "x");
+  System w("w", space, {}, std::nullopt);
+  EXPECT_FALSE(w.has_initial());
+  EXPECT_TRUE(w.initial_states().empty());
+}
+
+TEST(SystemTest, EnabledActionsListsGuardsIncludingNoOps) {
+  auto space = make_uniform_space(1, 3, "x");
+  System sys("s", space,
+             {{"noop", 0, [](const StateVec&) { return true; }, [](StateVec&) {}},
+              {"setzero", 0, [](const StateVec& s) { return s[0] == 2; },
+               [](StateVec& s) { s[0] = 0; }}},
+             std::nullopt);
+  EXPECT_EQ(sys.enabled_actions(0), (std::vector<std::string>{"noop"}));
+  EXPECT_EQ(sys.enabled_actions(2), (std::vector<std::string>{"noop", "setzero"}));
+}
+
+TEST(BoxTest, UnionOfActions) {
+  System a = make_counter(4);
+  auto space = make_uniform_space(1, 4, "x");
+  System w("reset-wrapper", space,
+           {{"reset", 0, [](const StateVec& s) { return s[0] == 3; },
+             [](StateVec& s) { s[0] = 0; }}},
+           std::nullopt);
+  // Different Space objects with the same shape must compose.
+  System composed = box(a, w);
+  EXPECT_EQ(composed.actions().size(), 2u);
+  EXPECT_EQ(composed.name(), "counter [] reset-wrapper");
+  EXPECT_EQ(composed.successors(3), (std::vector<StateId>{0}));
+}
+
+TEST(BoxTest, InheritsInitialFromFirstOperandWithOne) {
+  System a = make_counter(4);
+  auto space = make_uniform_space(1, 4, "x");
+  System w("w", space, {}, std::nullopt);
+  EXPECT_EQ(box(a, w).initial_states(), (std::vector<StateId>{0}));
+  EXPECT_EQ(box(w, a).initial_states(), (std::vector<StateId>{0}));
+  EXPECT_FALSE(box(w, w).has_initial());
+}
+
+TEST(BoxTest, VariadicFoldsLeft) {
+  System a = make_counter(4);
+  auto space = make_uniform_space(1, 4, "x");
+  System w1("w1", space, {}, std::nullopt);
+  System w2("w2", space, {}, std::nullopt);
+  System all = box(a, w1, w2);
+  EXPECT_EQ(all.name(), "counter [] w1 [] w2");
+  EXPECT_EQ(all.actions().size(), 1u);
+}
+
+TEST(BoxTest, RejectsShapeMismatch) {
+  System a = make_counter(4);
+  auto other = make_uniform_space(2, 4, "x");
+  System w("w", other, {}, std::nullopt);
+  EXPECT_THROW(box(a, w), std::invalid_argument);
+}
+
+TEST(BoxPriorityTest, WrapperPreemptsSystem) {
+  // System: x -> x+1 mod 4. Wrapper: x==2 -> x:=0.
+  System a = make_counter(4);
+  auto space = make_uniform_space(1, 4, "x");
+  System w("w", space,
+           {{"fix", 0, [](const StateVec& s) { return s[0] == 2; },
+             [](StateVec& s) { s[0] = 0; }}},
+           std::nullopt);
+  System p = box_priority(a, w);
+  // At x=2 the wrapper changes state, so inc is preempted.
+  EXPECT_EQ(p.successors(2), (std::vector<StateId>{0}));
+  // Elsewhere the system acts normally.
+  EXPECT_EQ(p.successors(1), (std::vector<StateId>{2}));
+  // Plain union at x=2 offers both.
+  EXPECT_EQ(box(a, w).successors(2), (std::vector<StateId>{0, 3}));
+}
+
+TEST(BoxPriorityTest, NoOpWrapperDoesNotBlock) {
+  System a = make_counter(4);
+  auto space = make_uniform_space(1, 4, "x");
+  // Wrapper enabled everywhere but never changes the state.
+  System w("w", space,
+           {{"noop", 0, [](const StateVec&) { return true; }, [](StateVec&) {}}},
+           std::nullopt);
+  System p = box_priority(a, w);
+  EXPECT_EQ(p.successors(1), (std::vector<StateId>{2}));
+}
+
+TEST(WithReachableInitialTest, RestrictsToClosure) {
+  // Two disjoint 2-cycles: {0,1} and {2,3}.
+  auto space = make_uniform_space(1, 4, "x");
+  System sys("twocycles", space,
+             {{"swap", 0, [](const StateVec&) { return true; },
+               [](StateVec& s) { s[0] = static_cast<Value>(s[0] ^ 1); }}},
+             StatePredicate([](const StateVec&) { return true; }));
+  System restricted = with_reachable_initial(sys, {2});
+  EXPECT_EQ(restricted.initial_states(), (std::vector<StateId>{2, 3}));
+  // Transitions are untouched.
+  EXPECT_EQ(restricted.successors(0), (std::vector<StateId>{1}));
+}
+
+}  // namespace
+}  // namespace cref

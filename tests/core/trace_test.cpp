@@ -1,0 +1,49 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cref {
+namespace {
+
+TEST(TraceTest, IsPathOf) {
+  TransitionGraph g = TransitionGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE((Trace{{0, 1, 2, 3}}).is_path_of(g));
+  EXPECT_FALSE((Trace{{0, 2}}).is_path_of(g));
+  EXPECT_TRUE((Trace{{2}}).is_path_of(g));  // single state is vacuously a path
+  EXPECT_TRUE((Trace{{}}).is_path_of(g));
+}
+
+TEST(TraceTest, LengthCountsEdges) {
+  EXPECT_EQ((Trace{{0, 1, 2}}).length(), 2u);
+  EXPECT_EQ((Trace{{7}}).length(), 0u);
+  EXPECT_EQ((Trace{{}}).length(), 0u);
+  EXPECT_TRUE((Trace{{}}).empty());
+}
+
+TEST(TraceTest, FormatIds) {
+  EXPECT_EQ((Trace{{3, 7, 1}}).format_ids(), "3 -> 7 -> 1");
+  EXPECT_EQ((Trace{{5}}).format_ids(), "5");
+}
+
+TEST(TraceTest, FormatUsesSpace) {
+  Space space({{"x", 2}, {"y", 2}});
+  Trace t{{space.encode({1, 0}), space.encode({0, 1})}};
+  EXPECT_EQ(t.format(space), "  x=1 y=0\n  x=0 y=1\n");
+}
+
+TEST(TraceTest, CollapseStutterIdentity) {
+  Trace t{{0, 0, 1, 1, 1, 2, 0}};
+  Trace collapsed = collapse_stutter(t, {});
+  EXPECT_EQ(collapsed.states, (std::vector<StateId>{0, 1, 2, 0}));
+}
+
+TEST(TraceTest, CollapseStutterThroughImage) {
+  // image: 0,1 -> 10; 2,3 -> 11
+  std::vector<StateId> image{10, 10, 11, 11};
+  Trace t{{0, 1, 2, 3, 0}};
+  Trace collapsed = collapse_stutter(t, image);
+  EXPECT_EQ(collapsed.states, (std::vector<StateId>{10, 11, 10}));
+}
+
+}  // namespace
+}  // namespace cref

@@ -1,0 +1,124 @@
+#include "gcl/compile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gcl/parser.hpp"
+#include "refinement/checker.hpp"
+#include "refinement/equivalence.hpp"
+#include "ring/btr.hpp"
+#include "ring/three_state.hpp"
+
+namespace cref::gcl {
+namespace {
+
+TEST(EvalTest, Arithmetic) {
+  StateVec s{2, 5};
+  SystemAst ast = parse("system p { var a : 0..9; var b : 0..9; init : a; }");
+  (void)ast;
+  Expr a;
+  a.op = Op::Var;
+  a.var_index = 0;
+  Expr b;
+  b.op = Op::Var;
+  b.var_index = 1;
+  auto bin = [](Op op, Expr l, Expr r) {
+    Expr e;
+    e.op = op;
+    e.children = {std::move(l), std::move(r)};
+    return e;
+  };
+  EXPECT_EQ(eval(bin(Op::Add, a, b), s), 7);
+  EXPECT_EQ(eval(bin(Op::Sub, a, b), s), -3);
+  EXPECT_EQ(eval(bin(Op::Mul, a, b), s), 10);
+  EXPECT_EQ(eval(bin(Op::Mod, b, a), s), 1);
+  EXPECT_EQ(eval(bin(Op::Div, b, a), s), 2);
+  EXPECT_EQ(eval(bin(Op::Lt, a, b), s), 1);
+  EXPECT_EQ(eval(bin(Op::Ge, a, b), s), 0);
+}
+
+TEST(EvalTest, DivisionByZeroIsTotal) {
+  StateVec s{0};
+  Expr v;
+  v.op = Op::Var;
+  v.var_index = 0;
+  Expr e;
+  e.op = Op::Div;
+  e.children = {Expr::constant(5), v};
+  EXPECT_EQ(eval(e, s), 0);
+  e.op = Op::Mod;
+  EXPECT_EQ(eval(e, s), 0);
+}
+
+TEST(CompileTest, ModularAssignmentWraps) {
+  System sys = load_system(
+      "system wrap { var c : 0..2; action inc @0 : true -> c := c + 1; init : c == 0; }");
+  EXPECT_EQ(sys.space().size(), 3u);
+  EXPECT_EQ(sys.successors(2), (std::vector<StateId>{0}));  // 3 mod 3
+  EXPECT_EQ(sys.initial_states(), (std::vector<StateId>{0}));
+}
+
+TEST(CompileTest, MultipleAssignmentUsesOldState) {
+  // swap a and b: both right-hand sides read the pre-state.
+  System sys = load_system(
+      "system swap { var a : 0..3; var b : 0..3; "
+      "action sw @0 : a != b -> a := b, b := a; }");
+  const Space& space = sys.space();
+  StateId s = space.encode({1, 2});
+  auto succ = sys.successors(s);
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(space.decode(succ[0]), (StateVec{2, 1}));
+}
+
+TEST(CompileTest, WrapperWithoutInit) {
+  System w = load_system("system w { var a : bool; action t : a -> a := 0; }");
+  EXPECT_FALSE(w.has_initial());
+}
+
+// ------------------------------------------------------------------
+// Golden test: Dijkstra's 3-state ring written in GCL compiles to a
+// system whose transition relation is EXACTLY the native one's, and the
+// checker proves it stabilizing to BTR through alpha3.
+// ------------------------------------------------------------------
+constexpr const char* kDijkstra3N3 = R"(
+# Dijkstra's 3-state stabilizing token ring, processes 0..3 (paper Sec. 5.2)
+system dijkstra3 {
+  var c0 : 0..2;
+  var c1 : 0..2;
+  var c2 : 0..2;
+  var c3 : 0..2;
+
+  # top: c_{N-1} == c_0 && c_{N-1} (+) 1 != c_N -> c_N := c_{N-1} (+) 1
+  action top @3 : c2 == c0 && (c2 + 1) % 3 != c3 -> c3 := c2 + 1;
+
+  # bottom: c_1 == c_0 (+) 1 -> c_0 := c_1 (+) 1
+  action bottom @0 : c1 == (c0 + 1) % 3 -> c0 := c1 + 1;
+
+  # middle j: up and down moves
+  action up1   @1 : c0 == (c1 + 1) % 3 -> c1 := c0;
+  action down1 @1 : c2 == (c1 + 1) % 3 -> c1 := c2;
+  action up2   @2 : c1 == (c2 + 1) % 3 -> c2 := c1;
+  action down2 @2 : c3 == (c2 + 1) % 3 -> c2 := c3;
+
+  init : c0 == 1 && c1 == 0 && c2 == 0 && c3 == 0;
+}
+)";
+
+TEST(CompileTest, GoldenDijkstra3MatchesNativeImplementation) {
+  System from_text = load_system(kDijkstra3N3);
+  ring::ThreeStateLayout l(3);
+  System native = ring::make_dijkstra3(l);
+  auto cmp = compare_relations(TransitionGraph::build(from_text),
+                               TransitionGraph::build(native));
+  EXPECT_TRUE(cmp.equal) << cmp.verdict();
+}
+
+TEST(CompileTest, GoldenDijkstra3StabilizesToBtr) {
+  System from_text = load_system(kDijkstra3N3);
+  ring::ThreeStateLayout l(3);
+  ring::BtrLayout bl(3);
+  RefinementChecker rc(from_text, ring::make_btr(bl), ring::make_alpha3(l, bl));
+  EXPECT_TRUE(rc.stabilizing_to().holds);
+}
+
+}  // namespace
+}  // namespace cref::gcl

@@ -1,0 +1,59 @@
+#include "gcl/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cref::gcl {
+namespace {
+
+std::vector<Tok> kinds(const std::string& src) {
+  std::vector<Tok> out;
+  for (const Token& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, Symbols) {
+  EXPECT_EQ(kinds("{ } ( ) : ; , @ .. := -> + - * % / == != <= >= < > && || !"),
+            (std::vector<Tok>{Tok::LBrace, Tok::RBrace, Tok::LParen, Tok::RParen,
+                              Tok::Colon, Tok::Semi, Tok::Comma, Tok::At, Tok::DotDot,
+                              Tok::Assign, Tok::Arrow, Tok::Plus, Tok::Minus, Tok::Star,
+                              Tok::Percent, Tok::Slash, Tok::Eq, Tok::Ne, Tok::Le,
+                              Tok::Ge, Tok::Lt, Tok::Gt, Tok::AndAnd, Tok::OrOr,
+                              Tok::Bang, Tok::End}));
+}
+
+TEST(LexerTest, IdentifiersAndNumbers) {
+  auto tokens = lex("var c0 : 0..42;");
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].text, "var");
+  EXPECT_EQ(tokens[1].text, "c0");
+  EXPECT_EQ(tokens[3].number, 0);
+  EXPECT_EQ(tokens[5].number, 42);
+}
+
+TEST(LexerTest, CommentsAndLines) {
+  auto tokens = lex("a # comment\nb // another\nc");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 3);
+}
+
+TEST(LexerTest, ErrorsCarryLineNumbers) {
+  try {
+    lex("ok\n$bad");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(LexerTest, RejectsLoneEqualsAndAmp) {
+  EXPECT_THROW(lex("a = b"), std::runtime_error);
+  EXPECT_THROW(lex("a & b"), std::runtime_error);
+  EXPECT_THROW(lex("a | b"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cref::gcl

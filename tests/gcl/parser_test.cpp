@@ -1,0 +1,97 @@
+#include "gcl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cref::gcl {
+namespace {
+
+constexpr const char* kTiny = R"(
+system tiny {
+  var x : 0..2;
+  var b : bool;
+  action flip @0 : x == 2 && !b -> b := 1, x := 0;
+  init : x == 0;
+}
+)";
+
+TEST(ParserTest, ParsesDeclarations) {
+  SystemAst ast = parse(kTiny);
+  EXPECT_EQ(ast.name, "tiny");
+  ASSERT_EQ(ast.vars.size(), 2u);
+  EXPECT_EQ(ast.vars[0].name, "x");
+  EXPECT_EQ(ast.vars[0].cardinality, 3);
+  EXPECT_EQ(ast.vars[1].cardinality, 2);
+  ASSERT_EQ(ast.actions.size(), 1u);
+  EXPECT_EQ(ast.actions[0].name, "flip");
+  EXPECT_EQ(ast.actions[0].process, 0);
+  EXPECT_EQ(ast.actions[0].assignments.size(), 2u);
+  EXPECT_EQ(ast.actions[0].assignments[0].var, "b");
+  ASSERT_TRUE(ast.init != nullptr);
+}
+
+TEST(ParserTest, ResolvesVariableIndices) {
+  SystemAst ast = parse(kTiny);
+  // The guard is (x == 2) && (!b); walk to the var nodes.
+  const Expr& guard = ast.actions[0].guard;
+  ASSERT_EQ(guard.op, Op::And);
+  EXPECT_EQ(guard.children[0].children[0].op, Op::Var);
+  EXPECT_EQ(guard.children[0].children[0].var_index, 0u);
+  EXPECT_EQ(guard.children[1].children[0].var_index, 1u);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  SystemAst ast = parse(
+      "system p { var a : 0..9; action t : a + 2 * 3 == 7 -> a := a; }");
+  const Expr& guard = ast.actions[0].guard;
+  ASSERT_EQ(guard.op, Op::Eq);
+  ASSERT_EQ(guard.children[0].op, Op::Add);
+  EXPECT_EQ(guard.children[0].children[1].op, Op::Mul);
+}
+
+TEST(ParserTest, ActionsWithoutProcessDefaultToMinusOne) {
+  SystemAst ast = parse("system p { var a : bool; action t : a -> a := 0; }");
+  EXPECT_EQ(ast.actions[0].process, -1);
+}
+
+TEST(ParserTest, MissingInitIsAllowed) {
+  SystemAst ast = parse("system w { var a : bool; action t : a -> a := 0; }");
+  EXPECT_TRUE(ast.init == nullptr);
+}
+
+TEST(ParserTest, Errors) {
+  // unknown variable
+  EXPECT_THROW(parse("system p { var a : bool; action t : z == 0 -> a := 1; }"),
+               std::runtime_error);
+  // duplicate variable
+  EXPECT_THROW(parse("system p { var a : bool; var a : bool; }"), std::runtime_error);
+  // domain must start at 0
+  EXPECT_THROW(parse("system p { var a : 1..3; }"), std::runtime_error);
+  // duplicate init
+  EXPECT_THROW(parse("system p { var a : bool; init : a; init : !a; }"),
+               std::runtime_error);
+  // missing semicolon
+  EXPECT_THROW(parse("system p { var a : bool }"), std::runtime_error);
+  // garbage after the system
+  EXPECT_THROW(parse("system p { } trailing"), std::runtime_error);
+}
+
+TEST(ParserTest, ErrorMessagesNameTheLine) {
+  try {
+    parse("system p {\n var a : bool;\n action t : q -> a := 1;\n}");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("unknown variable 'q'"), std::string::npos);
+  }
+}
+
+TEST(ParserTest, TrueFalseLiterals) {
+  SystemAst ast =
+      parse("system p { var a : bool; action t : true && !false -> a := 1; }");
+  EXPECT_EQ(ast.actions[0].guard.op, Op::And);
+}
+
+}  // namespace
+}  // namespace cref::gcl

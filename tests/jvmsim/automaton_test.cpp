@@ -1,0 +1,134 @@
+#include "jvmsim/automaton.hpp"
+
+#include <gtest/gtest.h>
+
+#include "refinement/checker.hpp"
+
+namespace cref::jvm {
+namespace {
+
+// Shared fixture: the paper's program as an automaton over x in {0,1}.
+struct Intro {
+  VmAutomaton vm = make_vm_automaton(Program::paper_example(), /*num_locals=*/2,
+                                     /*max_stack=*/2, /*value_card=*/2,
+                                     /*observed_local=*/1);
+  SpacePtr x_space = make_x_space(2);
+  System source = make_source_loop(x_space);
+  System spec = make_always_zero_spec(x_space);
+};
+
+TEST(IntroAutomatonTest, SpacesAreTractable) {
+  Intro in;
+  // pc(10) * local0(2) * local1(2) * sp(3) * stk0(2) * stk1(2) = 480.
+  EXPECT_EQ(in.vm.system.space().size(), 480u);
+  EXPECT_EQ(in.vm.system.initial_states().size(), 1u);
+}
+
+TEST(IntroAutomatonTest, SourceProgramIsStabilizingToAlwaysZero) {
+  // The paper: "a program that is trivially tolerant to the corruption
+  // of x in that it eventually ensures x is always 0".
+  Intro in;
+  RefinementChecker rc(in.source, in.spec);
+  EXPECT_TRUE(rc.stabilizing_to().holds);
+}
+
+TEST(IntroAutomatonTest, BytecodeIsNotStabilizingToAlwaysZero) {
+  // The compiled form is NOT tolerant: corrupting x between the two
+  // iloads drives execution to `return`, freezing x at 1.
+  Intro in;
+  RefinementChecker rc(in.vm.system, in.spec, in.vm.to_local);
+  auto r = rc.stabilizing_to();
+  EXPECT_FALSE(r.holds);
+  ASSERT_FALSE(r.witness.states.empty());
+  // The witness ends (or sits) at a halted state with x = 1.
+  StateVec v = in.vm.system.space().decode(r.witness.states.back());
+  EXPECT_EQ(in.vm.to_local.apply(r.witness.states.back()), 1u);
+}
+
+TEST(IntroAutomatonTest, CompilationIsARefinementFromInitialStates) {
+  // In the absence of faults the bytecode tracks the source: from the
+  // initial state x stays 0 (the image stutters at the source loop's
+  // steady state). Refinement holds — tolerance is what compilation
+  // loses, not correctness.
+  Intro in;
+  RefinementChecker rc(in.vm.system, in.source, in.vm.to_local);
+  EXPECT_TRUE(rc.refinement_init().holds);
+}
+
+TEST(IntroAutomatonTest, CompilationIsNotAConvergenceRefinement) {
+  // Theorem 1's contrapositive: since the source stabilizes and the
+  // bytecode does not, the bytecode cannot be a convergence refinement.
+  Intro in;
+  RefinementChecker rc(in.vm.system, in.source, in.vm.to_local);
+  EXPECT_FALSE(rc.convergence_refinement().holds);
+}
+
+TEST(IntroAutomatonTest, NormalExecutionNeverHalts) {
+  Intro in;
+  const System& sys = in.vm.system;
+  StateId id = sys.initial_states().front();
+  for (int i = 0; i < 50; ++i) {
+    auto succ = sys.successors(id);
+    ASSERT_EQ(succ.size(), 1u);  // deterministic machine
+    id = succ[0];
+    EXPECT_EQ(in.vm.to_local.apply(id), 0u);
+  }
+}
+
+TEST(SourceLoopTest, TransitionStructure) {
+  SpacePtr xs = make_x_space(2);
+  System src = make_source_loop(xs);
+  // x=1 -> x=0; x=0 is a deadlock (the steady loop is a no-op).
+  EXPECT_EQ(src.successors(1), (std::vector<StateId>{0}));
+  EXPECT_TRUE(src.is_deadlock(0));
+}
+
+TEST(AlwaysZeroSpecTest, NoTransitions) {
+  SpacePtr xs = make_x_space(2);
+  System spec = make_always_zero_spec(xs);
+  EXPECT_TRUE(spec.is_deadlock(0));
+  EXPECT_TRUE(spec.is_deadlock(1));
+  EXPECT_EQ(spec.initial_states(), (std::vector<StateId>{0}));
+}
+
+TEST(WatchdogTest, RestartsHaltedMachineOnly) {
+  Intro in;
+  System watchdog = make_vm_watchdog(Program::paper_example(), 2, 2, 2);
+  // From the fatal halted state (x = 1), the watchdog restarts.
+  const Space& space = watchdog.space();
+  StateVec halted(space.var_count(), 0);
+  halted[0] = 9;  // pc == halted sentinel (9 instructions)
+  halted[2] = 1;  // local1 == x == 1
+  auto succ = watchdog.successors(space.encode(halted));
+  ASSERT_EQ(succ.size(), 1u);
+  StateVec restarted = space.decode(succ[0]);
+  EXPECT_EQ(restarted[0], 0);  // pc reset
+  EXPECT_EQ(restarted[2], 1);  // x untouched (the program will clear it)
+  // A running machine is left alone.
+  StateVec running(space.var_count(), 0);
+  EXPECT_TRUE(watchdog.successors(space.encode(running)).empty());
+}
+
+TEST(WatchdogTest, WrappedBytecodeIsStabilizingAgain) {
+  // The graybox punchline at the VM level: compilation lost the
+  // tolerance, one wrapper action restores it — and the checker proves
+  // it over all 480 states.
+  Intro in;
+  System watchdog = make_vm_watchdog(Program::paper_example(), 2, 2, 2);
+  System wrapped = box(in.vm.system, watchdog);
+  RefinementChecker rc(wrapped, in.spec, in.vm.to_local);
+  EXPECT_TRUE(rc.stabilizing_to().holds);
+}
+
+TEST(VmAutomatonTest, RejectsBadArguments) {
+  Program p = Program::paper_example();
+  EXPECT_THROW(make_vm_automaton(p, 2, 2, 2, /*observed_local=*/5),
+               std::invalid_argument);
+  // Constants must fit the value domain: iconst 0 fits any card >= 1,
+  // so build a program with a bigger constant.
+  Program big({{0, Op::IConst, 7}});
+  EXPECT_THROW(make_vm_automaton(big, 1, 1, 2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cref::jvm

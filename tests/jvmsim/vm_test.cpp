@@ -1,0 +1,111 @@
+#include "jvmsim/vm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cref::jvm {
+namespace {
+
+TEST(ProgramTest, PaperExampleListing) {
+  Program p = Program::paper_example();
+  EXPECT_EQ(p.insns().size(), 9u);
+  EXPECT_EQ(p.index_of_addr(0), 0);
+  EXPECT_EQ(p.index_of_addr(7), 5);
+  EXPECT_EQ(p.index_of_addr(12), 8);
+  EXPECT_EQ(p.index_of_addr(3), -1);  // sparse addresses
+  std::string dis = p.disassemble();
+  EXPECT_NE(dis.find("if_icmpeq 5"), std::string::npos);
+  EXPECT_NE(dis.find("return"), std::string::npos);
+}
+
+VmState fresh(int locals = 2) {
+  VmState s;
+  s.locals.assign(locals, 0);
+  return s;
+}
+
+TEST(VmTest, NormalExecutionLoopsForever) {
+  // From the initial state the paper's program never terminates: it
+  // re-evaluates x == x (true) and re-stores 0 forever.
+  Program p = Program::paper_example();
+  VmState s = fresh();
+  for (int step = 0; step < 1000; ++step) {
+    ASSERT_TRUE(p.step(s, /*max_stack=*/2));
+    ASSERT_FALSE(s.halted());
+    EXPECT_EQ(s.locals[1], 0);
+  }
+}
+
+TEST(VmTest, CorruptionBetweenTheLoadsReachesReturn) {
+  // The paper's scenario: x corrupted after the first iload (address 7)
+  // and before the second (address 8). The comparison then sees the old
+  // value against the new one, falls through to return, and the machine
+  // halts with x != 0 forever.
+  Program p = Program::paper_example();
+  VmState s = fresh();
+  // Execute up to and including address 7 (iload): 0,1,2(goto),7.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(p.step(s, 2));
+  ASSERT_EQ(p.insns()[s.pc_index].addr, 8);
+  ASSERT_EQ(s.stack.size(), 1u);
+  s.locals[1] = 1;                     // transient fault
+  ASSERT_TRUE(p.step(s, 2));           // second iload pushes 1
+  ASSERT_EQ(p.insns()[s.pc_index].addr, 9);
+  ASSERT_TRUE(p.step(s, 2));           // if_icmpeq: 0 != 1, falls through
+  ASSERT_EQ(p.insns()[s.pc_index].addr, 12);
+  ASSERT_TRUE(p.step(s, 2));           // return
+  EXPECT_TRUE(s.halted());
+  EXPECT_EQ(s.locals[1], 1);           // x is stuck at a nonzero value
+}
+
+TEST(VmTest, HaltedMachineDoesNotStep) {
+  Program p = Program::paper_example();
+  VmState s = fresh();
+  s.pc_index = -1;
+  EXPECT_FALSE(p.step(s, 2));
+}
+
+TEST(VmTest, StackUnderflowHalts) {
+  Program p({{0, Op::IStore, 1}});
+  VmState s = fresh();
+  EXPECT_TRUE(p.step(s, 2));
+  EXPECT_TRUE(s.halted());
+}
+
+TEST(VmTest, StackOverflowHalts) {
+  Program p({{0, Op::IConst, 0}, {1, Op::Goto, 0}});
+  VmState s = fresh();
+  EXPECT_TRUE(p.step(s, 1));  // push: stack full
+  EXPECT_TRUE(p.step(s, 1));  // goto back
+  EXPECT_TRUE(p.step(s, 1));  // push onto full stack: trap
+  EXPECT_TRUE(s.halted());
+}
+
+TEST(VmTest, BadJumpTargetHalts) {
+  Program p({{0, Op::Goto, 99}});
+  VmState s = fresh();
+  EXPECT_TRUE(p.step(s, 2));
+  EXPECT_TRUE(s.halted());
+}
+
+TEST(VmTest, BadLocalSlotHalts) {
+  Program p({{0, Op::ILoad, 5}});
+  VmState s = fresh(2);
+  EXPECT_TRUE(p.step(s, 2));
+  EXPECT_TRUE(s.halted());
+}
+
+TEST(VmTest, IfICmpEqTakesBranchOnEqual) {
+  Program p({{0, Op::IConst, 1},
+             {1, Op::IConst, 1},
+             {2, Op::IfICmpEq, 5},
+             {3, Op::Return, 0},
+             {5, Op::Return, 0}});
+  VmState s = fresh();
+  ASSERT_TRUE(p.step(s, 2));
+  ASSERT_TRUE(p.step(s, 2));
+  ASSERT_TRUE(p.step(s, 2));
+  EXPECT_EQ(p.insns()[s.pc_index].addr, 5);
+  EXPECT_TRUE(s.stack.empty());
+}
+
+}  // namespace
+}  // namespace cref::jvm

@@ -1,0 +1,273 @@
+#include "refinement/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cref {
+namespace {
+
+using Edges = std::vector<std::pair<StateId, StateId>>;
+
+// ---------------------------------------------------------------------
+// Figure 1 of the paper: A and C share the computation s0 s1 s2 s3 ...
+// from the initial state; A additionally has s* -> s2, C leaves s*
+// stuck. (The infinite chain is folded into a cycle s1 s2 s3 s1.)
+// States: 0=s0, 1=s1, 2=s2, 3=s3, 4=s*.
+// ---------------------------------------------------------------------
+TransitionGraph fig1_a() {
+  return TransitionGraph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 1}, {4, 2}});
+}
+TransitionGraph fig1_c() {
+  return TransitionGraph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 1}});
+}
+
+TEST(Fig1Test, RefinementInitHolds) {
+  RefinementChecker rc(fig1_c(), fig1_a(), {0}, {0});
+  EXPECT_TRUE(rc.refinement_init().holds);
+  EXPECT_TRUE(rc.initial_states_match());
+}
+
+TEST(Fig1Test, AIsSelfStabilizing) {
+  RefinementChecker rc(fig1_a(), fig1_a(), {0}, {0});
+  EXPECT_TRUE(rc.stabilizing_to().holds);
+}
+
+TEST(Fig1Test, CIsNotStabilizingToA) {
+  RefinementChecker rc(fig1_c(), fig1_a(), {0}, {0});
+  auto r = rc.stabilizing_to();
+  EXPECT_FALSE(r.holds);
+  // The witness is the stuck state s*.
+  ASSERT_FALSE(r.witness.states.empty());
+  EXPECT_EQ(r.witness.states.front(), 4u);
+}
+
+TEST(Fig1Test, CIsNotAConvergenceRefinementOfA) {
+  // s* deadlocks in C but not in A: the final states differ, so no
+  // computation of A matches C's computation from s*.
+  RefinementChecker rc(fig1_c(), fig1_a(), {0}, {0});
+  EXPECT_FALSE(rc.convergence_refinement().holds);
+  EXPECT_FALSE(rc.everywhere_refinement().holds);
+}
+
+TEST(Fig1Test, TheoremOneContrapositive) {
+  // Theorem 1: [C <~ A] ^ A stabilizing => C stabilizing. Figure 1 shows
+  // C not stabilizing while A is, forcing [C <~ A] to fail — which the
+  // checker confirms independently.
+  RefinementChecker ca(fig1_c(), fig1_a(), {0}, {0});
+  RefinementChecker aa(fig1_a(), fig1_a(), {0}, {0});
+  ASSERT_TRUE(aa.stabilizing_to().holds);
+  ASSERT_FALSE(ca.stabilizing_to().holds);
+  EXPECT_FALSE(ca.convergence_refinement().holds);
+}
+
+// ---------------------------------------------------------------------
+// Edge classification.
+// ---------------------------------------------------------------------
+TEST(ClassifyTest, ExactStutterCompressedInvalid) {
+  // A: 0 -> 1 -> 2, 3 isolated.
+  TransitionGraph a = TransitionGraph::from_edges(4, {{0, 1}, {1, 2}});
+  // C: 0 -> 1 (exact), 0 -> 2 (compressed), 1 -> 3 (invalid).
+  TransitionGraph c = TransitionGraph::from_edges(4, {{0, 1}, {0, 2}, {1, 3}});
+  RefinementChecker rc(std::move(c), std::move(a), {}, {});
+  EXPECT_EQ(rc.classify_edge(0, 1), EdgeClass::Exact);
+  EXPECT_EQ(rc.classify_edge(0, 2), EdgeClass::Compressed);
+  EXPECT_EQ(rc.classify_edge(1, 3), EdgeClass::Invalid);
+  auto st = rc.edge_stats();
+  EXPECT_EQ(st.exact, 1u);
+  EXPECT_EQ(st.compressed, 1u);
+  EXPECT_EQ(st.invalid, 1u);
+  EXPECT_EQ(st.stutter, 0u);
+  EXPECT_EQ(st.total(), 3u);
+}
+
+TEST(ClassifyTest, StutterThroughAbstraction) {
+  // C: 0 -> 1 with alpha(0) == alpha(1).
+  TransitionGraph c = TransitionGraph::from_edges(2, {{0, 1}});
+  TransitionGraph a = TransitionGraph::from_edges(1, {});
+  RefinementChecker rc(std::move(c), std::move(a), {}, {}, {0, 0});
+  EXPECT_EQ(rc.classify_edge(0, 1), EdgeClass::Stutter);
+}
+
+// ---------------------------------------------------------------------
+// Convergence refinement: compressions allowed off-cycle, forbidden on
+// cycles and in the initial part.
+// ---------------------------------------------------------------------
+TEST(ConvergenceTest, OffCycleCompressionAllowed) {
+  // A: 0 -> 1 -> 2 (2 deadlocks). C: 0 -> 2 directly, 1 -> 2 kept exact.
+  TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}});
+  TransitionGraph c = TransitionGraph::from_edges(3, {{0, 2}, {1, 2}});
+  // Initial state 2 (deadlock in both) keeps the init part trivial.
+  RefinementChecker rc(std::move(c), std::move(a), {2}, {2});
+  EXPECT_TRUE(rc.convergence_refinement().holds);
+  EXPECT_FALSE(rc.everywhere_refinement().holds);  // 0 -> 2 is not in T_A
+  EXPECT_TRUE(rc.everywhere_eventually_refinement().holds);
+  auto ex = rc.example_compression();
+  ASSERT_TRUE(ex.has_value());
+  EXPECT_EQ(ex->first.states, (std::vector<StateId>{0, 2}));
+  EXPECT_EQ(ex->second.states, (std::vector<StateId>{0, 1, 2}));
+}
+
+TEST(ConvergenceTest, CompressionFromInitialStatesForbidden) {
+  TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}});
+  TransitionGraph c = TransitionGraph::from_edges(3, {{0, 2}});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0});
+  auto r = rc.refinement_init();
+  EXPECT_FALSE(r.holds);
+  EXPECT_FALSE(rc.convergence_refinement().holds);
+  // Witness starts at an initial state and ends with the offending edge.
+  ASSERT_GE(r.witness.states.size(), 2u);
+  EXPECT_EQ(r.witness.states.front(), 0u);
+  EXPECT_EQ(r.witness.states.back(), 2u);
+}
+
+TEST(ConvergenceTest, CompressionOnCycleForbidden) {
+  // A: cycle 0 -> 1 -> 2 -> 0. C: 0 -> 2 (compression) and 2 -> 0.
+  TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  TransitionGraph c = TransitionGraph::from_edges(3, {{0, 2}, {2, 0}});
+  RefinementChecker rc(std::move(c), std::move(a), {}, {});
+  auto r = rc.convergence_refinement();
+  EXPECT_FALSE(r.holds);
+  // Witness is a cycle through the compressed edge.
+  ASSERT_GE(r.witness.states.size(), 2u);
+  EXPECT_EQ(r.witness.states.front(), r.witness.states.back());
+  EXPECT_TRUE(r.witness.is_path_of(rc.c_graph()));
+  // ... but it IS an everywhere-eventually refinement? No: the cycle
+  // means infinitely many compressions, and eventually-A forbids them on
+  // cycles too.
+  EXPECT_FALSE(rc.everywhere_eventually_refinement().holds);
+}
+
+TEST(ConvergenceTest, InvalidEdgeForbiddenEvenOffCycle) {
+  TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}});
+  // 0 unreachable from 2 in A, so 2 -> 0 is invalid; 0 -> 1 stays exact.
+  TransitionGraph c = TransitionGraph::from_edges(3, {{2, 0}, {0, 1}});
+  RefinementChecker rc(std::move(c), std::move(a), {}, {});
+  EXPECT_FALSE(rc.convergence_refinement().holds);
+  // Everywhere-eventually allows arbitrary finite prefixes, so an
+  // off-cycle invalid edge is fine there.
+  EXPECT_TRUE(rc.everywhere_eventually_refinement().holds);
+}
+
+// ---------------------------------------------------------------------
+// Stuttering and divergence.
+// ---------------------------------------------------------------------
+TEST(StutterTest, DivergenceAtNonDeadlockImageFails) {
+  // C cycles between 0 and 1, both mapping to A-state 0 which has a
+  // successor: the image stalls at a non-final state of A.
+  TransitionGraph c = TransitionGraph::from_edges(2, {{0, 1}, {1, 0}});
+  TransitionGraph a = TransitionGraph::from_edges(2, {{0, 1}});
+  RefinementChecker rc(std::move(c), std::move(a), {}, {}, {0, 0});
+  auto r = rc.everywhere_refinement();
+  EXPECT_FALSE(r.holds);
+  EXPECT_NE(r.reason.find("divergence"), std::string::npos);
+  EXPECT_FALSE(rc.convergence_refinement().holds);
+}
+
+TEST(StutterTest, DivergenceAtDeadlockImageAllowed) {
+  // Same C, but the image state is a deadlock of A: the collapsed image
+  // <0> is a maximal computation of A.
+  TransitionGraph c = TransitionGraph::from_edges(2, {{0, 1}, {1, 0}});
+  TransitionGraph a = TransitionGraph::from_edges(1, {});
+  RefinementChecker rc(std::move(c), std::move(a), {}, {0}, {0, 0});
+  EXPECT_TRUE(rc.everywhere_refinement().holds);
+  EXPECT_TRUE(rc.convergence_refinement().holds);
+  EXPECT_TRUE(rc.stabilizing_to().holds);
+}
+
+TEST(StutterTest, FiniteStutterThenExactHolds) {
+  // C: 0 -> 1 -> 2 where alpha maps {0,1} -> a0 and {2} -> a1.
+  TransitionGraph c = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}});
+  TransitionGraph a = TransitionGraph::from_edges(2, {{0, 1}});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0}, {0, 0, 1});
+  EXPECT_TRUE(rc.refinement_init().holds);
+  EXPECT_TRUE(rc.everywhere_refinement().holds);
+}
+
+// ---------------------------------------------------------------------
+// Deadlock (final-state) conditions.
+// ---------------------------------------------------------------------
+TEST(DeadlockTest, CDeadlockAtANonDeadlockFails) {
+  TransitionGraph c = TransitionGraph::from_edges(3, {{0, 1}});           // 1 stuck
+  TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}});   // 1 moves on
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0});
+  auto r = rc.refinement_init();
+  EXPECT_FALSE(r.holds);
+  EXPECT_NE(r.reason.find("deadlock"), std::string::npos);
+}
+
+TEST(DeadlockTest, MatchingDeadlocksHold) {
+  TransitionGraph c = TransitionGraph::from_edges(2, {{0, 1}});
+  TransitionGraph a = TransitionGraph::from_edges(2, {{0, 1}});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0});
+  EXPECT_TRUE(rc.refinement_init().holds);
+  EXPECT_TRUE(rc.everywhere_refinement().holds);
+  EXPECT_TRUE(rc.convergence_refinement().holds);
+}
+
+// ---------------------------------------------------------------------
+// Relation hierarchy: [C (= A] => [C <~ A] => everywhere-eventually.
+// ---------------------------------------------------------------------
+TEST(HierarchyTest, EverywhereImpliesConvergenceImpliesEventually) {
+  // C is A minus one off-cycle edge, with compatible deadlocks.
+  TransitionGraph a = TransitionGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 1}, {0, 3}, {3, 1}});
+  TransitionGraph c = TransitionGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 1}, {3, 1}});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0});
+  ASSERT_TRUE(rc.everywhere_refinement().holds);
+  EXPECT_TRUE(rc.convergence_refinement().holds);
+  EXPECT_TRUE(rc.everywhere_eventually_refinement().holds);
+}
+
+TEST(HierarchyTest, ConvergenceDoesNotImplyEverywhere) {
+  TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}});
+  TransitionGraph c = TransitionGraph::from_edges(3, {{0, 2}, {1, 2}});
+  RefinementChecker rc(std::move(c), std::move(a), {2}, {2});
+  EXPECT_TRUE(rc.convergence_refinement().holds);
+  EXPECT_FALSE(rc.everywhere_refinement().holds);
+}
+
+TEST(HierarchyTest, EventuallyDoesNotImplyConvergence) {
+  // The paper's Section 7 example in miniature: C recovers along a path
+  // A never uses. A: 4 -> 2 -> 0 (even path); C: 4 -> 3 -> 0 where 3 is
+  // never used by A. Both end at 0.
+  TransitionGraph a = TransitionGraph::from_edges(5, {{4, 2}, {2, 0}});
+  TransitionGraph c = TransitionGraph::from_edges(5, {{4, 3}, {3, 0}, {2, 0}});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0});
+  EXPECT_TRUE(rc.everywhere_eventually_refinement().holds);
+  // 4 -> 3 is invalid (3 unreachable in A), so not a convergence ref.
+  EXPECT_FALSE(rc.convergence_refinement().holds);
+}
+
+// ---------------------------------------------------------------------
+// Constructor validation.
+// ---------------------------------------------------------------------
+TEST(CheckerCtorTest, AlphaTableSizeMismatchThrows) {
+  TransitionGraph c = TransitionGraph::from_edges(2, {});
+  TransitionGraph a = TransitionGraph::from_edges(2, {});
+  EXPECT_THROW(RefinementChecker(std::move(c), std::move(a), {}, {}, {0}),
+               std::invalid_argument);
+}
+
+TEST(CheckerCtorTest, IdentityNeedsEqualStateCounts) {
+  TransitionGraph c = TransitionGraph::from_edges(2, {});
+  TransitionGraph a = TransitionGraph::from_edges(3, {});
+  EXPECT_THROW(RefinementChecker(std::move(c), std::move(a), {}, {}),
+               std::invalid_argument);
+}
+
+TEST(CheckerTest, EmptyInitialMakesInitVacuous) {
+  TransitionGraph c = TransitionGraph::from_edges(3, {{0, 2}});  // compression
+  TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}});
+  RefinementChecker rc(std::move(c), std::move(a), {}, {});
+  EXPECT_TRUE(rc.refinement_init().holds);
+}
+
+TEST(CheckerTest, StabilizingNeedsInitialStatesInA) {
+  TransitionGraph c = TransitionGraph::from_edges(2, {});
+  TransitionGraph a = TransitionGraph::from_edges(2, {});
+  RefinementChecker rc(std::move(c), std::move(a), {}, {});
+  EXPECT_FALSE(rc.stabilizing_to().holds);
+}
+
+}  // namespace
+}  // namespace cref

@@ -1,0 +1,77 @@
+#include "refinement/convergence_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cref {
+namespace {
+
+TEST(ConvergenceTimeTest, ChainIntoLegitCycle) {
+  // A (and legit cycle): 0 <-> 1. C adds the recovery chain 4->3->2->0.
+  TransitionGraph a = TransitionGraph::from_edges(5, {{0, 1}, {1, 0}});
+  TransitionGraph c =
+      TransitionGraph::from_edges(5, {{0, 1}, {1, 0}, {2, 0}, {3, 2}, {4, 3}});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0});
+  ASSERT_TRUE(rc.stabilizing_to().holds);
+  auto res = convergence_time(rc);
+  EXPECT_TRUE(res.bounded);
+  EXPECT_EQ(res.locked_count, 2u);  // {0, 1}
+  EXPECT_EQ(res.worst_steps, 3u);   // 4 -> 3 -> 2 -> 0
+  EXPECT_EQ(res.worst_state, 4u);
+  EXPECT_TRUE(res.locked[0]);
+  EXPECT_TRUE(res.locked[1]);
+  EXPECT_FALSE(res.locked[4]);
+}
+
+TEST(ConvergenceTimeTest, BranchTakesLongestPath) {
+  // 3 -> 2 -> 0 and 3 -> 0 directly: the worst case is the long branch.
+  TransitionGraph a = TransitionGraph::from_edges(4, {{0, 1}, {1, 0}});
+  TransitionGraph c =
+      TransitionGraph::from_edges(4, {{0, 1}, {1, 0}, {2, 0}, {3, 2}, {3, 0}});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0});
+  auto res = convergence_time(rc);
+  EXPECT_TRUE(res.bounded);
+  EXPECT_EQ(res.worst_steps, 2u);
+}
+
+TEST(ConvergenceTimeTest, LegitEverythingGivesZero) {
+  TransitionGraph a = TransitionGraph::from_edges(2, {{0, 1}, {1, 0}});
+  TransitionGraph c = a;
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0});
+  auto res = convergence_time(rc);
+  EXPECT_TRUE(res.bounded);
+  EXPECT_EQ(res.locked_count, 2u);
+  EXPECT_EQ(res.worst_steps, 0u);
+}
+
+TEST(ConvergenceTimeTest, ShadowCycleIsLockedWhenAllItsEdgesAreGood) {
+  // States 2,3 shadow the legit cycle through alpha and can also step to
+  // 0 (a stutter within R_A): every edge is good, so they are locked and
+  // the worst case is 0 even though they are not A-states themselves.
+  TransitionGraph a = TransitionGraph::from_edges(4, {{0, 1}, {1, 0}});
+  TransitionGraph c =
+      TransitionGraph::from_edges(4, {{0, 1}, {1, 0}, {2, 3}, {3, 2}, {2, 0}});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0}, {0, 1, 0, 1});
+  ASSERT_TRUE(rc.stabilizing_to().holds);
+  auto res = convergence_time(rc);
+  EXPECT_TRUE(res.bounded);
+  EXPECT_EQ(res.locked_count, 4u);
+  EXPECT_EQ(res.worst_steps, 0u);
+}
+
+TEST(ConvergenceTimeTest, GoodCycleWithBadEscapeIsUnbounded) {
+  // The cycle 2 <-> 3 mirrors the legit cycle, but 2 can also escape via
+  // the garbage state 4 (image unreachable in A). Stabilization holds
+  // (the bad edges are off-cycle), yet an adversary can loop 2 -> 3 -> 2
+  // arbitrarily long before escaping: no uniform bound.
+  TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}, {1, 0}});
+  TransitionGraph c = TransitionGraph::from_edges(
+      5, {{0, 1}, {1, 0}, {2, 3}, {3, 2}, {2, 4}, {4, 0}});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0}, {0, 1, 0, 1, 2});
+  ASSERT_TRUE(rc.stabilizing_to().holds);
+  auto res = convergence_time(rc);
+  EXPECT_FALSE(res.bounded);
+  EXPECT_EQ(res.locked_count, 2u);  // only the true legit cycle
+}
+
+}  // namespace
+}  // namespace cref

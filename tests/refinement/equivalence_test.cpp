@@ -1,0 +1,50 @@
+#include "refinement/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cref {
+namespace {
+
+TEST(EquivalenceTest, EqualRelations) {
+  TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}});
+  TransitionGraph b = TransitionGraph::from_edges(3, {{1, 2}, {0, 1}});
+  auto cmp = compare_relations(a, b);
+  EXPECT_TRUE(cmp.equal);
+  EXPECT_EQ(cmp.verdict(), "equal");
+  EXPECT_EQ(cmp.only_in_first, 0u);
+  EXPECT_EQ(cmp.only_in_second, 0u);
+  EXPECT_FALSE(cmp.example_only_first.has_value());
+}
+
+TEST(EquivalenceTest, StrictSubset) {
+  TransitionGraph small = TransitionGraph::from_edges(3, {{0, 1}});
+  TransitionGraph big = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}});
+  auto cmp = compare_relations(small, big);
+  EXPECT_FALSE(cmp.equal);
+  EXPECT_TRUE(cmp.first_subset_of_second);
+  EXPECT_FALSE(cmp.second_subset_of_first);
+  EXPECT_EQ(cmp.verdict(), "first (= second");
+  EXPECT_EQ(cmp.only_in_second, 1u);
+  ASSERT_TRUE(cmp.example_only_second.has_value());
+  EXPECT_EQ(*cmp.example_only_second, (std::pair<StateId, StateId>{1, 2}));
+}
+
+TEST(EquivalenceTest, Incomparable) {
+  TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}});
+  TransitionGraph b = TransitionGraph::from_edges(3, {{1, 2}});
+  auto cmp = compare_relations(a, b);
+  EXPECT_EQ(cmp.verdict(), "incomparable");
+  EXPECT_EQ(cmp.only_in_first, 1u);
+  EXPECT_EQ(cmp.only_in_second, 1u);
+}
+
+TEST(EquivalenceTest, RejectsDifferentStateCounts) {
+  TransitionGraph a = TransitionGraph::from_edges(2, {});
+  TransitionGraph b = TransitionGraph::from_edges(3, {});
+  EXPECT_THROW(compare_relations(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cref

@@ -1,0 +1,80 @@
+#include "refinement/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cref {
+namespace {
+
+TransitionGraph chain_with_branch() {
+  // 0 -> 1 -> 2 -> 3, 1 -> 4, 5 isolated, 6 -> 0
+  return TransitionGraph::from_edges(7, {{0, 1}, {1, 2}, {2, 3}, {1, 4}, {6, 0}});
+}
+
+TEST(ReachabilityTest, FromSingleSource) {
+  auto reach = reachable_from(chain_with_branch(), {0});
+  EXPECT_EQ(reach, (std::vector<char>{1, 1, 1, 1, 1, 0, 0}));
+}
+
+TEST(ReachabilityTest, FromMultipleSources) {
+  auto reach = reachable_from(chain_with_branch(), {5, 6});
+  EXPECT_EQ(reach, (std::vector<char>{1, 1, 1, 1, 1, 1, 1}));
+}
+
+TEST(ReachabilityTest, EmptySources) {
+  auto reach = reachable_from(chain_with_branch(), {});
+  for (char r : reach) EXPECT_EQ(r, 0);
+}
+
+TEST(FindPathTest, ShortestPath) {
+  // Two routes 0->3: 0-1-2-3 and 0-3.
+  TransitionGraph g = TransitionGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  auto path = find_path(g, {0}, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->states, (std::vector<StateId>{0, 3}));
+}
+
+TEST(FindPathTest, TargetIsSource) {
+  TransitionGraph g = TransitionGraph::from_edges(2, {{0, 1}});
+  auto path = find_path(g, {1}, 1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->states, (std::vector<StateId>{1}));
+}
+
+TEST(FindPathTest, Unreachable) {
+  TransitionGraph g = TransitionGraph::from_edges(3, {{0, 1}});
+  EXPECT_FALSE(find_path(g, {0}, 2).has_value());
+}
+
+TEST(FindPathWithinTest, RespectsAllowedSet) {
+  // 0 -> 1 -> 3 and 0 -> 2 -> 3; forbid 1.
+  TransitionGraph g = TransitionGraph::from_edges(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  std::vector<char> allowed{1, 0, 1, 1};
+  auto path = find_path_within(g, 0, 3, allowed);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->states, (std::vector<StateId>{0, 2, 3}));
+  std::vector<char> none{1, 0, 0, 1};
+  EXPECT_FALSE(find_path_within(g, 0, 3, none).has_value());
+}
+
+TEST(FindPathWithinTest, ForbiddenEndpointsFail) {
+  TransitionGraph g = TransitionGraph::from_edges(2, {{0, 1}});
+  std::vector<char> allowed{0, 1};
+  EXPECT_FALSE(find_path_within(g, 0, 1, allowed).has_value());
+}
+
+TEST(ReachabilityTest, LargeChainIterative) {
+  // 100k-state chain: exercises the non-recursive BFS at depth.
+  const StateId n = 100000;
+  std::vector<std::pair<StateId, StateId>> edges;
+  edges.reserve(n - 1);
+  for (StateId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  TransitionGraph g = TransitionGraph::from_edges(n, std::move(edges));
+  auto reach = reachable_from(g, {0});
+  EXPECT_EQ(reach[n - 1], 1);
+  auto path = find_path(g, {0}, n - 1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->states.size(), n);
+}
+
+}  // namespace
+}  // namespace cref

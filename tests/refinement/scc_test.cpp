@@ -1,0 +1,76 @@
+#include "refinement/scc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cref {
+namespace {
+
+TEST(SccTest, DagIsAllSingletons) {
+  TransitionGraph g = TransitionGraph::from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  Scc scc(g);
+  EXPECT_EQ(scc.count(), 4u);
+  for (StateId s = 0; s < 4; ++s) EXPECT_EQ(scc.size_of(scc.component(s)), 1u);
+  EXPECT_FALSE(scc.edge_on_cycle(0, 1));
+}
+
+TEST(SccTest, SingleCycle) {
+  TransitionGraph g = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  Scc scc(g);
+  EXPECT_EQ(scc.count(), 1u);
+  EXPECT_TRUE(scc.edge_on_cycle(0, 1));
+  EXPECT_TRUE(scc.edge_on_cycle(2, 0));
+}
+
+TEST(SccTest, CycleWithTail) {
+  // 0 -> 1 <-> 2, 2 -> 3
+  TransitionGraph g = TransitionGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 1}, {2, 3}});
+  Scc scc(g);
+  EXPECT_EQ(scc.count(), 3u);
+  EXPECT_EQ(scc.component(1), scc.component(2));
+  EXPECT_NE(scc.component(0), scc.component(1));
+  EXPECT_TRUE(scc.edge_on_cycle(1, 2));
+  EXPECT_FALSE(scc.edge_on_cycle(0, 1));
+  EXPECT_FALSE(scc.edge_on_cycle(2, 3));
+}
+
+TEST(SccTest, TwoSeparateCycles) {
+  TransitionGraph g =
+      TransitionGraph::from_edges(5, {{0, 1}, {1, 0}, {2, 3}, {3, 2}, {1, 2}});
+  Scc scc(g);
+  EXPECT_EQ(scc.component(0), scc.component(1));
+  EXPECT_EQ(scc.component(2), scc.component(3));
+  EXPECT_NE(scc.component(0), scc.component(2));
+  EXPECT_FALSE(scc.edge_on_cycle(1, 2));
+}
+
+TEST(SccTest, ReverseTopologicalIdOrder) {
+  // Tarjan ids: cross edges go from higher to lower component id.
+  TransitionGraph g = TransitionGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  Scc scc(g);
+  for (StateId s = 0; s < 4; ++s)
+    for (StateId t : g.successors(s))
+      if (scc.component(s) != scc.component(t))
+        EXPECT_GT(scc.component(s), scc.component(t));
+}
+
+TEST(SccTest, DeepChainDoesNotOverflowStack) {
+  const StateId n = 200000;
+  std::vector<std::pair<StateId, StateId>> edges;
+  for (StateId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  edges.emplace_back(n - 1, 0);  // close into one giant cycle
+  Scc scc(TransitionGraph::from_edges(n, std::move(edges)));
+  EXPECT_EQ(scc.count(), 1u);
+  EXPECT_EQ(scc.size_of(0), n);
+}
+
+TEST(SccTest, ComponentSizesSumToStateCount) {
+  TransitionGraph g =
+      TransitionGraph::from_edges(6, {{0, 1}, {1, 0}, {2, 3}, {4, 4 % 6}, {5, 2}});
+  Scc scc(g);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < scc.count(); ++c) total += scc.size_of(c);
+  EXPECT_EQ(total, 6u);
+}
+
+}  // namespace
+}  // namespace cref

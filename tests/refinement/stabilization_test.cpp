@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "refinement/checker.hpp"
+
+namespace cref {
+namespace {
+
+// A: initial 0, cycle 0 -> 1 -> 0 (the legitimate behaviour); state 2 is
+// unreachable garbage.
+TransitionGraph legit_cycle_a() {
+  return TransitionGraph::from_edges(3, {{0, 1}, {1, 0}});
+}
+
+TEST(StabilizationTest, RecoveryPathIntoLegitCycleHolds) {
+  // C adds a recovery edge 2 -> 0 to A's behaviour.
+  TransitionGraph c = TransitionGraph::from_edges(3, {{0, 1}, {1, 0}, {2, 0}});
+  RefinementChecker rc(std::move(c), legit_cycle_a(), {0}, {0});
+  EXPECT_TRUE(rc.stabilizing_to().holds);
+}
+
+TEST(StabilizationTest, GarbageCycleFails) {
+  // C loops 2 -> 3 -> 2 outside A's reachable states.
+  TransitionGraph c =
+      TransitionGraph::from_edges(4, {{0, 1}, {1, 0}, {2, 3}, {3, 2}});
+  TransitionGraph a = TransitionGraph::from_edges(4, {{0, 1}, {1, 0}});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0});
+  auto r = rc.stabilizing_to();
+  EXPECT_FALSE(r.holds);
+  EXPECT_TRUE(r.witness.is_path_of(rc.c_graph()));
+  EXPECT_EQ(r.witness.states.front(), r.witness.states.back());
+}
+
+TEST(StabilizationTest, GarbageDeadlockFails) {
+  TransitionGraph c = TransitionGraph::from_edges(3, {{0, 1}, {1, 0}});  // 2 stuck
+  RefinementChecker rc(std::move(c), legit_cycle_a(), {0}, {0});
+  auto r = rc.stabilizing_to();
+  EXPECT_FALSE(r.holds);
+  EXPECT_EQ(r.witness.states, (std::vector<StateId>{2}));
+}
+
+TEST(StabilizationTest, DeadlockAtReachableADeadlockHolds) {
+  // A: 0 -> 1, 1 final. C: everything funnels into 1.
+  TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}});
+  TransitionGraph c = TransitionGraph::from_edges(3, {{0, 1}, {2, 1}});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0});
+  EXPECT_TRUE(rc.stabilizing_to().holds);
+}
+
+TEST(StabilizationTest, CycleEdgeLeavingReachableSetFails) {
+  // C's cycle 0 -> 1 -> 0 is fine, but C also has cycle 1 -> 2 -> 1
+  // where 2 is unreachable in A.
+  TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}, {1, 0}, {2, 1}});
+  TransitionGraph c =
+      TransitionGraph::from_edges(3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0});
+  EXPECT_FALSE(rc.stabilizing_to().holds);
+}
+
+TEST(StabilizationTest, OffCycleNonATransitionsAreFine) {
+  // Recovery may take arbitrary finite routes: C's 2 -> 3 -> 0 where
+  // (2,3) and (3,0) are not A-transitions but lead into the legit cycle.
+  TransitionGraph a = TransitionGraph::from_edges(4, {{0, 1}, {1, 0}});
+  TransitionGraph c =
+      TransitionGraph::from_edges(4, {{0, 1}, {1, 0}, {2, 3}, {3, 0}});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0});
+  EXPECT_TRUE(rc.stabilizing_to().holds);
+}
+
+TEST(StabilizationTest, StutterCycleInsideLegitNeedsDeadlockImage) {
+  // Two concrete states map to legit A-state 0; C ping-pongs between
+  // them forever. A-state 0 has a successor, so the image stalls: fails.
+  TransitionGraph c = TransitionGraph::from_edges(2, {{0, 1}, {1, 0}});
+  TransitionGraph a = TransitionGraph::from_edges(2, {{0, 1}});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0}, {0, 0});
+  EXPECT_FALSE(rc.stabilizing_to().holds);
+}
+
+TEST(StabilizationTest, StutterCycleAtFinalStateHolds) {
+  TransitionGraph c = TransitionGraph::from_edges(2, {{0, 1}, {1, 0}});
+  TransitionGraph a = TransitionGraph::from_edges(1, {});
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0}, {0, 0});
+  EXPECT_TRUE(rc.stabilizing_to().holds);
+}
+
+TEST(StabilizationTest, SelfStabilizationOfAClosedCycle) {
+  // "A is stabilizing to A" (the paper allows it): a single cycle system
+  // reachable from its initial states.
+  TransitionGraph a = TransitionGraph::from_edges(2, {{0, 1}, {1, 0}});
+  TransitionGraph c = a;
+  RefinementChecker rc(std::move(c), std::move(a), {0}, {0});
+  EXPECT_TRUE(rc.stabilizing_to().holds);
+}
+
+TEST(StabilizationTest, TheoremZeroOnHandAutomata) {
+  // Theorem 0: [C (= A] and A stabilizing to B => C stabilizing to B.
+  // B: cycle 0 <-> 1 from initial 0. A: B plus recovery 2 -> 0.
+  // C: subset of A with the same deadlock discipline.
+  TransitionGraph b = TransitionGraph::from_edges(3, {{0, 1}, {1, 0}});
+  TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}, {1, 0}, {2, 0}, {2, 1}});
+  TransitionGraph c = TransitionGraph::from_edges(3, {{0, 1}, {1, 0}, {2, 1}});
+  RefinementChecker ca(c, a, {0}, {0});
+  ASSERT_TRUE(ca.everywhere_refinement().holds);
+  RefinementChecker ab(a, b, {0}, {0});
+  ASSERT_TRUE(ab.stabilizing_to().holds);
+  RefinementChecker cb(std::move(c), std::move(b), {0}, {0});
+  EXPECT_TRUE(cb.stabilizing_to().holds);
+}
+
+}  // namespace
+}  // namespace cref

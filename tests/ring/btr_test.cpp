@@ -1,0 +1,176 @@
+#include "ring/btr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "refinement/checker.hpp"
+
+namespace cref::ring {
+namespace {
+
+TEST(BtrLayoutTest, VariableIndexing) {
+  BtrLayout l(3);
+  EXPECT_EQ(l.space()->var_count(), 6u);  // ut1..ut3, dt0..dt2
+  EXPECT_EQ(l.space()->var(l.ut(1)).name, "ut1");
+  EXPECT_EQ(l.space()->var(l.ut(3)).name, "ut3");
+  EXPECT_EQ(l.space()->var(l.dt(0)).name, "dt0");
+  EXPECT_EQ(l.space()->var(l.dt(2)).name, "dt2");
+}
+
+TEST(BtrLayoutTest, TokenCountAndInitialPredicate) {
+  BtrLayout l(2);
+  StateVec s(l.space()->var_count(), 0);
+  EXPECT_EQ(l.token_count(s), 0);
+  s[l.ut(1)] = 1;
+  EXPECT_EQ(l.token_count(s), 1);
+  EXPECT_TRUE(l.single_token()(s));
+  s[l.dt(0)] = 1;
+  EXPECT_EQ(l.token_count(s), 2);
+  EXPECT_FALSE(l.single_token()(s));
+}
+
+TEST(BtrTest, TokenTravelsUpBouncesAndComesDown) {
+  BtrLayout l(2);
+  System btr = make_btr(l);
+  StateVec s(l.space()->var_count(), 0);
+  s[l.ut(1)] = 1;
+  StateId id = l.space()->encode(s);
+  // ut1 -> ut2 (only move).
+  auto succ = btr.successors(id);
+  ASSERT_EQ(succ.size(), 1u);
+  StateVec t = l.space()->decode(succ[0]);
+  EXPECT_EQ(t[l.ut(2)], 1);
+  EXPECT_EQ(l.token_count(t), 1);
+  // ut2 bounces at the top into dt1.
+  succ = btr.successors(succ[0]);
+  ASSERT_EQ(succ.size(), 1u);
+  t = l.space()->decode(succ[0]);
+  EXPECT_EQ(t[l.dt(1)], 1);
+  // dt1 -> dt0.
+  succ = btr.successors(succ[0]);
+  ASSERT_EQ(succ.size(), 1u);
+  t = l.space()->decode(succ[0]);
+  EXPECT_EQ(t[l.dt(0)], 1);
+  // dt0 bounces at the bottom into ut1: back to the start.
+  succ = btr.successors(succ[0]);
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(succ[0], id);
+}
+
+TEST(BtrTest, SingleTokenBehaviourIsDeterministic) {
+  // In legitimate states exactly one action is enabled — the token's.
+  BtrLayout l(4);
+  System btr = make_btr(l);
+  for (StateId id : btr.initial_states()) EXPECT_EQ(btr.successors(id).size(), 1u);
+}
+
+TEST(BtrTest, ZeroTokenStateDeadlocksWithoutW1) {
+  BtrLayout l(3);
+  System btr = make_btr(l);
+  StateVec s(l.space()->var_count(), 0);
+  EXPECT_TRUE(btr.is_deadlock(l.space()->encode(s)));
+}
+
+TEST(W1Test, CreatesTokenAtTopOnlyWhenRestIsEmpty) {
+  BtrLayout l(3);
+  System w1 = make_w1(l);
+  StateVec s(l.space()->var_count(), 0);
+  // Empty ring: W1 fires, creating ut3.
+  auto succ = w1.successors(l.space()->encode(s));
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(l.space()->decode(succ[0])[l.ut(3)], 1);
+  // A token below process n disables W1.
+  s[l.dt(1)] = 1;
+  EXPECT_TRUE(w1.successors(l.space()->encode(s)).empty());
+  // ut_n set: guard holds but the effect is a no-op — no transition.
+  s[l.dt(1)] = 0;
+  s[l.ut(3)] = 1;
+  EXPECT_TRUE(w1.successors(l.space()->encode(s)).empty());
+}
+
+TEST(W2Test, CancelsOpposingTokensAtTheSameProcess) {
+  BtrLayout l(3);
+  System w2 = make_w2(l);
+  StateVec s(l.space()->var_count(), 0);
+  s[l.ut(2)] = 1;
+  s[l.dt(2)] = 1;
+  auto succ = w2.successors(l.space()->encode(s));
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(l.token_count(l.space()->decode(succ[0])), 0);
+  // Tokens at different processes do not cancel.
+  StateVec u(l.space()->var_count(), 0);
+  u[l.ut(1)] = 1;
+  u[l.dt(2)] = 1;
+  EXPECT_TRUE(w2.successors(l.space()->encode(u)).empty());
+}
+
+TEST(BtrTest, InvariantI4TokenAlternatesDirectionEachRound) {
+  // Paper invariant I4: "ut and dt occur with equal frequency" — the
+  // token changes direction exactly twice per revolution. Follow the
+  // deterministic legit cycle for one full revolution and count
+  // direction flips.
+  BtrLayout l(4);
+  System btr = make_btr(l);
+  StateVec s(l.space()->var_count(), 0);
+  s[l.ut(1)] = 1;
+  StateId id = l.space()->encode(s);
+  StateId start = id;
+  int flips = 0;
+  bool was_up = true;
+  int ups = 0, downs = 0;
+  do {
+    StateVec v = l.space()->decode(id);
+    bool is_up = false;
+    for (int j = 1; j <= l.n(); ++j) is_up |= v[l.ut(j)] != 0;
+    if (is_up != was_up) ++flips;
+    is_up ? ++ups : ++downs;
+    was_up = is_up;
+    auto succ = btr.successors(id);
+    ASSERT_EQ(succ.size(), 1u);
+    id = succ[0];
+  } while (id != start);
+  // One flip inside the walk (up -> down at the top); the second is the
+  // wrap-around back to the starting up-state.
+  EXPECT_EQ(flips, 1);
+  EXPECT_FALSE(was_up);   // the revolution ends going down...
+  EXPECT_EQ(ups, downs);  // ...and ut/dt occur with equal frequency (I4)
+}
+
+// ------------------------------------------------------------------
+// Theorem 6 (measured): under plain union an unfair central daemon can
+// let two opposing tokens cross without ever picking W2 — the wrapped
+// system is NOT stabilizing. Under priority composition (wrapper
+// preempts) it IS. EXPERIMENTS.md, experiment E4.
+// ------------------------------------------------------------------
+class BtrWrapperTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BtrWrapperTest, Theorem6FailsUnderPlainUnion) {
+  BtrLayout l(GetParam());
+  System wrapped = box(make_btr(l), make_w1(l), make_w2(l));
+  RefinementChecker rc(wrapped, make_btr(l));
+  EXPECT_FALSE(rc.stabilizing_to().holds);
+}
+
+TEST_P(BtrWrapperTest, Theorem6HoldsUnderPriorityComposition) {
+  BtrLayout l(GetParam());
+  System wrapped = box_priority(make_btr(l), box(make_w1(l), make_w2(l)));
+  RefinementChecker rc(wrapped, make_btr(l));
+  EXPECT_TRUE(rc.stabilizing_to().holds);
+}
+
+TEST_P(BtrWrapperTest, BothWrappersAreNecessary) {
+  BtrLayout l(GetParam());
+  System btr = make_btr(l);
+  // Without W1 the zero-token state deadlocks outside R_A.
+  EXPECT_FALSE(
+      RefinementChecker(box_priority(btr, make_w2(l)), btr).stabilizing_to().holds);
+  // Without W2 multiple tokens are never reduced.
+  EXPECT_FALSE(
+      RefinementChecker(box_priority(btr, make_w1(l)), btr).stabilizing_to().holds);
+  // BTR alone is fault-intolerant.
+  EXPECT_FALSE(RefinementChecker(btr, btr).stabilizing_to().holds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BtrWrapperTest, ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cref::ring

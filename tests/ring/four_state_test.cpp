@@ -1,0 +1,151 @@
+#include "ring/four_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "refinement/checker.hpp"
+#include "refinement/convergence_time.hpp"
+#include "refinement/equivalence.hpp"
+
+namespace cref::ring {
+namespace {
+
+TEST(FourStateLayoutTest, UpConstants) {
+  FourStateLayout l(3);
+  StateVec s(l.space()->var_count(), 0);
+  EXPECT_EQ(l.up_val(s, 0), 1);  // up_0 == true
+  EXPECT_EQ(l.up_val(s, 3), 0);  // up_n == false
+  s[l.up(1)] = 1;
+  EXPECT_EQ(l.up_val(s, 1), 1);
+}
+
+TEST(FourStateLayoutTest, CanonicalStateHasSingleToken) {
+  for (int n : {2, 3, 4, 5}) {
+    FourStateLayout l(n);
+    StateVec s = l.canonical_state();
+    EXPECT_EQ(l.image_token_count(s), 1) << "n=" << n;
+    EXPECT_TRUE(l.dt_image(s, 0)) << "n=" << n;  // token is dt_0
+  }
+}
+
+TEST(FourStateLayoutTest, TokenImagesMatchPaperMapping) {
+  FourStateLayout l(2);
+  StateVec s(l.space()->var_count(), 0);
+  // c = (1,0,0), up1 = 0: ut_1 == c1 != c0 ^ up0 ^ !up1 — true.
+  s[l.c(0)] = 1;
+  EXPECT_TRUE(l.ut_image(s, 1));
+  EXPECT_EQ(l.image_token_count(s), 1);
+  // Flip up1: ut_1 requires !up_1 — gone; ut_2 == c2 != c1 ^ up1 — false
+  // here since c1 == c2.
+  s[l.up(1)] = 1;
+  EXPECT_FALSE(l.ut_image(s, 1));
+}
+
+TEST(Alpha4Test, TotalButNotOnto) {
+  // The paper's Section 2.3 demands alpha be onto; mechanically the
+  // (c, up) encoding cannot express every token configuration (e.g. the
+  // all-tokens state). A measured deviation — see EXPERIMENTS.md.
+  FourStateLayout l(3);
+  BtrLayout bl(3);
+  Abstraction a4 = make_alpha4(l, bl);
+  EXPECT_FALSE(a4.is_onto());
+  EXPECT_FALSE(a4.missed_states().empty());
+}
+
+TEST(WrapperTest, W1PrimeAndW2PrimeAreVacuous) {
+  // Paper Section 4.1: both refined wrappers are vacuously implemented.
+  for (int n : {2, 3, 4}) {
+    FourStateLayout l(n);
+    EXPECT_EQ(TransitionGraph::build(make_w1_prime(l)).num_edges(), 0u) << "n=" << n;
+    EXPECT_EQ(TransitionGraph::build(make_w2_prime(l)).num_edges(), 0u) << "n=" << n;
+  }
+}
+
+class FourStateTest : public ::testing::TestWithParam<int> {
+ protected:
+  int n() const { return GetParam(); }
+};
+
+TEST_P(FourStateTest, Btr4IsAConvergenceRefinementOfBtr) {
+  // The abstract-model BTR4 tracks BTR exactly from every preimage
+  // initial state: neighbor writes force the moved token to reappear.
+  FourStateLayout l(n());
+  BtrLayout bl(n());
+  RefinementChecker rc(make_btr4(l), make_btr(bl), make_alpha4(l, bl));
+  EXPECT_TRUE(rc.refinement_init().holds);
+  EXPECT_TRUE(rc.convergence_refinement().holds);
+}
+
+TEST_P(FourStateTest, Lemma7HoldsWithFaithfulInitialStates) {
+  FourStateLayout l(n());
+  BtrLayout bl(n());
+  System c1 = with_reachable_initial(make_c1(l), l.canonical_state());
+  RefinementChecker rc(c1, make_btr(bl), make_alpha4(l, bl));
+  EXPECT_TRUE(rc.convergence_refinement().holds);
+}
+
+TEST_P(FourStateTest, Lemma7FailsWithPreimageInitialStates) {
+  // Measured deviation: from a corrupted single-token encoding, C1's
+  // very first move can compress (the token skips the top bounce), so
+  // the naive preimage initial set breaks [C1 (= BTR]_init.
+  FourStateLayout l(n());
+  BtrLayout bl(n());
+  RefinementChecker rc(make_c1(l), make_btr(bl), make_alpha4(l, bl));
+  EXPECT_FALSE(rc.refinement_init().holds);
+}
+
+TEST_P(FourStateTest, C1CompressesButOnlyOffCycles) {
+  FourStateLayout l(n());
+  BtrLayout bl(n());
+  RefinementChecker rc(make_c1(l), make_btr(bl), make_alpha4(l, bl));
+  auto st = rc.edge_stats();
+  EXPECT_GT(st.compressed, 0u);  // Section 4.2's compression is real
+  EXPECT_EQ(st.invalid, 0u);     // and never leaves A's reachability
+  auto ex = rc.example_compression();
+  ASSERT_TRUE(ex.has_value());
+  // The compressed A-path drops at least one interior state.
+  EXPECT_GE(ex->second.states.size(), 3u);
+}
+
+TEST_P(FourStateTest, Theorem8C1WrappedStabilizesToBtr) {
+  FourStateLayout l(n());
+  BtrLayout bl(n());
+  System c1w = box(make_c1(l), make_w1_prime(l), make_w2_prime(l));
+  RefinementChecker rc(c1w, make_btr(bl), make_alpha4(l, bl));
+  EXPECT_TRUE(rc.stabilizing_to().holds);
+}
+
+TEST_P(FourStateTest, Dijkstra4StabilizesToBtr) {
+  FourStateLayout l(n());
+  BtrLayout bl(n());
+  RefinementChecker rc(make_dijkstra4(l), make_btr(bl), make_alpha4(l, bl));
+  EXPECT_TRUE(rc.stabilizing_to().holds);
+}
+
+TEST_P(FourStateTest, GuardRelaxationMakesC1WASubsetOfDijkstra4) {
+  // Paper Section 4.2: Dijkstra's system is (C1 [] W1' [] W2') with the
+  // guards of the first and third actions relaxed — strictly more
+  // transitions, never fewer.
+  FourStateLayout l(n());
+  System c1w = box(make_c1(l), make_w1_prime(l), make_w2_prime(l));
+  auto cmp = compare_relations(TransitionGraph::build(c1w),
+                               TransitionGraph::build(make_dijkstra4(l)));
+  EXPECT_TRUE(cmp.first_subset_of_second);
+  EXPECT_FALSE(cmp.equal);
+  EXPECT_GT(cmp.only_in_second, 0u);
+}
+
+TEST_P(FourStateTest, Dijkstra4WorstCaseConvergenceIsBounded) {
+  FourStateLayout l(n());
+  BtrLayout bl(n());
+  RefinementChecker rc(make_dijkstra4(l), make_btr(bl), make_alpha4(l, bl));
+  ASSERT_TRUE(rc.stabilizing_to().holds);
+  auto res = convergence_time(rc);
+  EXPECT_TRUE(res.bounded);
+  EXPECT_GT(res.locked_count, 0u);
+  EXPECT_GT(res.worst_steps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FourStateTest, ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cref::ring

@@ -1,0 +1,266 @@
+#include "ring/three_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "refinement/checker.hpp"
+#include "refinement/convergence_time.hpp"
+#include "refinement/equivalence.hpp"
+
+namespace cref::ring {
+namespace {
+
+TEST(ThreeStateLayoutTest, TokenImages) {
+  ThreeStateLayout l(2);
+  StateVec s{1, 0, 0};  // c0=1, c1=0, c2=0
+  EXPECT_TRUE(l.ut_image(s, 1));  // c0 == c1 (+) 1
+  EXPECT_FALSE(l.dt_image(s, 0));
+  EXPECT_EQ(l.image_token_count(s), 1);
+  EXPECT_EQ(l.canonical_state(), s);
+}
+
+TEST(ThreeStateLayoutTest, BothTokensCanCoexistAtAProcess) {
+  // c = (1, 0, 1): both neighbors of process 1 are one ahead — the W2'
+  // situation.
+  ThreeStateLayout l(2);
+  StateVec s{1, 0, 1};
+  EXPECT_TRUE(l.ut_image(s, 1));
+  EXPECT_TRUE(l.dt_image(s, 1));
+}
+
+TEST(Alpha3Test, TotalButNotOnto) {
+  ThreeStateLayout l(3);
+  BtrLayout bl(3);
+  EXPECT_FALSE(make_alpha3(l, bl).is_onto());
+}
+
+TEST(W1DoublePrimeTest, EverywhereRefinementOfW1PrimeOnlyForTinyRings) {
+  // Paper Section 5.1: W1'' is enabled in states the global W1' is not,
+  // so it is not an everywhere refinement — except at n = 2 where
+  // "c_{n-1} == c_0" IS the global condition.
+  {
+    ThreeStateLayout l(2);
+    RefinementChecker rc(make_w1_dprime(l), make_w1_prime3(l));
+    EXPECT_TRUE(rc.everywhere_refinement().holds);
+  }
+  for (int n : {3, 4}) {
+    ThreeStateLayout l(n);
+    RefinementChecker rc(make_w1_dprime(l), make_w1_prime3(l));
+    EXPECT_FALSE(rc.everywhere_refinement().holds) << "n=" << n;
+  }
+}
+
+TEST(W2Prime3Test, DeletesBothTokens) {
+  ThreeStateLayout l(2);
+  System w2 = make_w2_prime3(l);
+  StateVec s{1, 0, 1};
+  auto succ = w2.successors(l.space()->encode(s));
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(l.image_token_count(l.space()->decode(succ[0])), 0);
+}
+
+class ThreeStateTest : public ::testing::TestWithParam<int> {
+ protected:
+  int n() const { return GetParam(); }
+};
+
+TEST_P(ThreeStateTest, MergedSystemEqualsDijkstra3) {
+  // Paper Section 5.2's headline equality, machine-checked: the merged
+  // (C2 [] W1'' [] W2') transition relation IS Dijkstra's 3-state one.
+  ThreeStateLayout l(n());
+  auto cmp = compare_relations(TransitionGraph::build(make_c2_merged(l)),
+                               TransitionGraph::build(make_dijkstra3(l)));
+  EXPECT_TRUE(cmp.equal);
+}
+
+TEST_P(ThreeStateTest, AggressiveC3EqualsDijkstra3) {
+  // Paper Section 6's final step: with the aggressive W2', the new
+  // 3-state system rewrites to Dijkstra's when K = 3.
+  ThreeStateLayout l(n());
+  auto cmp = compare_relations(TransitionGraph::build(make_c3_aggressive(l)),
+                               TransitionGraph::build(make_dijkstra3(l)));
+  EXPECT_TRUE(cmp.equal);
+}
+
+TEST_P(ThreeStateTest, Dijkstra3StabilizesToBtr) {
+  ThreeStateLayout l(n());
+  BtrLayout bl(n());
+  RefinementChecker rc(make_dijkstra3(l), make_btr(bl), make_alpha3(l, bl));
+  EXPECT_TRUE(rc.stabilizing_to().holds);
+}
+
+TEST_P(ThreeStateTest, Dijkstra3WorstCaseConvergenceBounded) {
+  ThreeStateLayout l(n());
+  BtrLayout bl(n());
+  RefinementChecker rc(make_dijkstra3(l), make_btr(bl), make_alpha3(l, bl));
+  ASSERT_TRUE(rc.stabilizing_to().holds);
+  auto res = convergence_time(rc);
+  EXPECT_TRUE(res.bounded);
+  EXPECT_GT(res.worst_steps, 0u);
+}
+
+TEST_P(ThreeStateTest, C2TracksBtr3FromFaithfulInitialStates) {
+  ThreeStateLayout l(n());
+  System c2 = with_reachable_initial(make_c2(l), l.canonical_state());
+  RefinementChecker rc(c2, make_btr3(l));
+  EXPECT_TRUE(rc.refinement_init().holds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ThreeStateTest, ::testing::Values(2, 3, 4, 5));
+
+// ------------------------------------------------------------------
+// Measured deviations from the paper's Section 5/6 intermediate claims
+// (EXPERIMENTS.md, experiments E7-E9). The final systems are correct;
+// the compositional route has real gaps which these tests pin down.
+// ------------------------------------------------------------------
+
+TEST(MeasuredDeviation, Lemma9FailsUnderPlainUnion) {
+  // Under plain box-union the daemon may never grant W2'.
+  for (int n : {3, 4}) {
+    ThreeStateLayout l(n);
+    BtrLayout bl(n);
+    System wrapped = box(make_btr3(l), make_w1_dprime(l), make_w2_prime3(l));
+    RefinementChecker rc(wrapped, make_btr(bl), make_alpha3(l, bl));
+    EXPECT_FALSE(rc.stabilizing_to().holds) << "n=" << n;
+  }
+}
+
+TEST(MeasuredDeviation, Lemma9WithW1DoublePrimeFailsAtN4EvenWithPriority) {
+  // The local wrapper W1'' keeps injecting tokens into 3-same-direction
+  // configurations where W2' can never fire: the paper's informal
+  // non-interference argument breaks at n >= 4.
+  for (int n : {2, 3}) {
+    ThreeStateLayout l(n);
+    BtrLayout bl(n);
+    System wrapped = box_priority(make_btr3(l), box(make_w1_dprime(l), make_w2_prime3(l)));
+    RefinementChecker rc(wrapped, make_btr(bl), make_alpha3(l, bl));
+    EXPECT_TRUE(rc.stabilizing_to().holds) << "n=" << n;
+  }
+  for (int n : {4, 5}) {
+    ThreeStateLayout l(n);
+    BtrLayout bl(n);
+    System wrapped = box_priority(make_btr3(l), box(make_w1_dprime(l), make_w2_prime3(l)));
+    RefinementChecker rc(wrapped, make_btr(bl), make_alpha3(l, bl));
+    EXPECT_FALSE(rc.stabilizing_to().holds) << "n=" << n;
+  }
+}
+
+TEST(MeasuredDeviation, Lemma9HoldsWithGlobalW1PrimeUnderPriority) {
+  // With the GLOBAL wrapper W1' the derivation chain is sound: creation
+  // happens only when the ring below the top is genuinely flat.
+  for (int n : {2, 3, 4, 5}) {
+    ThreeStateLayout l(n);
+    BtrLayout bl(n);
+    System wrapped = box_priority(make_btr3(l), box(make_w1_prime3(l), make_w2_prime3(l)));
+    RefinementChecker rc(wrapped, make_btr(bl), make_alpha3(l, bl));
+    EXPECT_TRUE(rc.stabilizing_to().holds) << "n=" << n;
+  }
+}
+
+TEST(MeasuredDeviation, Theorem11AsPlainUnionFailsForLargerRings) {
+  for (int n : {3, 4}) {
+    ThreeStateLayout l(n);
+    BtrLayout bl(n);
+    System c2w = box(make_c2(l), make_w1_dprime(l), make_w2_prime3(l));
+    RefinementChecker rc(c2w, make_btr(bl), make_alpha3(l, bl));
+    EXPECT_FALSE(rc.stabilizing_to().holds) << "n=" << n;
+  }
+}
+
+TEST(MeasuredDeviation, C2PriorityWrappedStabilizesOnlyForSmallRings) {
+  for (int n : {2, 3}) {
+    ThreeStateLayout l(n);
+    BtrLayout bl(n);
+    System c2w = box_priority(make_c2(l), box(make_w1_dprime(l), make_w2_prime3(l)));
+    EXPECT_TRUE(RefinementChecker(c2w, make_btr(bl), make_alpha3(l, bl))
+                    .stabilizing_to()
+                    .holds)
+        << "n=" << n;
+  }
+  {
+    int n = 4;
+    ThreeStateLayout l(n);
+    BtrLayout bl(n);
+    System c2w = box_priority(make_c2(l), box(make_w1_dprime(l), make_w2_prime3(l)));
+    EXPECT_FALSE(RefinementChecker(c2w, make_btr(bl), make_alpha3(l, bl))
+                     .stabilizing_to()
+                     .holds);
+  }
+}
+
+TEST(MeasuredDeviation, C2WithGlobalW1PrimeStabilizesUnderPriority) {
+  for (int n : {2, 3, 4, 5}) {
+    ThreeStateLayout l(n);
+    BtrLayout bl(n);
+    System c2w = box_priority(make_c2(l), box(make_w1_prime3(l), make_w2_prime3(l)));
+    EXPECT_TRUE(RefinementChecker(c2w, make_btr(bl), make_alpha3(l, bl))
+                    .stabilizing_to()
+                    .holds)
+        << "n=" << n;
+  }
+}
+
+TEST(MeasuredDeviation, Lemma12C3DoesCompressWhenTokensCross) {
+  // The paper claims C3 performs no compression (only stuttering). When
+  // ut_j and dt_j coexist at j, C3's move teleports BOTH tokens across
+  // in one step — a compression, and it lies on a cycle, so [C3 <~ BTR]
+  // fails as stated.
+  for (int n : {2, 3, 4}) {
+    ThreeStateLayout l(n);
+    BtrLayout bl(n);
+    System c3 = with_reachable_initial(make_c3(l), l.canonical_state());
+    RefinementChecker rc(c3, make_btr(bl), make_alpha3(l, bl));
+    auto st = rc.edge_stats();
+    EXPECT_GT(st.compressed, 0u) << "n=" << n;
+    EXPECT_FALSE(rc.convergence_refinement().holds) << "n=" << n;
+  }
+}
+
+TEST(MeasuredDeviation, C3CrossingStepMovesBothTokensAtOnce) {
+  // The concrete crossing step behind the Lemma 12 failure: from
+  // c = (1,0,1) (ut_1 and dt_1), C3's up-move at 1 yields images
+  // {ut_2, dt_0} in one transition.
+  ThreeStateLayout l(2);
+  StateVec s{1, 0, 1};
+  ASSERT_TRUE(l.ut_image(s, 1) && l.dt_image(s, 1));
+  System c3 = make_c3(l);
+  StateVec t = s;
+  // Action "up1" is at index 2 (top, bottom, then up/down per process).
+  const Action& up1 = c3.actions()[2];
+  ASSERT_EQ(up1.name, "up1");
+  ASSERT_TRUE(up1.guard(s));
+  up1.effect(t);
+  EXPECT_TRUE(l.ut_image(t, 2));
+  EXPECT_TRUE(l.dt_image(t, 0));
+  EXPECT_FALSE(l.ut_image(t, 1));
+  EXPECT_FALSE(l.dt_image(t, 1));
+}
+
+TEST(MeasuredDeviation, Theorem13HoldsUnderPriorityComposition) {
+  // With W2' given priority, the crossing states are corrected before
+  // C3 can teleport through them: the wrapped new 3-state system IS
+  // stabilizing, at every tested size — unlike C2's (E9).
+  for (int n : {2, 3, 4, 5}) {
+    ThreeStateLayout l(n);
+    BtrLayout bl(n);
+    System c3w = box_priority(make_c3(l), box(make_w1_dprime(l), make_w2_prime3(l)));
+    EXPECT_TRUE(RefinementChecker(c3w, make_btr(bl), make_alpha3(l, bl))
+                    .stabilizing_to()
+                    .holds)
+        << "n=" << n;
+  }
+}
+
+TEST(MeasuredDeviation, Theorem13FailsUnderPlainUnion) {
+  for (int n : {2, 3}) {
+    ThreeStateLayout l(n);
+    BtrLayout bl(n);
+    System c3w = box(make_c3(l), make_w1_dprime(l), make_w2_prime3(l));
+    EXPECT_FALSE(RefinementChecker(c3w, make_btr(bl), make_alpha3(l, bl))
+                     .stabilizing_to()
+                     .holds)
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace cref::ring

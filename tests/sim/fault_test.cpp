@@ -1,0 +1,63 @@
+#include "sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cref::sim {
+namespace {
+
+TEST(FaultInjectorTest, CorruptStaysInDomain) {
+  Space space({{"a", 2}, {"b", 3}, {"c", 7}});
+  FaultInjector fi(123);
+  StateVec s{1, 2, 6};
+  for (int i = 0; i < 200; ++i) {
+    fi.corrupt(space, s, 2);
+    ASSERT_LT(s[0], 2);
+    ASSERT_LT(s[1], 3);
+    ASSERT_LT(s[2], 7);
+  }
+}
+
+TEST(FaultInjectorTest, CorruptZeroVarsIsIdentity) {
+  Space space({{"a", 5}});
+  FaultInjector fi(1);
+  StateVec s{3};
+  fi.corrupt(space, s, 0);
+  EXPECT_EQ(s, (StateVec{3}));
+}
+
+TEST(FaultInjectorTest, ScrambleResizesAndFills) {
+  Space space({{"a", 4}, {"b", 4}});
+  FaultInjector fi(9);
+  StateVec s;
+  fi.scramble(space, s);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_LT(s[0], 4);
+  EXPECT_LT(s[1], 4);
+}
+
+TEST(FaultInjectorTest, ScrambleCoversTheSpace) {
+  // With enough draws every state of a tiny space appears.
+  Space space({{"a", 2}, {"b", 2}});
+  FaultInjector fi(77);
+  std::vector<int> seen(4, 0);
+  StateVec s;
+  for (int i = 0; i < 200; ++i) {
+    fi.scramble(space, s);
+    seen[space.encode(s)] = 1;
+  }
+  for (int hit : seen) EXPECT_EQ(hit, 1);
+}
+
+TEST(FaultInjectorTest, DeterministicUnderSeed) {
+  Space space({{"a", 9}, {"b", 9}});
+  FaultInjector f1(42), f2(42);
+  StateVec s1{0, 0}, s2{0, 0};
+  for (int i = 0; i < 20; ++i) {
+    f1.corrupt(space, s1, 1);
+    f2.corrupt(space, s2, 1);
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace cref::sim

@@ -1,0 +1,113 @@
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ring/three_state.hpp"
+#include "sim/fault.hpp"
+
+namespace cref::sim {
+namespace {
+
+using ring::ThreeStateLayout;
+
+TEST(EnabledChangingActionsTest, ExcludesNoOps) {
+  auto space = make_uniform_space(1, 3, "x");
+  System sys("s", space,
+             {{"noop", 0, [](const StateVec&) { return true; }, [](StateVec&) {}},
+              {"set2", 0, [](const StateVec& s) { return s[0] != 2; },
+               [](StateVec& s) { s[0] = 2; }}},
+             std::nullopt);
+  EXPECT_EQ(enabled_changing_actions(sys, {0}), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(enabled_changing_actions(sys, {2}).empty());
+}
+
+TEST(RunUntilTest, LegitStartConvergesInZeroSteps) {
+  ThreeStateLayout l(3);
+  System d3 = ring::make_dijkstra3(l);
+  RandomDaemon daemon(1);
+  auto res = run_until(d3, l.canonical_state(), daemon, l.single_token_image());
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.steps, 0u);
+}
+
+TEST(RunUntilTest, Dijkstra3ConvergesFromEveryCorruptedState) {
+  ThreeStateLayout l(3);
+  System d3 = ring::make_dijkstra3(l);
+  StatePredicate legit = l.single_token_image();
+  StateVec v;
+  for (StateId id = 0; id < l.space()->size(); ++id) {
+    l.space()->decode_into(id, v);
+    RandomDaemon daemon(id + 1);
+    auto res = run_until(d3, v, daemon, legit, {.max_steps = 10000});
+    EXPECT_TRUE(res.converged) << l.space()->format(id);
+    EXPECT_FALSE(res.deadlocked);
+  }
+}
+
+TEST(RunUntilTest, RecordsTraceWhenAsked) {
+  ThreeStateLayout l(2);
+  System d3 = ring::make_dijkstra3(l);
+  FaultInjector fi(3);
+  StateVec start = l.canonical_state();
+  fi.corrupt(*l.space(), start, 2);
+  RandomDaemon daemon(5);
+  auto res = run_until(d3, start, daemon, l.single_token_image(),
+                       {.max_steps = 1000, .record_trace = true});
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.trace.size(), res.steps + 1);
+  EXPECT_EQ(res.trace.front(), start);
+}
+
+TEST(RunUntilTest, DeadlockIsReported) {
+  auto space = make_uniform_space(1, 3, "x");
+  System sys("dead", space,
+             {{"dec", 0, [](const StateVec& s) { return s[0] > 0; },
+               [](StateVec& s) { s[0] -= 1; }}},
+             std::nullopt);
+  RandomDaemon daemon(1);
+  // Run toward an unreachable target: the system decrements to 0 and
+  // deadlocks there.
+  auto res = run_until(sys, {2}, daemon,
+                       [](const StateVec& s) { return s[0] == 99; });
+  EXPECT_FALSE(res.converged);
+  EXPECT_TRUE(res.deadlocked);
+  EXPECT_EQ(res.steps, 2u);
+}
+
+TEST(RunUntilTest, MaxStepsCapRespected) {
+  auto space = make_uniform_space(1, 4, "x");
+  System sys("spin", space,
+             {{"inc", 0, [](const StateVec&) { return true; },
+               [](StateVec& s) { s[0] = static_cast<Value>((s[0] + 1) % 4); }}},
+             std::nullopt);
+  RandomDaemon daemon(1);
+  auto res = run_until(sys, {0}, daemon, [](const StateVec&) { return false; },
+                       {.max_steps = 50});
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.steps, 50u);
+}
+
+TEST(SynchronousStepTest, AllEnabledProcessesMoveAgainstOldState) {
+  ThreeStateLayout l(3);
+  System d3 = ring::make_dijkstra3(l);
+  // c = (1,0,0,0): ut_1 only; a synchronous round moves only process 1.
+  StateVec s = l.canonical_state();
+  std::vector<int> everyone{0, 1, 2, 3};
+  ASSERT_TRUE(step_synchronous(d3, s, everyone));
+  EXPECT_EQ(s, (StateVec{1, 1, 0, 0}));
+  // Now ut_2 only.
+  EXPECT_TRUE(l.ut_image(s, 2));
+  EXPECT_EQ(l.image_token_count(s), 1);
+}
+
+TEST(SynchronousStepTest, ReturnsFalseWhenNothingChanges) {
+  ThreeStateLayout l(2);
+  System d3 = ring::make_dijkstra3(l);
+  StateVec s = l.canonical_state();
+  // Processes 0 and 2 have nothing enabled in the canonical state.
+  EXPECT_FALSE(step_synchronous(d3, s, {0, 2}));
+  EXPECT_EQ(s, l.canonical_state());
+}
+
+}  // namespace
+}  // namespace cref::sim

@@ -1,0 +1,77 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+
+namespace cref::sim {
+namespace {
+
+System two_action_system() {
+  auto space = make_uniform_space(2, 4, "v");
+  return System(
+      "two", space,
+      {{"incA", 0, [](const StateVec&) { return true; },
+        [](StateVec& s) { s[0] = static_cast<Value>((s[0] + 1) % 4); }},
+       {"incB", 1, [](const StateVec&) { return true; },
+        [](StateVec& s) { s[1] = static_cast<Value>((s[1] + 1) % 4); }}},
+      std::nullopt);
+}
+
+TEST(RandomDaemonTest, PicksOnlyFromEnabled) {
+  System sys = two_action_system();
+  RandomDaemon d(42);
+  StateVec s{0, 0};
+  for (int i = 0; i < 100; ++i) {
+    std::size_t pick = d.pick(sys, s, {0, 1});
+    EXPECT_TRUE(pick == 0 || pick == 1);
+  }
+}
+
+TEST(RandomDaemonTest, EventuallyPicksEveryAction) {
+  System sys = two_action_system();
+  RandomDaemon d(7);
+  StateVec s{0, 0};
+  bool saw0 = false, saw1 = false;
+  for (int i = 0; i < 200 && !(saw0 && saw1); ++i) {
+    std::size_t pick = d.pick(sys, s, {0, 1});
+    saw0 |= pick == 0;
+    saw1 |= pick == 1;
+  }
+  EXPECT_TRUE(saw0 && saw1);
+}
+
+TEST(RoundRobinDaemonTest, CyclesThroughActions) {
+  System sys = two_action_system();
+  RoundRobinDaemon d;
+  StateVec s{0, 0};
+  EXPECT_EQ(d.pick(sys, s, {0, 1}), 0u);
+  EXPECT_EQ(d.pick(sys, s, {0, 1}), 1u);
+  EXPECT_EQ(d.pick(sys, s, {0, 1}), 0u);
+}
+
+TEST(RoundRobinDaemonTest, SkipsDisabledActions) {
+  System sys = two_action_system();
+  RoundRobinDaemon d;
+  StateVec s{0, 0};
+  EXPECT_EQ(d.pick(sys, s, {1}), 1u);
+  EXPECT_EQ(d.pick(sys, s, {1}), 1u);
+}
+
+TEST(GreedyAdversaryTest, MaximizesScore) {
+  System sys = two_action_system();
+  // Score favors large v1: the adversary must pick incB.
+  GreedyAdversaryDaemon d([](const StateVec& s) { return static_cast<double>(s[1]); });
+  StateVec s{0, 0};
+  EXPECT_EQ(d.pick(sys, s, {0, 1}), 1u);
+}
+
+TEST(GreedyAdversaryTest, TieBreaksByLowestIndex) {
+  System sys = two_action_system();
+  GreedyAdversaryDaemon d([](const StateVec&) { return 0.0; });
+  StateVec s{0, 0};
+  EXPECT_EQ(d.pick(sys, s, {0, 1}), 0u);
+}
+
+}  // namespace
+}  // namespace cref::sim
