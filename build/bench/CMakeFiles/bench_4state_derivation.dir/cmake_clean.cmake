@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_4state_derivation.dir/bench_4state_derivation.cpp.o"
+  "CMakeFiles/bench_4state_derivation.dir/bench_4state_derivation.cpp.o.d"
+  "bench_4state_derivation"
+  "bench_4state_derivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_4state_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

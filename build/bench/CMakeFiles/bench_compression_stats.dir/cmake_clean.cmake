@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compression_stats.dir/bench_compression_stats.cpp.o"
+  "CMakeFiles/bench_compression_stats.dir/bench_compression_stats.cpp.o.d"
+  "bench_compression_stats"
+  "bench_compression_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compression_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

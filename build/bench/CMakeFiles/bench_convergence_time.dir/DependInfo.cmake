@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_convergence_time.cpp" "bench/CMakeFiles/bench_convergence_time.dir/bench_convergence_time.cpp.o" "gcc" "bench/CMakeFiles/bench_convergence_time.dir/bench_convergence_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cref_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/refinement/CMakeFiles/cref_refinement.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/cref_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cref_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvmsim/CMakeFiles/cref_jvmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bidding/CMakeFiles/cref_bidding.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_bidding.dir/bench_intro_bidding.cpp.o"
+  "CMakeFiles/bench_intro_bidding.dir/bench_intro_bidding.cpp.o.d"
+  "bench_intro_bidding"
+  "bench_intro_bidding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_bidding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_bytecode.dir/bench_intro_bytecode.cpp.o"
+  "CMakeFiles/bench_intro_bytecode.dir/bench_intro_bytecode.cpp.o.d"
+  "bench_intro_bytecode"
+  "bench_intro_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

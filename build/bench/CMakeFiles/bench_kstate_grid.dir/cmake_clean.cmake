@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kstate_grid.dir/bench_kstate_grid.cpp.o"
+  "CMakeFiles/bench_kstate_grid.dir/bench_kstate_grid.cpp.o.d"
+  "bench_kstate_grid"
+  "bench_kstate_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kstate_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_new3state.dir/bench_new3state.cpp.o"
+  "CMakeFiles/bench_new3state.dir/bench_new3state.cpp.o.d"
+  "bench_new3state"
+  "bench_new3state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_new3state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_sim.dir/bench_scale_sim.cpp.o"
+  "CMakeFiles/bench_scale_sim.dir/bench_scale_sim.cpp.o.d"
+  "bench_scale_sim"
+  "bench_scale_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

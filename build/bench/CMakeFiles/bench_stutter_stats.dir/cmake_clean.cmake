@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stutter_stats.dir/bench_stutter_stats.cpp.o"
+  "CMakeFiles/bench_stutter_stats.dir/bench_stutter_stats.cpp.o.d"
+  "bench_stutter_stats"
+  "bench_stutter_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stutter_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

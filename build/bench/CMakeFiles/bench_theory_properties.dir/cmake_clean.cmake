@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theory_properties.dir/bench_theory_properties.cpp.o"
+  "CMakeFiles/bench_theory_properties.dir/bench_theory_properties.cpp.o.d"
+  "bench_theory_properties"
+  "bench_theory_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm6_btr_wrappers.dir/bench_thm6_btr_wrappers.cpp.o"
+  "CMakeFiles/bench_thm6_btr_wrappers.dir/bench_thm6_btr_wrappers.cpp.o.d"
+  "bench_thm6_btr_wrappers"
+  "bench_thm6_btr_wrappers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm6_btr_wrappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

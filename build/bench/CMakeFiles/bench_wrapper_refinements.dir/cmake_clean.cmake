@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wrapper_refinements.dir/bench_wrapper_refinements.cpp.o"
+  "CMakeFiles/bench_wrapper_refinements.dir/bench_wrapper_refinements.cpp.o.d"
+  "bench_wrapper_refinements"
+  "bench_wrapper_refinements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wrapper_refinements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidding_server_demo.dir/bidding_server_demo.cpp.o"
+  "CMakeFiles/bidding_server_demo.dir/bidding_server_demo.cpp.o.d"
+  "bidding_server_demo"
+  "bidding_server_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidding_server_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcl_check.dir/gcl_check.cpp.o"
+  "CMakeFiles/gcl_check.dir/gcl_check.cpp.o.d"
+  "gcl_check"
+  "gcl_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcl_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

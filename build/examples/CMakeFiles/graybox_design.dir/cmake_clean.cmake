@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graybox_design.dir/graybox_design.cpp.o"
+  "CMakeFiles/graybox_design.dir/graybox_design.cpp.o.d"
+  "graybox_design"
+  "graybox_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graybox_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refinement_explorer.dir/refinement_explorer.cpp.o"
+  "CMakeFiles/refinement_explorer.dir/refinement_explorer.cpp.o.d"
+  "refinement_explorer"
+  "refinement_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refinement_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_visualizer.dir/ring_visualizer.cpp.o"
+  "CMakeFiles/ring_visualizer.dir/ring_visualizer.cpp.o.d"
+  "ring_visualizer"
+  "ring_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

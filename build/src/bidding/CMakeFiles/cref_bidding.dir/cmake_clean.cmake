@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cref_bidding.dir/server.cpp.o"
+  "CMakeFiles/cref_bidding.dir/server.cpp.o.d"
+  "libcref_bidding.a"
+  "libcref_bidding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cref_bidding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

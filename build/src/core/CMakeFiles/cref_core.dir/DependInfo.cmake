@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/abstraction.cpp" "src/core/CMakeFiles/cref_core.dir/abstraction.cpp.o" "gcc" "src/core/CMakeFiles/cref_core.dir/abstraction.cpp.o.d"
+  "/root/repo/src/core/distributed.cpp" "src/core/CMakeFiles/cref_core.dir/distributed.cpp.o" "gcc" "src/core/CMakeFiles/cref_core.dir/distributed.cpp.o.d"
+  "/root/repo/src/core/dot.cpp" "src/core/CMakeFiles/cref_core.dir/dot.cpp.o" "gcc" "src/core/CMakeFiles/cref_core.dir/dot.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "src/core/CMakeFiles/cref_core.dir/graph.cpp.o" "gcc" "src/core/CMakeFiles/cref_core.dir/graph.cpp.o.d"
+  "/root/repo/src/core/space.cpp" "src/core/CMakeFiles/cref_core.dir/space.cpp.o" "gcc" "src/core/CMakeFiles/cref_core.dir/space.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/cref_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/cref_core.dir/system.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/cref_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/cref_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cref_core.dir/abstraction.cpp.o"
+  "CMakeFiles/cref_core.dir/abstraction.cpp.o.d"
+  "CMakeFiles/cref_core.dir/distributed.cpp.o"
+  "CMakeFiles/cref_core.dir/distributed.cpp.o.d"
+  "CMakeFiles/cref_core.dir/dot.cpp.o"
+  "CMakeFiles/cref_core.dir/dot.cpp.o.d"
+  "CMakeFiles/cref_core.dir/graph.cpp.o"
+  "CMakeFiles/cref_core.dir/graph.cpp.o.d"
+  "CMakeFiles/cref_core.dir/space.cpp.o"
+  "CMakeFiles/cref_core.dir/space.cpp.o.d"
+  "CMakeFiles/cref_core.dir/system.cpp.o"
+  "CMakeFiles/cref_core.dir/system.cpp.o.d"
+  "CMakeFiles/cref_core.dir/trace.cpp.o"
+  "CMakeFiles/cref_core.dir/trace.cpp.o.d"
+  "libcref_core.a"
+  "libcref_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cref_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcl/compile.cpp" "src/gcl/CMakeFiles/cref_gcl.dir/compile.cpp.o" "gcc" "src/gcl/CMakeFiles/cref_gcl.dir/compile.cpp.o.d"
+  "/root/repo/src/gcl/lexer.cpp" "src/gcl/CMakeFiles/cref_gcl.dir/lexer.cpp.o" "gcc" "src/gcl/CMakeFiles/cref_gcl.dir/lexer.cpp.o.d"
+  "/root/repo/src/gcl/parser.cpp" "src/gcl/CMakeFiles/cref_gcl.dir/parser.cpp.o" "gcc" "src/gcl/CMakeFiles/cref_gcl.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cref_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

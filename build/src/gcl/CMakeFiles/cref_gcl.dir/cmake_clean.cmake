@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cref_gcl.dir/compile.cpp.o"
+  "CMakeFiles/cref_gcl.dir/compile.cpp.o.d"
+  "CMakeFiles/cref_gcl.dir/lexer.cpp.o"
+  "CMakeFiles/cref_gcl.dir/lexer.cpp.o.d"
+  "CMakeFiles/cref_gcl.dir/parser.cpp.o"
+  "CMakeFiles/cref_gcl.dir/parser.cpp.o.d"
+  "libcref_gcl.a"
+  "libcref_gcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cref_gcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

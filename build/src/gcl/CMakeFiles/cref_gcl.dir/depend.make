@@ -1,0 +1,2 @@
+# Empty dependencies file for cref_gcl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvmsim/automaton.cpp" "src/jvmsim/CMakeFiles/cref_jvmsim.dir/automaton.cpp.o" "gcc" "src/jvmsim/CMakeFiles/cref_jvmsim.dir/automaton.cpp.o.d"
+  "/root/repo/src/jvmsim/vm.cpp" "src/jvmsim/CMakeFiles/cref_jvmsim.dir/vm.cpp.o" "gcc" "src/jvmsim/CMakeFiles/cref_jvmsim.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cref_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cref_jvmsim.dir/automaton.cpp.o"
+  "CMakeFiles/cref_jvmsim.dir/automaton.cpp.o.d"
+  "CMakeFiles/cref_jvmsim.dir/vm.cpp.o"
+  "CMakeFiles/cref_jvmsim.dir/vm.cpp.o.d"
+  "libcref_jvmsim.a"
+  "libcref_jvmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cref_jvmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

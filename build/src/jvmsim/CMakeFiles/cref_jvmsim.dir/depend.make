@@ -1,0 +1,2 @@
+# Empty dependencies file for cref_jvmsim.
+# This may be replaced when dependencies are built.

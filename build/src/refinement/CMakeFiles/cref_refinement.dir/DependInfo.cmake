@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/refinement/certificate.cpp" "src/refinement/CMakeFiles/cref_refinement.dir/certificate.cpp.o" "gcc" "src/refinement/CMakeFiles/cref_refinement.dir/certificate.cpp.o.d"
+  "/root/repo/src/refinement/checker.cpp" "src/refinement/CMakeFiles/cref_refinement.dir/checker.cpp.o" "gcc" "src/refinement/CMakeFiles/cref_refinement.dir/checker.cpp.o.d"
+  "/root/repo/src/refinement/convergence_time.cpp" "src/refinement/CMakeFiles/cref_refinement.dir/convergence_time.cpp.o" "gcc" "src/refinement/CMakeFiles/cref_refinement.dir/convergence_time.cpp.o.d"
+  "/root/repo/src/refinement/equivalence.cpp" "src/refinement/CMakeFiles/cref_refinement.dir/equivalence.cpp.o" "gcc" "src/refinement/CMakeFiles/cref_refinement.dir/equivalence.cpp.o.d"
+  "/root/repo/src/refinement/random_systems.cpp" "src/refinement/CMakeFiles/cref_refinement.dir/random_systems.cpp.o" "gcc" "src/refinement/CMakeFiles/cref_refinement.dir/random_systems.cpp.o.d"
+  "/root/repo/src/refinement/reachability.cpp" "src/refinement/CMakeFiles/cref_refinement.dir/reachability.cpp.o" "gcc" "src/refinement/CMakeFiles/cref_refinement.dir/reachability.cpp.o.d"
+  "/root/repo/src/refinement/scc.cpp" "src/refinement/CMakeFiles/cref_refinement.dir/scc.cpp.o" "gcc" "src/refinement/CMakeFiles/cref_refinement.dir/scc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cref_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cref_refinement.dir/certificate.cpp.o"
+  "CMakeFiles/cref_refinement.dir/certificate.cpp.o.d"
+  "CMakeFiles/cref_refinement.dir/checker.cpp.o"
+  "CMakeFiles/cref_refinement.dir/checker.cpp.o.d"
+  "CMakeFiles/cref_refinement.dir/convergence_time.cpp.o"
+  "CMakeFiles/cref_refinement.dir/convergence_time.cpp.o.d"
+  "CMakeFiles/cref_refinement.dir/equivalence.cpp.o"
+  "CMakeFiles/cref_refinement.dir/equivalence.cpp.o.d"
+  "CMakeFiles/cref_refinement.dir/random_systems.cpp.o"
+  "CMakeFiles/cref_refinement.dir/random_systems.cpp.o.d"
+  "CMakeFiles/cref_refinement.dir/reachability.cpp.o"
+  "CMakeFiles/cref_refinement.dir/reachability.cpp.o.d"
+  "CMakeFiles/cref_refinement.dir/scc.cpp.o"
+  "CMakeFiles/cref_refinement.dir/scc.cpp.o.d"
+  "libcref_refinement.a"
+  "libcref_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cref_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ring/btr.cpp" "src/ring/CMakeFiles/cref_ring.dir/btr.cpp.o" "gcc" "src/ring/CMakeFiles/cref_ring.dir/btr.cpp.o.d"
+  "/root/repo/src/ring/four_state.cpp" "src/ring/CMakeFiles/cref_ring.dir/four_state.cpp.o" "gcc" "src/ring/CMakeFiles/cref_ring.dir/four_state.cpp.o.d"
+  "/root/repo/src/ring/kstate.cpp" "src/ring/CMakeFiles/cref_ring.dir/kstate.cpp.o" "gcc" "src/ring/CMakeFiles/cref_ring.dir/kstate.cpp.o.d"
+  "/root/repo/src/ring/three_state.cpp" "src/ring/CMakeFiles/cref_ring.dir/three_state.cpp.o" "gcc" "src/ring/CMakeFiles/cref_ring.dir/three_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cref_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

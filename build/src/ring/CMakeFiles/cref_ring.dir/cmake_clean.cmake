@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cref_ring.dir/btr.cpp.o"
+  "CMakeFiles/cref_ring.dir/btr.cpp.o.d"
+  "CMakeFiles/cref_ring.dir/four_state.cpp.o"
+  "CMakeFiles/cref_ring.dir/four_state.cpp.o.d"
+  "CMakeFiles/cref_ring.dir/kstate.cpp.o"
+  "CMakeFiles/cref_ring.dir/kstate.cpp.o.d"
+  "CMakeFiles/cref_ring.dir/three_state.cpp.o"
+  "CMakeFiles/cref_ring.dir/three_state.cpp.o.d"
+  "libcref_ring.a"
+  "libcref_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cref_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cref_sim.dir/fault.cpp.o"
+  "CMakeFiles/cref_sim.dir/fault.cpp.o.d"
+  "CMakeFiles/cref_sim.dir/metrics.cpp.o"
+  "CMakeFiles/cref_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/cref_sim.dir/runner.cpp.o"
+  "CMakeFiles/cref_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/cref_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/cref_sim.dir/scheduler.cpp.o.d"
+  "libcref_sim.a"
+  "libcref_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cref_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

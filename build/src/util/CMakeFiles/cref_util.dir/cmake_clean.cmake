@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cref_util.dir/cli.cpp.o"
+  "CMakeFiles/cref_util.dir/cli.cpp.o.d"
+  "CMakeFiles/cref_util.dir/strings.cpp.o"
+  "CMakeFiles/cref_util.dir/strings.cpp.o.d"
+  "CMakeFiles/cref_util.dir/table.cpp.o"
+  "CMakeFiles/cref_util.dir/table.cpp.o.d"
+  "libcref_util.a"
+  "libcref_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cref_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidding_tests.dir/bidding/server_test.cpp.o"
+  "CMakeFiles/bidding_tests.dir/bidding/server_test.cpp.o.d"
+  "bidding_tests"
+  "bidding_tests.pdb"
+  "bidding_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidding_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcl_tests.dir/gcl/compile_test.cpp.o"
+  "CMakeFiles/gcl_tests.dir/gcl/compile_test.cpp.o.d"
+  "CMakeFiles/gcl_tests.dir/gcl/lexer_test.cpp.o"
+  "CMakeFiles/gcl_tests.dir/gcl/lexer_test.cpp.o.d"
+  "CMakeFiles/gcl_tests.dir/gcl/parser_test.cpp.o"
+  "CMakeFiles/gcl_tests.dir/gcl/parser_test.cpp.o.d"
+  "gcl_tests"
+  "gcl_tests.pdb"
+  "gcl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

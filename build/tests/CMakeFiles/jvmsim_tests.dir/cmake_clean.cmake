@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvmsim_tests.dir/jvmsim/automaton_test.cpp.o"
+  "CMakeFiles/jvmsim_tests.dir/jvmsim/automaton_test.cpp.o.d"
+  "CMakeFiles/jvmsim_tests.dir/jvmsim/vm_test.cpp.o"
+  "CMakeFiles/jvmsim_tests.dir/jvmsim/vm_test.cpp.o.d"
+  "jvmsim_tests"
+  "jvmsim_tests.pdb"
+  "jvmsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvmsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refinement_tests.dir/refinement/certificate_test.cpp.o"
+  "CMakeFiles/refinement_tests.dir/refinement/certificate_test.cpp.o.d"
+  "CMakeFiles/refinement_tests.dir/refinement/checker_test.cpp.o"
+  "CMakeFiles/refinement_tests.dir/refinement/checker_test.cpp.o.d"
+  "CMakeFiles/refinement_tests.dir/refinement/convergence_time_test.cpp.o"
+  "CMakeFiles/refinement_tests.dir/refinement/convergence_time_test.cpp.o.d"
+  "CMakeFiles/refinement_tests.dir/refinement/equivalence_test.cpp.o"
+  "CMakeFiles/refinement_tests.dir/refinement/equivalence_test.cpp.o.d"
+  "CMakeFiles/refinement_tests.dir/refinement/property_test.cpp.o"
+  "CMakeFiles/refinement_tests.dir/refinement/property_test.cpp.o.d"
+  "CMakeFiles/refinement_tests.dir/refinement/reachability_test.cpp.o"
+  "CMakeFiles/refinement_tests.dir/refinement/reachability_test.cpp.o.d"
+  "CMakeFiles/refinement_tests.dir/refinement/scc_test.cpp.o"
+  "CMakeFiles/refinement_tests.dir/refinement/scc_test.cpp.o.d"
+  "CMakeFiles/refinement_tests.dir/refinement/stabilization_test.cpp.o"
+  "CMakeFiles/refinement_tests.dir/refinement/stabilization_test.cpp.o.d"
+  "refinement_tests"
+  "refinement_tests.pdb"
+  "refinement_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refinement_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_tests.dir/ring/btr_test.cpp.o"
+  "CMakeFiles/ring_tests.dir/ring/btr_test.cpp.o.d"
+  "CMakeFiles/ring_tests.dir/ring/four_state_test.cpp.o"
+  "CMakeFiles/ring_tests.dir/ring/four_state_test.cpp.o.d"
+  "CMakeFiles/ring_tests.dir/ring/kstate_test.cpp.o"
+  "CMakeFiles/ring_tests.dir/ring/kstate_test.cpp.o.d"
+  "CMakeFiles/ring_tests.dir/ring/three_state_test.cpp.o"
+  "CMakeFiles/ring_tests.dir/ring/three_state_test.cpp.o.d"
+  "ring_tests"
+  "ring_tests.pdb"
+  "ring_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
