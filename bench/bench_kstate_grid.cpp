@@ -3,20 +3,28 @@
 // the abstract unidirectional ring UTR through alpha_K, plus the honesty
 // checks on the abstract wrapped system (DESIGN.md Section 5).
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "common.hpp"
 #include "refinement/checker.hpp"
 #include "refinement/convergence_time.hpp"
 #include "ring/kstate.hpp"
+#include "sim/metrics.hpp"
+#include "util/strings.hpp"
 
 using namespace cref;
 using namespace cref::bench;
 using namespace cref::ring;
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const EngineOptions eo = engine_options_from_cli(cli);
   header("E11", "K-state: stabilization grid over (n, K)");
 
+  sim::StatsSet phases;
   const int max_n = 5, max_k = 7;
   util::Table t({"n \\ K", "2", "3", "4", "5", "6", "7"});
   for (int n = 2; n <= max_n; ++n) {
@@ -30,7 +38,9 @@ int main() {
       }
       KStateLayout kl(n, k);
       RefinementChecker rc(make_kstate(kl), utr, make_alpha_k(kl, ul));
+      rc.set_engine_options(eo);
       row.push_back(rc.stabilizing_to().holds ? "YES" : "no");
+      record_phases(phases, rc.phase_timings());
     }
     t.add_row(std::move(row));
   }
@@ -38,6 +48,42 @@ int main() {
   std::printf("(YES = Dijkstra's K-state ring on n+1 processes is stabilizing to\n"
               " the unique circulating privilege. Measured boundary: K >= n —\n"
               " one sharper than the classical sufficient condition K >= n+1.)\n\n");
+  print_phase_breakdown(phases);
+
+  // Serial vs parallel on the largest grid cell (n=5, K=7: 7^6 states),
+  // same checker instance so the one-time SCC/closure cost is excluded
+  // and the verdict is asserted identical across thread counts.
+  {
+    const int tn = 5, tk = 7;
+    UtrLayout ul(tn);
+    KStateLayout kl(tn, tk);
+    RefinementChecker rc(make_kstate(kl), make_utr(ul), make_alpha_k(kl, ul));
+    bool serial_verdict = false;
+    double serial_ms = 0;
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<std::size_t> tcounts{1, 2, 4, hw};
+    std::sort(tcounts.begin(), tcounts.end());
+    tcounts.erase(std::unique(tcounts.begin(), tcounts.end()), tcounts.end());
+    util::Table st({"threads", "stabilizing_to wall ms", "speedup", "verdict"});
+    for (std::size_t threads : tcounts) {
+      EngineOptions teo = eo;
+      teo.num_threads = threads;
+      rc.set_engine_options(teo);
+      (void)rc.stabilizing_to();  // warm shared caches
+      Timer timer;
+      bool holds = rc.stabilizing_to().holds;
+      double ms = timer.ms();
+      if (threads == 1) {
+        serial_verdict = holds;
+        serial_ms = ms;
+      }
+      st.add_row({std::to_string(threads), util::format_double(ms, 2),
+                  util::format_double(serial_ms / ms, 2),
+                  holds == serial_verdict ? verdict(holds) : "MISMATCH"});
+    }
+    std::printf("\nparallel scan scaling at (n=5, K=7), %zu edges:\n%s",
+                rc.c_graph().num_edges(), st.to_string().c_str());
+  }
 
   // Worst-case convergence in the stabilizing regime.
   util::Table ct({"n", "K", "locked states", "worst-case steps"});

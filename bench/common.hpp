@@ -9,6 +9,9 @@
 #include <string>
 
 #include "refinement/check_result.hpp"
+#include "refinement/engine.hpp"
+#include "sim/metrics.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace cref::bench {
@@ -36,5 +39,27 @@ class Timer {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Engine knobs shared by every bench main: `--threads N` (0 = all
+/// hardware threads) and `--chunk N` (0 = auto).
+inline EngineOptions engine_options_from_cli(const util::Cli& cli) {
+  EngineOptions eo;
+  eo.num_threads = cli.get_size("threads", 0);
+  eo.chunk_size = cli.get_size("chunk", 0);
+  return eo;
+}
+
+/// Feeds one checker's phase-timing snapshot into the named series of
+/// `phases` (ms): scc-build (C and A combined), closure-build, edge-scan.
+inline void record_phases(sim::StatsSet& phases, const PhaseTimings& t) {
+  phases.add("scc-build", t.c_scc_ms + t.a_scc_ms);
+  phases.add("closure-build", t.closure_ms);
+  phases.add("edge-scan", t.edge_scan_ms);
+}
+
+/// Prints the per-phase breakdown accumulated in `phases`.
+inline void print_phase_breakdown(const sim::StatsSet& phases) {
+  std::printf("engine phase breakdown (ms per check):\n%s", phases.format().c_str());
+}
 
 }  // namespace cref::bench

@@ -6,6 +6,10 @@
 //   $ ./refinement_explorer --c d3 --a btr --n 4
 //   $ ./refinement_explorer --c c1w --a btr --n 3 --witness
 //   $ ./refinement_explorer --c btrw --a btr --n 2 --dot out.dot
+//   $ ./refinement_explorer --c d3 --a btr --n 6 --threads 4 --timing
+//
+// --threads N / --chunk N tune the parallel check engine (0 = auto);
+// --timing prints the engine's per-phase wall-clock breakdown.
 
 #include <cstdio>
 #include <fstream>
@@ -116,6 +120,10 @@ int main(int argc, char** argv) {
                  cli.get("c").c_str(), cli.get("a").c_str());
     return 2;
   }
+  EngineOptions eo;
+  eo.num_threads = cli.get_size("threads", 0);
+  eo.chunk_size = cli.get_size("chunk", 0);
+  rc->set_engine_options(eo);
 
   std::printf("C = %s, A = %s, n = %d\n\n", concrete->sys.name().c_str(),
               abstract->sys.name().c_str(), n);
@@ -139,6 +147,13 @@ int main(int argc, char** argv) {
     if (ct.bounded)
       std::printf("worst-case convergence: %zu steps; locked states: %zu\n",
                   ct.worst_steps, ct.locked_count);
+  }
+  if (cli.has("timing")) {
+    auto pt = rc->phase_timings();
+    std::printf(
+        "engine phases (ms, accumulated): scc-build=%.3f closure-build=%.3f "
+        "edge-scan=%.3f\n",
+        pt.c_scc_ms + pt.a_scc_ms, pt.closure_ms, pt.edge_scan_ms);
   }
   if (cli.has("witness") && !stab.holds && !stab.witness.empty()) {
     std::printf("\nstabilization witness (concrete states):\n%s",

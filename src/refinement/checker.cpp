@@ -1,7 +1,9 @@
 #include "refinement/checker.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
+#include <limits>
 #include <stdexcept>
 
 #include "refinement/reachability.hpp"
@@ -10,15 +12,72 @@ namespace cref {
 
 namespace {
 
-// Above this many A-side SCCs the condensation closure bitsets would use
-// too much memory; reachability queries fall back to per-query BFS.
-constexpr std::size_t kMaxCompsForClosure = 20000;
-
 std::vector<StateId> build_alpha_table(const Abstraction& alpha) {
   if (alpha.is_identity()) return {};
   std::vector<StateId> table(alpha.from().size());
   for (StateId s = 0; s < alpha.from().size(); ++s) table[s] = alpha.apply(s);
   return table;
+}
+
+// CAS loop instead of fetch_add: atomic<double>::fetch_add is C++20 but
+// patchily available across standard libraries.
+void add_ms(std::atomic<double>& sink, double ms) {
+  double cur = sink.load(std::memory_order_relaxed);
+  while (!sink.compare_exchange_weak(cur, cur + ms, std::memory_order_relaxed)) {
+  }
+}
+
+/// Accumulates elapsed wall-clock milliseconds into `sink` on destruction.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::atomic<double>& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    add_ms(sink_, std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+  }
+
+ private:
+  std::atomic<double>& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+constexpr StateId kNoState = std::numeric_limits<StateId>::max();
+
+/// Parallel "first violation" scan: runs `per_state(s)` (an
+/// optional<V>-returning detector) over all states and returns the
+/// violation of the LOWEST state id, exactly as a serial ascending loop
+/// would. Each worker visits its states in ascending order, so its first
+/// hit is its minimum; the shared `bound` only prunes states that can no
+/// longer beat the current minimum, never the minimum itself. The result
+/// is therefore independent of thread count and scheduling.
+template <typename V, typename F>
+std::optional<V> min_state_scan(StateId n, const EngineOptions& opts, F&& per_state) {
+  const std::size_t threads = opts.resolved_threads(n);
+  std::vector<std::optional<V>> best(threads);
+  std::vector<StateId> best_s(threads, kNoState);
+  std::atomic<StateId> bound{kNoState};
+  parallel_chunks(n, opts, [&](std::size_t tid, std::size_t begin, std::size_t end) {
+    if (best_s[tid] != kNoState) return;  // this worker's minimum is already fixed
+    for (StateId s = static_cast<StateId>(begin); s < end; ++s) {
+      if (s >= bound.load(std::memory_order_relaxed)) return;
+      if (auto v = per_state(s)) {
+        best[tid] = std::move(v);
+        best_s[tid] = s;
+        StateId cur = bound.load(std::memory_order_relaxed);
+        while (s < cur &&
+               !bound.compare_exchange_weak(cur, s, std::memory_order_relaxed)) {
+        }
+        return;
+      }
+    }
+  });
+  std::size_t winner = threads;
+  for (std::size_t i = 0; i < threads; ++i)
+    if (best_s[i] != kNoState && (winner == threads || best_s[i] < best_s[winner])) winner = i;
+  if (winner == threads) return std::nullopt;
+  return best[winner];
 }
 
 }  // namespace
@@ -60,52 +119,68 @@ RefinementChecker::RefinementChecker(TransitionGraph c, TransitionGraph a,
 }
 
 const std::vector<char>& RefinementChecker::a_reachable() const {
-  if (!a_reach_) a_reach_ = reachable_from(a_, a_init_);
+  std::call_once(a_reach_once_, [&] { a_reach_ = reachable_from(a_, a_init_); });
   return *a_reach_;
 }
 
 const Scc& RefinementChecker::c_scc() const {
-  if (!c_scc_) c_scc_.emplace(c_);
+  std::call_once(c_scc_once_, [&] {
+    PhaseTimer timer(c_scc_ms_);
+    c_scc_.emplace(c_);
+  });
   return *c_scc_;
 }
 
-bool RefinementChecker::reachable_in_a(StateId src, StateId dst) const {
-  if (!a_scc_) a_scc_.emplace(a_);
-  const Scc& scc = *a_scc_;
-  if (!comp_reach_built_ && !comp_reach_too_big_) {
-    if (scc.count() > kMaxCompsForClosure) {
+void RefinementChecker::ensure_a_closure() const {
+  std::call_once(a_closure_once_, [&] {
+    {
+      PhaseTimer timer(a_scc_ms_);
+      a_scc_.emplace(a_);
+    }
+    const Scc& scc = *a_scc_;
+    if (scc.count() > opts_.max_comps_for_closure) {
       comp_reach_too_big_ = true;
-    } else {
-      // Condensation transitive closure. Tarjan ids are in reverse
-      // topological order (cross edges go from higher to lower id), so a
-      // single pass in increasing id order sees every successor
-      // component's closure completed.
-      const std::size_t words = (scc.count() + 63) / 64;
-      comp_reach_.assign(scc.count(), std::vector<std::uint64_t>(words, 0));
-      // Bucket states by component.
-      std::vector<std::vector<StateId>> members(scc.count());
-      for (StateId s = 0; s < a_.num_states(); ++s) members[scc.component(s)].push_back(s);
-      for (std::size_t comp = 0; comp < scc.count(); ++comp) {
-        auto& row = comp_reach_[comp];
-        if (scc.size_of(comp) >= 2) row[comp / 64] |= 1ull << (comp % 64);
-        for (StateId s : members[comp]) {
-          for (StateId t : a_.successors(s)) {
-            std::size_t ct = scc.component(t);
-            if (ct == comp) continue;
-            row[ct / 64] |= 1ull << (ct % 64);
-            const auto& sub = comp_reach_[ct];
-            for (std::size_t w = 0; w < words; ++w) row[w] |= sub[w];
-          }
+      return;
+    }
+    PhaseTimer timer(closure_ms_);
+    // Condensation transitive closure. Tarjan ids are in reverse
+    // topological order (cross edges go from higher to lower id), so a
+    // single pass in increasing id order sees every successor
+    // component's closure completed.
+    const std::size_t words = (scc.count() + 63) / 64;
+    comp_reach_.assign(scc.count(), std::vector<std::uint64_t>(words, 0));
+    // Bucket states by component.
+    std::vector<std::vector<StateId>> members(scc.count());
+    for (StateId s = 0; s < a_.num_states(); ++s) members[scc.component(s)].push_back(s);
+    for (std::size_t comp = 0; comp < scc.count(); ++comp) {
+      auto& row = comp_reach_[comp];
+      if (scc.size_of(comp) >= 2) row[comp / 64] |= 1ull << (comp % 64);
+      for (StateId s : members[comp]) {
+        for (StateId t : a_.successors(s)) {
+          std::size_t ct = scc.component(t);
+          // Setting the bit unconditionally also marks a singleton
+          // component self-reachable when its state has a self-loop,
+          // matching the BFS fallback's path-of-length->=1 semantics.
+          row[ct / 64] |= 1ull << (ct % 64);
+          if (ct == comp) continue;
+          const auto& sub = comp_reach_[ct];
+          for (std::size_t w = 0; w < words; ++w) row[w] |= sub[w];
         }
       }
-      comp_reach_built_ = true;
     }
-  }
+    comp_reach_built_ = true;
+  });
+}
+
+bool RefinementChecker::reachable_in_a(StateId src, StateId dst) const {
+  ensure_a_closure();
   if (comp_reach_built_) {
+    const Scc& scc = *a_scc_;
     std::size_t cs = scc.component(src), ct = scc.component(dst);
     return (comp_reach_[cs][ct / 64] >> (ct % 64)) & 1;
   }
-  // Fallback: plain BFS (rare: only for very large A graphs).
+  // Fallback: plain BFS (rare: only for very large A graphs). Purely
+  // local state, so concurrent queries are safe.
   std::vector<char> seen(a_.num_states(), 0);
   std::deque<StateId> queue{src};
   seen[src] = 1;
@@ -132,18 +207,34 @@ EdgeClass RefinementChecker::classify_edge(StateId s, StateId t) const {
 }
 
 EdgeStats RefinementChecker::edge_stats() const {
-  EdgeStats st;
-  for (StateId s = 0; s < c_.num_states(); ++s) {
-    for (StateId t : c_.successors(s)) {
-      switch (classify_edge(s, t)) {
-        case EdgeClass::Exact: ++st.exact; break;
-        case EdgeClass::Stutter: ++st.stutter; break;
-        case EdgeClass::Compressed: ++st.compressed; break;
-        case EdgeClass::Invalid: ++st.invalid; break;
-      }
-    }
+  ensure_a_closure();  // shared structure, built once before the scan
+  const std::size_t threads = opts_.resolved_threads(c_.num_states());
+  std::vector<EdgeStats> partial(threads);
+  {
+    PhaseTimer timer(edge_scan_ms_);
+    parallel_chunks(c_.num_states(), opts_,
+                    [&](std::size_t tid, std::size_t begin, std::size_t end) {
+                      EdgeStats& st = partial[tid];
+                      for (StateId s = static_cast<StateId>(begin); s < end; ++s) {
+                        for (StateId t : c_.successors(s)) {
+                          switch (classify_edge(s, t)) {
+                            case EdgeClass::Exact: ++st.exact; break;
+                            case EdgeClass::Stutter: ++st.stutter; break;
+                            case EdgeClass::Compressed: ++st.compressed; break;
+                            case EdgeClass::Invalid: ++st.invalid; break;
+                          }
+                        }
+                      }
+                    });
   }
-  return st;
+  EdgeStats total;
+  for (const EdgeStats& st : partial) {
+    total.exact += st.exact;
+    total.stutter += st.stutter;
+    total.compressed += st.compressed;
+    total.invalid += st.invalid;
+  }
+  return total;
 }
 
 bool RefinementChecker::initial_states_match() const {
@@ -186,63 +277,92 @@ std::optional<Trace> RefinementChecker::find_stutter_cycle(const std::vector<cha
   return std::nullopt;
 }
 
+Trace RefinementChecker::cycle_witness(StateId s, StateId t) const {
+  // Present the cycle as s -> t -> ... -> s.
+  const Scc& scc = c_scc();
+  std::vector<char> in_comp(c_.num_states(), 0);
+  for (StateId u = 0; u < c_.num_states(); ++u)
+    in_comp[u] = scc.component(u) == scc.component(s);
+  Trace cycle;
+  cycle.states.push_back(s);
+  if (auto back = find_path_within(c_, t, s, in_comp))
+    cycle.states.insert(cycle.states.end(), back->states.begin(), back->states.end());
+  else
+    cycle.states.push_back(t);
+  return cycle;
+}
+
 CheckResult RefinementChecker::check_region(const std::vector<char>* filter,
                                             bool allow_compressed_off_cycle,
                                             bool allow_invalid_off_cycle,
                                             const char* relation_name) const {
   const Scc& scc = c_scc();
-  auto edge_witness = [&](StateId s, StateId t) {
-    // For init-scoped checks, exhibit a run from the initial states.
-    if (filter) {
-      if (auto path = find_path(c_, c_init_, s)) {
-        path->states.push_back(t);
-        return *path;
-      }
-    }
-    return Trace{{s, t}};
-  };
-  auto cycle_witness = [&](StateId s, StateId t) {
-    // Present the cycle as s -> t -> ... -> s.
-    std::vector<char> in_comp(c_.num_states(), 0);
-    for (StateId u = 0; u < c_.num_states(); ++u)
-      in_comp[u] = scc.component(u) == scc.component(s);
-    Trace cycle;
-    cycle.states.push_back(s);
-    if (auto back = find_path_within(c_, t, s, in_comp))
-      cycle.states.insert(cycle.states.end(), back->states.begin(), back->states.end());
-    else
-      cycle.states.push_back(t);
-    return cycle;
-  };
+  ensure_a_closure();
 
-  for (StateId s = 0; s < c_.num_states(); ++s) {
-    if (filter && !(*filter)[s]) continue;
+  // A state's first violation in serial scan order: edges in ascending
+  // target order, then the deadlock condition. t is meaningless for
+  // deadlock violations.
+  struct Violation {
+    StateId s, t;
+    EdgeClass cls;
+    bool on_cycle;
+    bool deadlock;
+  };
+  auto per_state = [&](StateId s) -> std::optional<Violation> {
+    if (filter && !(*filter)[s]) return std::nullopt;
     for (StateId t : c_.successors(s)) {
       EdgeClass cls = classify_edge(s, t);
       if (cls == EdgeClass::Exact || cls == EdgeClass::Stutter) continue;
       bool on_cycle = scc.edge_on_cycle(s, t);
       if (cls == EdgeClass::Compressed) {
-        if (on_cycle)
-          return CheckResult::fail(std::string(relation_name) +
-                                       ": compressed edge on a cycle (a computation looping "
-                                       "through it drops infinitely many states of A)",
-                                   cycle_witness(s, t));
-        if (!allow_compressed_off_cycle)
-          return CheckResult::fail(std::string(relation_name) +
-                                       ": transition is not a transition of A (it compresses "
-                                       "an A-path)",
-                                   edge_witness(s, t));
+        if (on_cycle || !allow_compressed_off_cycle)
+          return Violation{s, t, cls, on_cycle, false};
       } else {  // Invalid
         if (on_cycle || !allow_invalid_off_cycle)
-          return CheckResult::fail(std::string(relation_name) +
-                                       ": transition's image is not even reachable in A",
-                                   on_cycle ? cycle_witness(s, t) : edge_witness(s, t));
+          return Violation{s, t, cls, on_cycle, false};
       }
     }
     if (c_.is_deadlock(s) && !a_.is_deadlock(image(s)))
+      return Violation{s, 0, EdgeClass::Exact, false, true};
+    return std::nullopt;
+  };
+
+  std::optional<Violation> viol;
+  {
+    PhaseTimer timer(edge_scan_ms_);
+    viol = min_state_scan<Violation>(c_.num_states(), opts_, per_state);
+  }
+
+  if (viol) {
+    auto edge_witness = [&](StateId s, StateId t) {
+      // For init-scoped checks, exhibit a run from the initial states.
+      if (filter) {
+        if (auto path = find_path(c_, c_init_, s)) {
+          path->states.push_back(t);
+          return *path;
+        }
+      }
+      return Trace{{s, t}};
+    };
+    if (viol->deadlock)
       return CheckResult::fail(std::string(relation_name) +
                                    ": C deadlocks but A must keep moving (final states differ)",
-                               Trace{{s}});
+                               Trace{{viol->s}});
+    if (viol->cls == EdgeClass::Compressed) {
+      if (viol->on_cycle)
+        return CheckResult::fail(std::string(relation_name) +
+                                     ": compressed edge on a cycle (a computation looping "
+                                     "through it drops infinitely many states of A)",
+                                 cycle_witness(viol->s, viol->t));
+      return CheckResult::fail(std::string(relation_name) +
+                                   ": transition is not a transition of A (it compresses "
+                                   "an A-path)",
+                               edge_witness(viol->s, viol->t));
+    }
+    return CheckResult::fail(std::string(relation_name) +
+                                 ": transition's image is not even reachable in A",
+                             viol->on_cycle ? cycle_witness(viol->s, viol->t)
+                                            : edge_witness(viol->s, viol->t));
   }
   if (auto cyc = find_stutter_cycle(filter))
     return CheckResult::fail(std::string(relation_name) +
@@ -282,38 +402,40 @@ CheckResult RefinementChecker::stabilizing_to() const {
                              "starts at one");
   const std::vector<char>& ra = a_reachable();
   const Scc& scc = c_scc();
-  auto cycle_witness = [&](StateId s, StateId t) {
-    std::vector<char> in_comp(c_.num_states(), 0);
-    for (StateId u = 0; u < c_.num_states(); ++u)
-      in_comp[u] = scc.component(u) == scc.component(s);
-    Trace cycle;
-    cycle.states.push_back(s);
-    if (auto back = find_path_within(c_, t, s, in_comp))
-      cycle.states.insert(cycle.states.end(), back->states.begin(), back->states.end());
-    else
-      cycle.states.push_back(t);
-    return cycle;
-  };
 
-  for (StateId s = 0; s < c_.num_states(); ++s) {
+  struct Violation {
+    StateId s, t;
+    bool deadlock;
+  };
+  auto per_state = [&](StateId s) -> std::optional<Violation> {
     for (StateId t : c_.successors(s)) {
       if (!scc.edge_on_cycle(s, t)) continue;
       StateId is = image(s), it = image(t);
       bool good = ra[is] && ra[it] && (is == it || a_.has_edge(is, it));
-      if (!good)
-        return CheckResult::fail(
-            "stabilizing-to: a cycle of C contains a transition that does not follow A within "
-            "A's reachable states — some computation never settles into a suffix of A",
-            cycle_witness(s, t));
+      if (!good) return Violation{s, t, false};
     }
     if (c_.is_deadlock(s)) {
       StateId is = image(s);
-      if (!ra[is] || !a_.is_deadlock(is))
-        return CheckResult::fail(
-            "stabilizing-to: C deadlocks in a state whose image is not a reachable deadlock "
-            "of A",
-            Trace{{s}});
+      if (!ra[is] || !a_.is_deadlock(is)) return Violation{s, 0, true};
     }
+    return std::nullopt;
+  };
+
+  std::optional<Violation> viol;
+  {
+    PhaseTimer timer(edge_scan_ms_);
+    viol = min_state_scan<Violation>(c_.num_states(), opts_, per_state);
+  }
+  if (viol) {
+    if (viol->deadlock)
+      return CheckResult::fail(
+          "stabilizing-to: C deadlocks in a state whose image is not a reachable deadlock "
+          "of A",
+          Trace{{viol->s}});
+    return CheckResult::fail(
+        "stabilizing-to: a cycle of C contains a transition that does not follow A within "
+        "A's reachable states — some computation never settles into a suffix of A",
+        cycle_witness(viol->s, viol->t));
   }
   // Divergence: a pure-stutter cycle collapses to a finite image of an
   // infinite computation; that image can only be a suffix of an
@@ -358,6 +480,22 @@ std::optional<std::pair<Trace, Trace>> RefinementChecker::example_compression() 
         if (auto path = find_path(a_, {image(s)}, image(t)))
           return std::make_pair(Trace{{s, t}}, *path);
   return std::nullopt;
+}
+
+PhaseTimings RefinementChecker::phase_timings() const {
+  PhaseTimings t;
+  t.c_scc_ms = c_scc_ms_.load(std::memory_order_relaxed);
+  t.a_scc_ms = a_scc_ms_.load(std::memory_order_relaxed);
+  t.closure_ms = closure_ms_.load(std::memory_order_relaxed);
+  t.edge_scan_ms = edge_scan_ms_.load(std::memory_order_relaxed);
+  return t;
+}
+
+void RefinementChecker::reset_phase_timings() const {
+  c_scc_ms_.store(0, std::memory_order_relaxed);
+  a_scc_ms_.store(0, std::memory_order_relaxed);
+  closure_ms_.store(0, std::memory_order_relaxed);
+  edge_scan_ms_.store(0, std::memory_order_relaxed);
 }
 
 const char* to_string(EdgeClass c) {

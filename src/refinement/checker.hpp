@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "core/graph.hpp"
 #include "core/system.hpp"
 #include "refinement/check_result.hpp"
+#include "refinement/engine.hpp"
 #include "refinement/scc.hpp"
 
 namespace cref {
@@ -33,6 +36,14 @@ namespace cref {
 /// *infinite* computation, which can only be a computation of A if the
 /// image state is an A-deadlock — such "divergence" is therefore a
 /// violation except at A-deadlock images.
+///
+/// Engine: the shared read-only structures (C-side SCC, A-side SCC +
+/// condensation closure, R_A) are built once, thread-safely, on first
+/// use; the per-check scans over T_C then run across an EngineOptions-
+/// sized thread pool. Partial results are merged by state id (lowest
+/// violating (s, t) wins), so verdicts, EdgeStats, and counterexample
+/// witnesses are bit-identical to a single-threaded run. Checks on one
+/// instance may themselves be issued from multiple threads concurrently.
 class RefinementChecker {
  public:
   /// Builds graphs for `c` and `a` and checks relations through `alpha`
@@ -86,6 +97,7 @@ class RefinementChecker {
   EdgeClass classify_edge(StateId s, StateId t) const;
 
   /// Classification counts over the entire concrete transition relation.
+  /// Scanned in parallel per EngineOptions; safe to call concurrently.
   EdgeStats edge_stats() const;
 
   /// True if alpha maps the initial states of C into the initial states
@@ -99,6 +111,21 @@ class RefinementChecker {
   /// the A-path between the images.
   std::optional<std::pair<Trace, Trace>> example_compression() const;
 
+  /// True iff A has a path of length >= 1 from `src` to `dst`. In
+  /// particular reachable_in_a(s, s) holds iff s lies on a cycle of A
+  /// (including a self-loop) — the condensation-closure and BFS paths
+  /// agree on this by construction.
+  bool reachable_in_a(StateId src, StateId dst) const;
+
+  /// Engine tuning. Set BEFORE the first check; not synchronized against
+  /// concurrently running checks on this instance.
+  void set_engine_options(const EngineOptions& opts) { opts_ = opts; }
+  const EngineOptions& engine_options() const { return opts_; }
+
+  /// Snapshot of the accumulated per-phase wall-clock totals.
+  PhaseTimings phase_timings() const;
+  void reset_phase_timings() const;
+
   const TransitionGraph& c_graph() const { return c_; }
   const TransitionGraph& a_graph() const { return a_; }
   const std::vector<StateId>& c_initial() const { return c_init_; }
@@ -107,17 +134,19 @@ class RefinementChecker {
   /// Image of concrete state `s` under alpha.
   StateId image(StateId s) const { return alpha_.empty() ? s : alpha_[s]; }
 
-  /// Membership vector of R_A = reachable(A, I_A) (computed lazily).
+  /// Membership vector of R_A = reachable(A, I_A) (computed lazily,
+  /// thread-safely).
   const std::vector<char>& a_reachable() const;
 
-  /// SCC decomposition of C (computed lazily).
+  /// SCC decomposition of C (computed lazily, thread-safely).
   const Scc& c_scc() const;
 
  private:
-  bool reachable_in_a(StateId src, StateId dst) const;
+  void ensure_a_closure() const;
   CheckResult check_region(const std::vector<char>* filter, bool allow_compressed_off_cycle,
                            bool allow_invalid_off_cycle, const char* relation_name) const;
   std::optional<Trace> find_stutter_cycle(const std::vector<char>* filter) const;
+  Trace cycle_witness(StateId s, StateId t) const;
 
   TransitionGraph c_;
   TransitionGraph a_;
@@ -126,13 +155,24 @@ class RefinementChecker {
   std::vector<StateId> alpha_;  // empty => identity
   std::string c_name_ = "C";
   std::string a_name_ = "A";
+  EngineOptions opts_;
 
+  // Lazily-built shared structures. Each is built exactly once under its
+  // once_flag, so concurrent checks never race on them.
+  mutable std::once_flag a_reach_once_;
   mutable std::optional<std::vector<char>> a_reach_;
+  mutable std::once_flag c_scc_once_;
   mutable std::optional<Scc> c_scc_;
+  mutable std::once_flag a_closure_once_;
   mutable std::optional<Scc> a_scc_;
   mutable std::vector<std::vector<std::uint64_t>> comp_reach_;  // condensation closure
   mutable bool comp_reach_built_ = false;
   mutable bool comp_reach_too_big_ = false;
+
+  mutable std::atomic<double> c_scc_ms_{0};
+  mutable std::atomic<double> a_scc_ms_{0};
+  mutable std::atomic<double> closure_ms_{0};
+  mutable std::atomic<double> edge_scan_ms_{0};
 };
 
 }  // namespace cref

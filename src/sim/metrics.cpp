@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace cref::sim {
 
@@ -26,6 +27,34 @@ double Stats::min() const {
 double Stats::max() const {
   if (samples_.empty()) return 0.0;
   return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void StatsSet::add(const std::string& name, double x) {
+  for (auto& [n, s] : entries_)
+    if (n == name) {
+      s.add(x);
+      return;
+    }
+  entries_.emplace_back(name, Stats{});
+  entries_.back().second.add(x);
+}
+
+const Stats* StatsSet::find(const std::string& name) const {
+  for (const auto& [n, s] : entries_)
+    if (n == name) return &s;
+  return nullptr;
+}
+
+std::string StatsSet::format(int precision) const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, s] : entries_) {
+    std::snprintf(line, sizeof(line), "  %s: mean=%.*f min=%.*f max=%.*f total=%.*f (n=%zu)\n",
+                  name.c_str(), precision, s.mean(), precision, s.min(), precision, s.max(),
+                  precision, s.mean() * static_cast<double>(s.count()), s.count());
+    out += line;
+  }
+  return out;
 }
 
 double Stats::percentile(double p) const {

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace cref::sim {
@@ -25,6 +27,27 @@ class Stats {
   double m2_ = 0.0;
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
+};
+
+/// Named collection of Stats, keyed in insertion order — e.g. the
+/// per-phase timing breakdown of the refinement engine (scc-build /
+/// closure-build / edge-scan) accumulated across bench repetitions.
+class StatsSet {
+ public:
+  /// Adds a sample to the named series, creating it on first use.
+  void add(const std::string& name, double x);
+
+  /// The named series, or nullptr if no sample was ever added to it.
+  const Stats* find(const std::string& name) const;
+
+  const std::vector<std::pair<std::string, Stats>>& entries() const { return entries_; }
+
+  /// One line per series, insertion order:
+  ///   "  <name>: mean=<m> min=<lo> max=<hi> total=<sum> (n=<count>)".
+  std::string format(int precision = 3) const;
+
+ private:
+  std::vector<std::pair<std::string, Stats>> entries_;
 };
 
 }  // namespace cref::sim

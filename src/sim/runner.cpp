@@ -23,11 +23,13 @@ RunResult run_until(const System& sys, StateVec start, Scheduler& sched,
   for (res.steps = 0; res.steps < opts.max_steps; ++res.steps) {
     if (legitimate(state)) {
       res.converged = true;
+      res.final_state = std::move(state);
       return res;
     }
     auto enabled = enabled_changing_actions(sys, state);
     if (enabled.empty()) {
       res.deadlocked = true;
+      res.final_state = std::move(state);
       return res;
     }
     std::size_t idx = sched.pick(sys, state, enabled);
@@ -35,6 +37,7 @@ RunResult run_until(const System& sys, StateVec start, Scheduler& sched,
     if (opts.record_trace) res.trace.push_back(state);
   }
   res.converged = legitimate(state);
+  res.final_state = std::move(state);
   return res;
 }
 

@@ -13,6 +13,8 @@ struct RunResult {
   bool converged = false;        // legitimacy predicate became true
   std::size_t steps = 0;         // steps taken until convergence (or cap)
   bool deadlocked = false;       // no state-changing action was enabled
+  StateVec final_state;          // state at exit (populated on every path,
+                                 // whether or not a trace was recorded)
   std::vector<StateVec> trace;   // recorded states (only if requested)
 };
 

@@ -38,6 +38,11 @@ long Cli::get_int(const std::string& key, long fallback) const {
   return (end && *end == '\0') ? v : fallback;
 }
 
+std::size_t Cli::get_size(const std::string& key, std::size_t fallback) const {
+  long v = get_int(key, -1);
+  return v < 0 ? fallback : static_cast<std::size_t>(v);
+}
+
 bool Cli::has(const std::string& key) const { return options_.count(key) > 0; }
 
 }  // namespace cref::util

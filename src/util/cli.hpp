@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -18,6 +19,10 @@ class Cli {
 
   /// Returns the integer value of `--key`, or `fallback` if absent/invalid.
   long get_int(const std::string& key, long fallback) const;
+
+  /// Unsigned variant of get_int (negative values fall back), for size
+  /// knobs like --threads / --chunk.
+  std::size_t get_size(const std::string& key, std::size_t fallback) const;
 
   /// Returns true if `--key` was passed (with or without a value).
   bool has(const std::string& key) const;

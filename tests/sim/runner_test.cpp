@@ -28,6 +28,35 @@ TEST(RunUntilTest, LegitStartConvergesInZeroSteps) {
   auto res = run_until(d3, l.canonical_state(), daemon, l.single_token_image());
   EXPECT_TRUE(res.converged);
   EXPECT_EQ(res.steps, 0u);
+  EXPECT_EQ(res.final_state, l.canonical_state());
+}
+
+TEST(RunUntilTest, FinalStatePopulatedWithoutTrace) {
+  ThreeStateLayout l(3);
+  System d3 = ring::make_dijkstra3(l);
+  StatePredicate legit = l.single_token_image();
+  FaultInjector fi(17);
+  StateVec start = l.canonical_state();
+  fi.corrupt(*l.space(), start, 3);
+  RandomDaemon daemon(9);
+  auto res = run_until(d3, start, daemon, legit, {.max_steps = 10000});
+  ASSERT_TRUE(res.converged);
+  EXPECT_TRUE(res.trace.empty());  // no trace requested ...
+  EXPECT_FALSE(res.final_state.empty());
+  EXPECT_TRUE(legit(res.final_state));  // ... yet we know where it ended
+}
+
+TEST(RunUntilTest, FinalStateMatchesTraceBack) {
+  ThreeStateLayout l(2);
+  System d3 = ring::make_dijkstra3(l);
+  FaultInjector fi(4);
+  StateVec start = l.canonical_state();
+  fi.corrupt(*l.space(), start, 2);
+  RandomDaemon daemon(6);
+  auto res = run_until(d3, start, daemon, l.single_token_image(),
+                       {.max_steps = 1000, .record_trace = true});
+  ASSERT_FALSE(res.trace.empty());
+  EXPECT_EQ(res.final_state, res.trace.back());
 }
 
 TEST(RunUntilTest, Dijkstra3ConvergesFromEveryCorruptedState) {
@@ -72,6 +101,7 @@ TEST(RunUntilTest, DeadlockIsReported) {
   EXPECT_FALSE(res.converged);
   EXPECT_TRUE(res.deadlocked);
   EXPECT_EQ(res.steps, 2u);
+  EXPECT_EQ(res.final_state, (StateVec{static_cast<Value>(0)}));  // where it deadlocked
 }
 
 TEST(RunUntilTest, MaxStepsCapRespected) {
@@ -85,6 +115,7 @@ TEST(RunUntilTest, MaxStepsCapRespected) {
                        {.max_steps = 50});
   EXPECT_FALSE(res.converged);
   EXPECT_EQ(res.steps, 50u);
+  EXPECT_EQ(res.final_state, (StateVec{static_cast<Value>(50 % 4)}));  // capped mid-flight
 }
 
 TEST(SynchronousStepTest, AllEnabledProcessesMoveAgainstOldState) {
