@@ -2,7 +2,13 @@
 // system the way the paper does, then analyze it without recompiling.
 //
 //   $ ./gcl_check protocol.gcl                     # stats + self-stabilization
+//   $ ./gcl_check protocol.gcl --lint              # semantic lint first
 //   $ ./gcl_check concrete.gcl --a abstract.gcl    # all refinement relations
+//
+// --lint runs the gcl_lint semantic passes (see tools/gcl_lint.cpp)
+// before any state-space exploration and aborts on error-severity
+// findings — structural defects die here instead of surfacing as
+// confusing verdicts after a full exploration.
 //
 // Systems in different files must share the same variable declarations
 // (same state space) — cross-space abstraction functions are a C++-level
@@ -12,7 +18,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "gcl/analyze.hpp"
 #include "gcl/compile.hpp"
+#include "gcl/parser.hpp"
 #include "refinement/checker.hpp"
 #include "refinement/convergence_time.hpp"
 #include "util/cli.hpp"
@@ -44,15 +52,26 @@ void describe(const System& sys) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Cli cli(argc, argv);
+  util::Cli cli(argc, argv, {"lint"});
   if (cli.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: gcl_check FILE.gcl [--a ABSTRACT.gcl]\n"
+                 "usage: gcl_check FILE.gcl [--a ABSTRACT.gcl] [--lint]\n"
                  "       (see examples/gcl/*.gcl for the syntax)\n");
     return 2;
   }
   try {
-    System c = gcl::load_system(read_file(cli.positional()[0]));
+    auto load = [&](const std::string& path) {
+      gcl::SystemAst ast = gcl::parse(read_file(path));
+      if (cli.has("lint")) {
+        auto diags = gcl::analyze(ast);
+        std::fputs(gcl::render_text(diags, path).c_str(), stdout);
+        if (gcl::count_diagnostics(diags).errors > 0)
+          throw std::runtime_error("lint found errors in " + path +
+                                   "; fix them before exploring");
+      }
+      return gcl::compile(ast);
+    };
+    System c = load(cli.positional()[0]);
     describe(c);
 
     if (!cli.has("a")) {
@@ -74,7 +93,7 @@ int main(int argc, char** argv) {
       return r.holds ? 0 : 1;
     }
 
-    System a = gcl::load_system(read_file(cli.get("a")));
+    System a = load(cli.get("a"));
     describe(a);
     if (!c.space().same_shape_as(a.space())) {
       std::fprintf(stderr, "error: the two systems declare different variables\n");

@@ -3,8 +3,9 @@
 // Abstract syntax of the guarded-command language (GCL) in which the
 // paper writes its systems. A file declares one system: variables with
 // finite domains, guarded actions, and an optional initial-state
-// predicate. See parser.hpp for the grammar and compile.hpp for the
-// translation to a cref::System.
+// predicate. See parser.hpp for the grammar, compile.hpp for the
+// translation to a cref::System, and analyze.hpp for the semantic
+// lint passes over this AST.
 
 #include <cstdint>
 #include <memory>
@@ -12,6 +13,14 @@
 #include <vector>
 
 namespace cref::gcl {
+
+/// 1-based source position of an AST node (0 = unknown, e.g. for
+/// programmatically built trees). The parser fills these in so the
+/// semantic analyzer can point diagnostics at the offending token.
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+};
 
 /// Expression operators (precedence is handled by the parser).
 enum class Op {
@@ -42,6 +51,7 @@ struct Expr {
   std::string name;               // Op::Var (display)
   std::size_t var_index = 0;      // Op::Var (resolved by the parser)
   std::vector<Expr> children;     // operands
+  SourceLoc loc;                  // leaf: the token; binary: the operator
 
   static Expr constant(std::int64_t v) {
     Expr e;
@@ -57,6 +67,7 @@ struct AssignmentAst {
   std::string var;
   std::size_t var_index = 0;
   Expr value;
+  SourceLoc loc;  // the target variable token
 };
 
 /// `action name @process : guard -> assignments ;`
@@ -65,12 +76,14 @@ struct ActionAst {
   int process = -1;
   Expr guard;
   std::vector<AssignmentAst> assignments;
+  SourceLoc loc;  // the action name token
 };
 
 /// `var name : 0..k;` or `var name : bool;`
 struct VarDeclAst {
   std::string name;
   int cardinality = 2;
+  SourceLoc loc;  // the variable name token
 };
 
 /// A whole `system NAME { ... }` declaration.
@@ -79,6 +92,7 @@ struct SystemAst {
   std::vector<VarDeclAst> vars;
   std::vector<ActionAst> actions;
   std::unique_ptr<Expr> init;  // null if the system declares no initial states
+  SourceLoc init_loc;          // the `init` keyword (when init != null)
 };
 
 }  // namespace cref::gcl

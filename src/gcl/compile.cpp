@@ -6,6 +6,19 @@
 
 namespace cref::gcl {
 
+std::int64_t eval_mod(std::int64_t a, std::int64_t b) {
+  if (b == 0) return 0;
+  std::int64_t r = a % b;
+  return r < 0 ? r + (b > 0 ? b : -b) : r;
+}
+
+std::int64_t eval_div(std::int64_t a, std::int64_t b) {
+  // Euclidean: (a - eval_mod(a, b)) is an exact multiple of b, so the
+  // pair satisfies a == eval_div(a,b)*b + eval_mod(a,b) for every b != 0.
+  if (b == 0) return 0;
+  return (a - eval_mod(a, b)) / b;
+}
+
 std::int64_t eval(const Expr& e, const StateVec& s) {
   switch (e.op) {
     case Op::Const: return e.value;
@@ -15,16 +28,10 @@ std::int64_t eval(const Expr& e, const StateVec& s) {
     case Op::Add: return eval(e.children[0], s) + eval(e.children[1], s);
     case Op::Sub: return eval(e.children[0], s) - eval(e.children[1], s);
     case Op::Mul: return eval(e.children[0], s) * eval(e.children[1], s);
-    case Op::Mod: {
-      std::int64_t d = eval(e.children[1], s);
-      if (d == 0) return 0;
-      std::int64_t r = eval(e.children[0], s) % d;
-      return r < 0 ? r + (d > 0 ? d : -d) : r;
-    }
-    case Op::Div: {
-      std::int64_t d = eval(e.children[1], s);
-      return d == 0 ? 0 : eval(e.children[0], s) / d;
-    }
+    case Op::Mod:
+      return eval_mod(eval(e.children[0], s), eval(e.children[1], s));
+    case Op::Div:
+      return eval_div(eval(e.children[0], s), eval(e.children[1], s));
     case Op::Eq: return eval(e.children[0], s) == eval(e.children[1], s);
     case Op::Ne: return eval(e.children[0], s) != eval(e.children[1], s);
     case Op::Lt: return eval(e.children[0], s) < eval(e.children[1], s);

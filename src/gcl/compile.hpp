@@ -7,10 +7,21 @@
 
 namespace cref::gcl {
 
+/// Euclidean division: the unique q with a == q*b + eval_mod(a, b) and
+/// 0 <= eval_mod(a, b) < |b|. Equals floor division for b > 0 (the only
+/// divisors reachable from 0-based GCL domains without explicit
+/// negation). Returns 0 when b == 0 (total semantics).
+std::int64_t eval_div(std::int64_t a, std::int64_t b);
+
+/// Mathematical (always-nonnegative) modulo: result in [0, |b|).
+/// Returns 0 when b == 0 (total semantics).
+std::int64_t eval_mod(std::int64_t a, std::int64_t b);
+
 /// Evaluates an expression over a decoded state (int64 arithmetic;
 /// comparisons/logic yield 0/1; any nonzero value is truthy). Division
-/// or modulo by zero evaluates to 0 (total semantics — model checking
-/// must not trap on corrupted states).
+/// and modulo use the Euclidean pair above, so `(a / b) * b + a % b == a`
+/// holds for every nonzero b; division or modulo by zero evaluates to 0
+/// (total semantics — model checking must not trap on corrupted states).
 std::int64_t eval(const Expr& e, const StateVec& s);
 
 /// Compiles a parsed system into a cref::System over a fresh Space.

@@ -1,0 +1,157 @@
+#include "gcl/diag.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <tuple>
+
+namespace cref::gcl {
+
+const char* rule_id(Rule r) {
+  switch (r) {
+    case Rule::ParseError: return "parse-error";
+    case Rule::GuardAlwaysFalse: return "guard-always-false";
+    case Rule::GuardAlwaysTrue: return "guard-always-true";
+    case Rule::AssignWraps: return "assign-wraps";
+    case Rule::DivByZero: return "div-by-zero";
+    case Rule::DivMaybeZero: return "div-maybe-zero";
+    case Rule::VarUnused: return "var-unused";
+    case Rule::VarWriteOnly: return "var-write-only";
+    case Rule::VarNeverWritten: return "var-never-written";
+    case Rule::ActionDuplicateName: return "action-duplicate-name";
+    case Rule::ActionStutter: return "action-stutter";
+    case Rule::ActionNotSelfDisabling: return "action-not-self-disabling";
+    case Rule::VarMultiWriter: return "var-multi-writer";
+    case Rule::InitUnsatisfiable: return "init-unsatisfiable";
+  }
+  return "unknown";
+}
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+bool Diagnostic::operator<(const Diagnostic& o) const {
+  // Errors before warnings before notes at the same position.
+  int sev = -static_cast<int>(severity), osev = -static_cast<int>(o.severity);
+  return std::tie(loc.line, loc.column, sev, message) <
+         std::tie(o.loc.line, o.loc.column, osev, o.message);
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end());
+}
+
+DiagCounts count_diagnostics(const std::vector<Diagnostic>& diags) {
+  DiagCounts c;
+  for (const Diagnostic& d : diags) {
+    switch (d.severity) {
+      case Severity::Note: ++c.notes; break;
+      case Severity::Warning: ++c.warnings; break;
+      case Severity::Error: ++c.errors; break;
+    }
+  }
+  return c;
+}
+
+bool should_fail(const std::vector<Diagnostic>& diags, bool werror) {
+  DiagCounts c = count_diagnostics(diags);
+  return c.errors > 0 || (werror && c.warnings > 0);
+}
+
+std::string render_text(const std::vector<Diagnostic>& diags, const std::string& file) {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags) {
+    out << file;
+    if (d.loc.line > 0) {
+      out << ':' << d.loc.line;
+      if (d.loc.column > 0) out << ':' << d.loc.column;
+    }
+    out << ": " << severity_name(d.severity) << ": " << d.message << " ["
+        << rule_id(d.rule) << "]\n";
+    if (!d.hint.empty()) out << "    hint: " << d.hint << "\n";
+  }
+  DiagCounts c = count_diagnostics(diags);
+  if (diags.empty()) {
+    out << file << ": clean (no findings)\n";
+  } else {
+    out << file << ": " << c.errors << " error(s), " << c.warnings << " warning(s), "
+        << c.notes << " note(s)\n";
+  }
+  return out.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_json(const std::vector<Diagnostic>& diags, const std::string& file) {
+  std::ostringstream out;
+  out << "{\"file\": \"" << json_escape(file) << "\", \"diagnostics\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i) out << ", ";
+    out << "{\"rule\": \"" << rule_id(d.rule) << "\", \"severity\": \""
+        << severity_name(d.severity) << "\", \"line\": " << d.loc.line
+        << ", \"column\": " << d.loc.column << ", \"message\": \""
+        << json_escape(d.message) << "\", \"hint\": \"" << json_escape(d.hint)
+        << "\"}";
+  }
+  DiagCounts c = count_diagnostics(diags);
+  out << "], \"counts\": {\"errors\": " << c.errors << ", \"warnings\": " << c.warnings
+      << ", \"notes\": " << c.notes << "}}\n";
+  return out.str();
+}
+
+Diagnostic parse_error_diagnostic(const std::string& what) {
+  Diagnostic d;
+  d.rule = Rule::ParseError;
+  d.severity = Severity::Error;
+  d.message = what;
+  d.hint = "the file must parse before semantic analysis can run";
+  const std::string tag = "line ";
+  std::size_t at = what.find(tag);
+  if (at != std::string::npos) {
+    const char* p = what.c_str() + at + tag.size();
+    char* end = nullptr;
+    long line = std::strtol(p, &end, 10);
+    if (end != p && line > 0) {
+      d.loc.line = static_cast<int>(line);
+      if (*end == ':') {
+        const char* q = end + 1;
+        long column = std::strtol(q, &end, 10);
+        if (end != q && column > 0) d.loc.column = static_cast<int>(column);
+      }
+      // Strip the position prefix; the renderer re-adds FILE:LINE:COL.
+      if (*end == ':' && end[1] == ' ') d.message = end + 2;
+    }
+  }
+  return d;
+}
+
+}  // namespace cref::gcl

@@ -1,0 +1,101 @@
+#pragma once
+
+// Structured diagnostics for the GCL semantic analyzer (analyze.hpp).
+// A Diagnostic is one finding: a stable rule id, a severity, a source
+// position, a human message, and an optional fix hint. Renderers
+// produce the gcl_lint text format and a machine-readable JSON
+// document (--format=json); see README "gcl_lint" for the rule
+// catalog and the JSON schema.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gcl/ast.hpp"
+
+namespace cref::gcl {
+
+enum class Severity {
+  Note,     // informational; never affects the exit code
+  Warning,  // a likely defect; fails under --werror
+  Error,    // definitely wrong; always fails
+};
+
+/// Stable rule identifiers. Keep in sync with rule_id() and the README
+/// catalog; ids are part of the tool's output contract (tests and CI
+/// grep for them).
+enum class Rule {
+  ParseError,           // source does not parse (lexer/parser/domain errors)
+  GuardAlwaysFalse,     // guard unsatisfiable: the action is dead
+  GuardAlwaysTrue,      // guard is a tautology
+  AssignWraps,          // RHS can leave the target's domain and silently wrap
+  DivByZero,            // divisor is provably always zero
+  DivMaybeZero,         // divisor can be zero (evaluates to 0 by convention)
+  VarUnused,            // variable is never read nor written
+  VarWriteOnly,         // variable is written but never read
+  VarNeverWritten,      // variable is read but has no writer anywhere
+  ActionDuplicateName,  // two actions share a name
+  ActionStutter,        // effect is provably the identity under the guard
+  ActionNotSelfDisabling,  // guard can remain enabled after the action's own effect
+  VarMultiWriter,       // variable written by actions of >= 2 distinct @processes
+  InitUnsatisfiable,    // init predicate has no satisfying state
+};
+
+/// The stable textual id of a rule, e.g. "guard-always-false".
+const char* rule_id(Rule r);
+
+/// "note" / "warning" / "error".
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Rule rule = Rule::ParseError;
+  Severity severity = Severity::Warning;
+  SourceLoc loc;        // 1-based; {0,0} when no position applies
+  std::string message;  // what is wrong, with concrete evidence
+  std::string hint;     // how to fix it; may be empty
+
+  /// Ordering for stable output: by position, then severity
+  /// (errors first), then rule id.
+  bool operator<(const Diagnostic& o) const;
+};
+
+/// Sorts diagnostics into reporting order (in place).
+void sort_diagnostics(std::vector<Diagnostic>& diags);
+
+struct DiagCounts {
+  std::size_t notes = 0;
+  std::size_t warnings = 0;
+  std::size_t errors = 0;
+};
+
+DiagCounts count_diagnostics(const std::vector<Diagnostic>& diags);
+
+/// True if the findings should fail the run: any error, or any warning
+/// when `werror` is set. Notes never fail.
+bool should_fail(const std::vector<Diagnostic>& diags, bool werror);
+
+/// Human-readable rendering, one finding per line:
+///   FILE:LINE:COL: SEVERITY: MESSAGE [rule-id]
+///       hint: HINT
+/// followed by a one-line summary. `file` labels the source (path or
+/// "<input>").
+std::string render_text(const std::vector<Diagnostic>& diags, const std::string& file);
+
+/// Machine-readable rendering:
+///   {"file": ..., "diagnostics": [{"rule", "severity", "line",
+///    "column", "message", "hint"}, ...],
+///    "counts": {"errors", "warnings", "notes"}}
+/// Strings are JSON-escaped; the document ends with a newline.
+std::string render_json(const std::vector<Diagnostic>& diags, const std::string& file);
+
+/// Escapes a string for embedding in a JSON string literal (no quotes
+/// added). Exposed for tests and other JSON-emitting tools.
+std::string json_escape(const std::string& s);
+
+/// Wraps a lexer/parser exception message ("gcl: line L:C: msg") in a
+/// parse-error Diagnostic, recovering the source position when the
+/// message carries one ({0,0} otherwise). Lets gcl_lint report files
+/// that do not parse through the same text/JSON renderers.
+Diagnostic parse_error_diagnostic(const std::string& what);
+
+}  // namespace cref::gcl

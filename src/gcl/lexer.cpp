@@ -6,8 +6,9 @@
 namespace cref::gcl {
 
 namespace {
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw std::runtime_error("gcl: line " + std::to_string(line) + ": " + what);
+[[noreturn]] void fail(int line, int column, const std::string& what) {
+  throw std::runtime_error("gcl: line " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + what);
 }
 }  // namespace
 
@@ -15,12 +16,14 @@ std::vector<Token> lex(const std::string& source) {
   std::vector<Token> out;
   int line = 1;
   std::size_t i = 0;
+  std::size_t line_start = 0;  // index of the first character of the current line
   const std::size_t n = source.size();
+  auto col = [&]() { return static_cast<int>(i - line_start) + 1; };
   auto peek = [&](std::size_t ahead = 0) -> char {
     return i + ahead < n ? source[i + ahead] : '\0';
   };
   auto push = [&](Tok kind, std::size_t advance) {
-    out.push_back({kind, "", 0, line});
+    out.push_back({kind, "", 0, line, col()});
     i += advance;
   };
 
@@ -29,6 +32,7 @@ std::vector<Token> lex(const std::string& source) {
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -41,16 +45,18 @@ std::vector<Token> lex(const std::string& source) {
     }
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       std::size_t start = i;
+      int start_col = col();
       while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
                        source[i] == '_'))
         ++i;
-      out.push_back({Tok::Ident, source.substr(start, i - start), 0, line});
+      out.push_back({Tok::Ident, source.substr(start, i - start), 0, line, start_col});
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t start = i;
+      int start_col = col();
       while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
-      Token t{Tok::Number, "", 0, line};
+      Token t{Tok::Number, "", 0, line, start_col};
       t.number = std::stoll(source.substr(start, i - start));
       out.push_back(t);
       continue;
@@ -69,7 +75,7 @@ std::vector<Token> lex(const std::string& source) {
       case '/': push(Tok::Slash, 1); break;
       case '.':
         if (peek(1) == '.') push(Tok::DotDot, 2);
-        else fail(line, "unexpected '.'");
+        else fail(line, col(), "unexpected '.'");
         break;
       case ':':
         if (peek(1) == '=') push(Tok::Assign, 2);
@@ -81,7 +87,7 @@ std::vector<Token> lex(const std::string& source) {
         break;
       case '=':
         if (peek(1) == '=') push(Tok::Eq, 2);
-        else fail(line, "'=' (did you mean '==' or ':='?)");
+        else fail(line, col(), "'=' (did you mean '==' or ':='?)");
         break;
       case '!':
         if (peek(1) == '=') push(Tok::Ne, 2);
@@ -97,17 +103,17 @@ std::vector<Token> lex(const std::string& source) {
         break;
       case '&':
         if (peek(1) == '&') push(Tok::AndAnd, 2);
-        else fail(line, "'&' (did you mean '&&'?)");
+        else fail(line, col(), "'&' (did you mean '&&'?)");
         break;
       case '|':
         if (peek(1) == '|') push(Tok::OrOr, 2);
-        else fail(line, "'|' (did you mean '||'?)");
+        else fail(line, col(), "'|' (did you mean '||'?)");
         break;
       default:
-        fail(line, std::string("unexpected character '") + c + "'");
+        fail(line, col(), std::string("unexpected character '") + c + "'");
     }
   }
-  out.push_back({Tok::End, "", 0, line});
+  out.push_back({Tok::End, "", 0, line, col()});
   return out;
 }
 

@@ -43,10 +43,11 @@ struct Token {
   std::string text;        // identifier text
   std::int64_t number = 0; // numeric value
   int line = 1;            // 1-based source line, for error messages
+  int column = 1;          // 1-based column of the token's first character
 };
 
 /// Tokenizes `source`. Comments run from '#' or "//" to end of line.
-/// Throws std::runtime_error with a line number on an unexpected
+/// Throws std::runtime_error with a "line L:C" position on an unexpected
 /// character. The final token is always Tok::End.
 std::vector<Token> lex(const std::string& source);
 

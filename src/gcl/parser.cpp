@@ -9,6 +9,8 @@ namespace cref::gcl {
 
 namespace {
 
+SourceLoc loc_of(const Token& t) { return {t.line, t.column}; }
+
 class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
@@ -24,8 +26,11 @@ class Parser {
   }
 
  private:
-  [[noreturn]] void fail(const std::string& what) {
-    throw std::runtime_error("gcl: line " + std::to_string(cur().line) + ": " + what);
+  [[noreturn]] void fail(const std::string& what) { fail_at(cur(), what); }
+
+  [[noreturn]] void fail_at(const Token& t, const std::string& what) {
+    throw std::runtime_error("gcl: line " + std::to_string(t.line) + ":" +
+                             std::to_string(t.column) + ": " + what);
   }
 
   const Token& cur() const { return tokens_[pos_]; }
@@ -51,42 +56,68 @@ class Parser {
     } else if (at_keyword("action")) {
       parse_action();
     } else if (at_keyword("init")) {
-      advance();
+      Token kw = advance();
       expect(Tok::Colon);
-      if (ast_.init) fail("duplicate init declaration");
+      if (ast_.init) fail_at(kw, "duplicate init declaration");
       ast_.init = std::make_unique<Expr>(parse_expr());
+      ast_.init_loc = loc_of(kw);
       expect(Tok::Semi);
     } else {
       fail("expected 'var', 'action' or 'init'");
     }
   }
 
+  // Domain bound: NUMBER with an optional leading '-', so that
+  // `var x : 0..-1;` is rejected by domain validation (clear message)
+  // rather than by the grammar.
+  std::int64_t parse_bound() {
+    bool negative = false;
+    if (at(Tok::Minus)) {
+      advance();
+      negative = true;
+    }
+    std::int64_t v = expect(Tok::Number).number;
+    return negative ? -v : v;
+  }
+
   void parse_var() {
     advance();  // var
     Token name = expect(Tok::Ident);
-    if (var_index_.count(name.text)) fail("duplicate variable '" + name.text + "'");
+    if (var_index_.count(name.text)) fail_at(name, "duplicate variable '" + name.text + "'");
     expect(Tok::Colon);
     int cardinality;
     if (at_keyword("bool")) {
       advance();
       cardinality = 2;
     } else {
-      Token lo = expect(Tok::Number);
-      if (lo.number != 0) fail("variable domains must start at 0");
+      Token lo_tok = cur();
+      std::int64_t lo = parse_bound();
+      if (lo != 0)
+        fail_at(lo_tok, "variable domains must start at 0 (got " + std::to_string(lo) +
+                            ".. for '" + name.text + "')");
       expect(Tok::DotDot);
-      Token hi = expect(Tok::Number);
-      if (hi.number < 0 || hi.number > 254) fail("domain upper bound out of range (0..254)");
-      cardinality = static_cast<int>(hi.number) + 1;
+      Token hi_tok = cur();
+      std::int64_t hi = parse_bound();
+      if (hi < 0)
+        fail_at(hi_tok, "empty domain 0.." + std::to_string(hi) + " for '" + name.text +
+                            "' (cardinality " + std::to_string(hi + 1) +
+                            "); the upper bound must be >= 0");
+      if (hi > 254)
+        fail_at(hi_tok, "domain upper bound out of range (0..254), got " +
+                            std::to_string(hi));
+      cardinality = static_cast<int>(hi) + 1;
     }
     expect(Tok::Semi);
     var_index_[name.text] = ast_.vars.size();
-    ast_.vars.push_back({name.text, cardinality});
+    ast_.vars.push_back({name.text, cardinality, loc_of(name)});
   }
 
   void parse_action() {
     advance();  // action
     ActionAst action;
-    action.name = expect(Tok::Ident).text;
+    Token name = expect(Tok::Ident);
+    action.name = name.text;
+    action.loc = loc_of(name);
     if (at(Tok::At)) {
       advance();
       action.process = static_cast<int>(expect(Tok::Number).number);
@@ -99,6 +130,7 @@ class Parser {
       Token var = expect(Tok::Ident);
       assign.var = var.text;
       assign.var_index = resolve(var);
+      assign.loc = loc_of(var);
       expect(Tok::Assign);
       assign.value = parse_expr();
       action.assignments.push_back(std::move(assign));
@@ -111,16 +143,17 @@ class Parser {
 
   std::size_t resolve(const Token& name) {
     auto it = var_index_.find(name.text);
-    if (it == var_index_.end()) fail("unknown variable '" + name.text + "'");
+    if (it == var_index_.end()) fail_at(name, "unknown variable '" + name.text + "'");
     return it->second;
   }
 
   // --- expression grammar, lowest precedence first -------------------
   Expr parse_expr() { return parse_or(); }
 
-  Expr binary(Op op, Expr lhs, Expr rhs) {
+  Expr binary(Op op, SourceLoc loc, Expr lhs, Expr rhs) {
     Expr e;
     e.op = op;
+    e.loc = loc;
     e.children.push_back(std::move(lhs));
     e.children.push_back(std::move(rhs));
     return e;
@@ -129,8 +162,8 @@ class Parser {
   Expr parse_or() {
     Expr lhs = parse_and();
     while (at(Tok::OrOr)) {
-      advance();
-      lhs = binary(Op::Or, std::move(lhs), parse_and());
+      SourceLoc loc = loc_of(advance());
+      lhs = binary(Op::Or, loc, std::move(lhs), parse_and());
     }
     return lhs;
   }
@@ -138,8 +171,8 @@ class Parser {
   Expr parse_and() {
     Expr lhs = parse_cmp();
     while (at(Tok::AndAnd)) {
-      advance();
-      lhs = binary(Op::And, std::move(lhs), parse_cmp());
+      SourceLoc loc = loc_of(advance());
+      lhs = binary(Op::And, loc, std::move(lhs), parse_cmp());
     }
     return lhs;
   }
@@ -157,8 +190,8 @@ class Parser {
         case Tok::Ge: op = Op::Ge; break;
         default: return lhs;
       }
-      advance();
-      lhs = binary(op, std::move(lhs), parse_add());
+      SourceLoc loc = loc_of(advance());
+      lhs = binary(op, loc, std::move(lhs), parse_add());
     }
   }
 
@@ -166,8 +199,8 @@ class Parser {
     Expr lhs = parse_mul();
     while (at(Tok::Plus) || at(Tok::Minus)) {
       Op op = at(Tok::Plus) ? Op::Add : Op::Sub;
-      advance();
-      lhs = binary(op, std::move(lhs), parse_mul());
+      SourceLoc loc = loc_of(advance());
+      lhs = binary(op, loc, std::move(lhs), parse_mul());
     }
     return lhs;
   }
@@ -176,24 +209,26 @@ class Parser {
     Expr lhs = parse_unary();
     while (at(Tok::Star) || at(Tok::Percent) || at(Tok::Slash)) {
       Op op = at(Tok::Star) ? Op::Mul : at(Tok::Percent) ? Op::Mod : Op::Div;
-      advance();
-      lhs = binary(op, std::move(lhs), parse_unary());
+      SourceLoc loc = loc_of(advance());
+      lhs = binary(op, loc, std::move(lhs), parse_unary());
     }
     return lhs;
   }
 
   Expr parse_unary() {
     if (at(Tok::Bang)) {
-      advance();
+      SourceLoc loc = loc_of(advance());
       Expr e;
       e.op = Op::Not;
+      e.loc = loc;
       e.children.push_back(parse_unary());
       return e;
     }
     if (at(Tok::Minus)) {
-      advance();
+      SourceLoc loc = loc_of(advance());
       Expr e;
       e.op = Op::Neg;
+      e.loc = loc;
       e.children.push_back(parse_unary());
       return e;
     }
@@ -201,7 +236,12 @@ class Parser {
   }
 
   Expr parse_atom() {
-    if (at(Tok::Number)) return Expr::constant(advance().number);
+    if (at(Tok::Number)) {
+      Token t = advance();
+      Expr e = Expr::constant(t.number);
+      e.loc = loc_of(t);
+      return e;
+    }
     if (at(Tok::LParen)) {
       advance();
       Expr e = parse_expr();
@@ -210,18 +250,23 @@ class Parser {
     }
     if (at(Tok::Ident)) {
       if (at_keyword("true")) {
-        advance();
-        return Expr::constant(1);
+        Token t = advance();
+        Expr e = Expr::constant(1);
+        e.loc = loc_of(t);
+        return e;
       }
       if (at_keyword("false")) {
-        advance();
-        return Expr::constant(0);
+        Token t = advance();
+        Expr e = Expr::constant(0);
+        e.loc = loc_of(t);
+        return e;
       }
       Token name = advance();
       Expr e;
       e.op = Op::Var;
       e.name = name.text;
       e.var_index = resolve(name);
+      e.loc = loc_of(name);
       return e;
     }
     fail(std::string("expected an expression, found ") + tok_name(cur().kind));

@@ -32,8 +32,11 @@
 namespace cref::gcl {
 
 /// Parses a GCL source text into an AST. Throws std::runtime_error with
-/// a source line number on any lexical, syntactic, or resolution error
-/// (unknown variable, duplicate declaration, non-zero domain base, ...).
+/// a "line L:C" source position on any lexical, syntactic, or resolution
+/// error (unknown variable, duplicate declaration, non-zero domain base,
+/// empty or out-of-range domain, ...). Every AST node carries its
+/// SourceLoc so downstream diagnostics (see analyze.hpp) can point at
+/// the offending token.
 SystemAst parse(const std::string& source);
 
 }  // namespace cref::gcl

@@ -6,7 +6,10 @@
 
 namespace cref::util {
 
-Cli::Cli(int argc, char** argv) {
+Cli::Cli(int argc, char** argv) : Cli(argc, argv, {}) {}
+
+Cli::Cli(int argc, char** argv, std::initializer_list<const char*> flags) {
+  std::set<std::string> flag_set(flags.begin(), flags.end());
   for (int i = 1; i < argc; ++i) {
     std::string arg{argv[i]};
     if (!starts_with(arg, "--")) {
@@ -17,7 +20,7 @@ Cli::Cli(int argc, char** argv) {
     auto eq = arg.find('=');
     if (eq != std::string::npos) {
       options_[arg.substr(0, eq)] = arg.substr(eq + 1);
-    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+    } else if (!flag_set.count(arg) && i + 1 < argc && !starts_with(argv[i + 1], "--")) {
       options_[arg] = argv[++i];
     } else {
       options_[arg] = "1";

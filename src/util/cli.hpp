@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstddef>
+#include <initializer_list>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,11 @@ namespace cref::util {
 class Cli {
  public:
   Cli(int argc, char** argv);
+
+  /// Same, but the named options are boolean flags: they never consume
+  /// the following argument as their value, so `--werror FILE` keeps
+  /// FILE positional. (`--flag=0` style still works for them.)
+  Cli(int argc, char** argv, std::initializer_list<const char*> flags);
 
   /// Returns the value of `--key`, or `fallback` if absent.
   std::string get(const std::string& key, const std::string& fallback = "") const;

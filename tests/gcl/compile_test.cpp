@@ -36,6 +36,45 @@ TEST(EvalTest, Arithmetic) {
   EXPECT_EQ(eval(bin(Op::Ge, a, b), s), 0);
 }
 
+// Div and Mod must be a consistent pair: with the mathematical
+// (always-nonnegative) Mod, Div has to round so that
+// (a / b) * b + a % b == a for every nonzero b. Truncation toward zero
+// breaks this for negative intermediates (e.g. a = -7, b = 3:
+// trunc(-7/3) = -2 but -7 % 3 = 2, and -2*3 + 2 = -4 != -7).
+TEST(EvalTest, DivModPairIsConsistentOnNegativeOperands) {
+  for (std::int64_t a = -10; a <= 10; ++a) {
+    for (std::int64_t b : {-3, -2, -1, 1, 2, 3}) {
+      EXPECT_EQ(eval_div(a, b) * b + eval_mod(a, b), a) << a << " / " << b;
+      EXPECT_GE(eval_mod(a, b), 0) << a << " % " << b;
+      EXPECT_LT(eval_mod(a, b), b > 0 ? b : -b) << a << " % " << b;
+    }
+  }
+  EXPECT_EQ(eval_div(-7, 3), -3);  // floor, not truncation toward zero
+  EXPECT_EQ(eval_mod(-7, 3), 2);
+  EXPECT_EQ(eval_div(7, -3), -2);  // Euclidean rounding for b < 0
+  EXPECT_EQ(eval_mod(7, -3), 1);
+  EXPECT_EQ(eval_div(5, 0), 0);  // total semantics
+  EXPECT_EQ(eval_mod(5, 0), 0);
+}
+
+TEST(EvalTest, NegativeIntermediateDivisionInAnExpression) {
+  // (0 - x) / 3 with x = 7: floor(-7/3) = -3; truncation would give -2.
+  StateVec s{7};
+  SystemAst ast = parse("system p { var x : 0..9; action t : (0 - x) / 3 == 0 - 3 "
+                        "-> x := 0; }");
+  EXPECT_EQ(eval(ast.actions[0].guard, s), 1);
+}
+
+TEST(CompileTest, NegativeIntermediateDivisionInATransition) {
+  // The guard only holds under floor division: x = 7 -> (0-7)/3 == -3.
+  System sys = load_system(
+      "system p { var x : 0..9; "
+      "action t @0 : (0 - x) / 3 == 0 - 3 -> x := 0; }");
+  const Space& space = sys.space();
+  EXPECT_EQ(sys.successors(space.encode({7})), (std::vector<StateId>{space.encode({0})}));
+  EXPECT_TRUE(sys.successors(space.encode({6})).empty());  // -2: guard false
+}
+
 TEST(EvalTest, DivisionByZeroIsTotal) {
   StateVec s{0};
   Expr v;

@@ -40,12 +40,48 @@ TEST(LexerTest, CommentsAndLines) {
   EXPECT_EQ(tokens[2].line, 3);
 }
 
+TEST(LexerTest, TracksColumns) {
+  auto tokens = lex("var c0 : 0..42;\n  x := 1;");
+  ASSERT_EQ(tokens.size(), 12u);
+  // line 1: var@1 c0@5 :@8 0@10 ..@11 42@13 ;@15
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].column, 5);
+  EXPECT_EQ(tokens[2].column, 8);
+  EXPECT_EQ(tokens[3].column, 10);
+  EXPECT_EQ(tokens[4].column, 11);
+  EXPECT_EQ(tokens[5].column, 13);
+  EXPECT_EQ(tokens[6].column, 15);
+  // line 2: x@3 :=@5 1@8 ;@9
+  EXPECT_EQ(tokens[7].line, 2);
+  EXPECT_EQ(tokens[7].column, 3);
+  EXPECT_EQ(tokens[8].column, 5);
+  EXPECT_EQ(tokens[9].column, 8);
+  EXPECT_EQ(tokens[10].column, 9);
+}
+
 TEST(LexerTest, ErrorsCarryLineNumbers) {
   try {
     lex("ok\n$bad");
     FAIL() << "expected throw";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(LexerTest, ErrorsCarryLineAndColumn) {
+  try {
+    lex("ok\n  $bad");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2:3"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("unexpected character '$'"),
+              std::string::npos);
+  }
+  try {
+    lex("a == b\na = b");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2:3"), std::string::npos) << e.what();
   }
 }
 

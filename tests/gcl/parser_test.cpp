@@ -77,6 +77,35 @@ TEST(ParserTest, Errors) {
   EXPECT_THROW(parse("system p { } trailing"), std::runtime_error);
 }
 
+// Expects parse(src) to throw and the message to contain every needle.
+void expect_parse_error(const std::string& src,
+                        std::initializer_list<const char*> needles) {
+  try {
+    parse(src);
+    FAIL() << "expected throw for: " << src;
+  } catch (const std::runtime_error& e) {
+    for (const char* needle : needles)
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "missing '" << needle << "' in: " << e.what();
+  }
+}
+
+TEST(ParserTest, DomainDeclarationsAreValidatedAtParseTime) {
+  // cardinality 0
+  expect_parse_error("system p {\n  var a : 0..-1;\n}",
+                     {"line 2:14", "empty domain 0..-1", "cardinality 0"});
+  // negative cardinality
+  expect_parse_error("system p { var a : 0..-3; }", {"empty domain 0..-3"});
+  // negative base
+  expect_parse_error("system p {\n  var a : -1..3;\n}",
+                     {"line 2:11", "must start at 0", "-1"});
+  // beyond the Value range
+  expect_parse_error("system p { var a : 0..300; }",
+                     {"out of range (0..254), got 300"});
+  // 0..0 is a legal singleton domain
+  EXPECT_EQ(parse("system p { var a : 0..0; }").vars[0].cardinality, 1);
+}
+
 TEST(ParserTest, ErrorMessagesNameTheLine) {
   try {
     parse("system p {\n var a : bool;\n action t : q -> a := 1;\n}");
@@ -85,6 +114,34 @@ TEST(ParserTest, ErrorMessagesNameTheLine) {
     EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("unknown variable 'q'"), std::string::npos);
   }
+}
+
+TEST(ParserTest, ErrorMessagesNameLineAndColumn) {
+  // unknown variable 'q' at line 3, column 13
+  expect_parse_error("system p {\n var a : bool;\n action t : q -> a := 1;\n}",
+                     {"line 3:13", "unknown variable 'q'"});
+  // unterminated ':=' (assignment with no right-hand side)
+  expect_parse_error("system p {\n var a : bool;\n action t : a -> a := ;\n}",
+                     {"line 3:23", "expected an expression, found ';'"});
+  // unexpected token where a declaration must start, at its column
+  expect_parse_error("system p {\n  37\n}", {"line 2:3", "expected 'var'"});
+  // duplicate variable points at the redeclaration
+  expect_parse_error("system p {\n  var a : bool;\n  var a : bool;\n}",
+                     {"line 3:7", "duplicate variable 'a'"});
+}
+
+TEST(ParserTest, AstNodesCarrySourceLocations) {
+  SystemAst ast = parse(kTiny);  // kTiny starts with a leading newline
+  EXPECT_EQ(ast.vars[0].loc.line, 3);
+  EXPECT_EQ(ast.vars[0].loc.column, 7);
+  EXPECT_EQ(ast.actions[0].loc.line, 5);
+  EXPECT_EQ(ast.actions[0].loc.column, 10);
+  EXPECT_EQ(ast.actions[0].assignments[0].loc.line, 5);
+  EXPECT_EQ(ast.init_loc.line, 6);
+  EXPECT_EQ(ast.init_loc.column, 3);
+  // The guard `x == 2 && !b`: the And operator carries its own position.
+  EXPECT_GT(ast.actions[0].guard.loc.column, 0);
+  EXPECT_EQ(ast.actions[0].guard.children[0].children[0].loc.line, 5);
 }
 
 TEST(ParserTest, TrueFalseLiterals) {
