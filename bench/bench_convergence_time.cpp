@@ -38,9 +38,9 @@ sim::Stats simulate(const System& sys, const StatePredicate& legit, int runs,
 }
 
 void row(util::Table& t, const std::string& name, int n, const System& sys,
-         const RefinementChecker& rc, const StatePredicate& legit) {
+         const RefinementChecker& rc, const StatePredicate& legit, std::uint64_t seed) {
   auto ct = convergence_time(rc);
-  auto st = simulate(sys, legit, 1000, 42 + n);
+  auto st = simulate(sys, legit, 1000, seed + static_cast<std::uint64_t>(n));
   t.add_row({name, std::to_string(n),
              ct.bounded ? std::to_string(ct.worst_steps) : "unbounded",
              std::to_string(ct.locked_count) + "/" +
@@ -51,8 +51,10 @@ void row(util::Table& t, const std::string& name, int n, const System& sys,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   header("E12", "convergence cost vs ring size (exact worst case + simulation)");
+  util::Cli cli(argc, argv);
+  const std::uint64_t seed = seed_from_cli(cli, 42);
 
   util::Table t({"system", "n", "worst case", "locked/total", "sim mean", "sim p99",
                  "sim max"});
@@ -63,26 +65,26 @@ int main() {
       FourStateLayout l(n);
       System d4 = make_dijkstra4(l);
       RefinementChecker rc(d4, btr, make_alpha4(l, bl));
-      row(t, "Dijkstra4", n, d4, rc, l.single_token_image());
+      row(t, "Dijkstra4", n, d4, rc, l.single_token_image(), seed);
     }
     {
       ThreeStateLayout l(n);
       System d3 = make_dijkstra3(l);
       RefinementChecker rc(d3, btr, make_alpha3(l, bl));
-      row(t, "Dijkstra3", n, d3, rc, l.single_token_image());
+      row(t, "Dijkstra3", n, d3, rc, l.single_token_image(), seed);
     }
     {
       ThreeStateLayout l(n);
       System c3w = box_priority(make_c3(l), box(make_w1_dprime(l), make_w2_prime3(l)));
       RefinementChecker rc(c3w, btr, make_alpha3(l, bl));
-      row(t, "C3<|(W1''[]W2')", n, c3w, rc, l.single_token_image());
+      row(t, "C3<|(W1''[]W2')", n, c3w, rc, l.single_token_image(), seed);
     }
     {
       UtrLayout ul(n);
       KStateLayout kl(n, n + 1);
       System ks = make_kstate(kl);
       RefinementChecker rc(ks, make_utr(ul), make_alpha_k(kl, ul));
-      row(t, "KState(K=n+1)", n, ks, rc, kl.single_token_image());
+      row(t, "KState(K=n+1)", n, ks, rc, kl.single_token_image(), seed);
     }
   }
   std::printf("%s\n", t.to_string().c_str());

@@ -48,8 +48,10 @@ std::size_t run_synchronous(const System& sys, StateVec s, const StatePredicate&
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   header("E14", "daemon ablation: central vs round-robin vs synchronous");
+  util::Cli cli(argc, argv);
+  const std::uint64_t seed = seed_from_cli(cli, 5);
 
   const int n = 64;
   const int runs = 40;
@@ -70,8 +72,8 @@ int main() {
 
   for (auto& named : systems) {
     {
-      sim::FaultInjector fi(5);
-      sim::RandomDaemon daemon(6);
+      sim::FaultInjector fi(seed);
+      sim::RandomDaemon daemon(seed + 1);
       sim::Stats st;
       int ok = 0;
       StateVec s;
@@ -88,7 +90,7 @@ int main() {
                  util::format_double(st.mean(), 0), util::format_double(st.max(), 0)});
     }
     {
-      sim::FaultInjector fi(7);
+      sim::FaultInjector fi(seed + 2);
       sim::RoundRobinDaemon daemon;
       sim::Stats st;
       int ok = 0;
@@ -106,7 +108,7 @@ int main() {
                  util::format_double(st.mean(), 0), util::format_double(st.max(), 0)});
     }
     {
-      sim::FaultInjector fi(9);
+      sim::FaultInjector fi(seed + 4);
       sim::Stats st;
       int ok = 0;
       StateVec s;

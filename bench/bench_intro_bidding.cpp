@@ -49,8 +49,10 @@ double run_campaign(int k, std::int64_t corruption_value, int trials,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   header("E3", "Intro: bidding server — (k-1)-of-best-k tolerance under corruption");
+  util::Cli cli(argc, argv);
+  const std::uint64_t seed = seed_from_cli(cli, 1);
 
   const int trials = 2000;
   util::Table t({"k", "corruption", "spec", "sorted-list impl", "wrapped impl"});
@@ -60,9 +62,9 @@ int main() {
           std::pair<const char*, std::int64_t>{"zero", 0},
           std::pair<const char*, std::int64_t>{"mid (500)", 500}}) {
       t.add_row({std::to_string(k), label,
-                 util::format_double(run_campaign<SpecServer>(k, value, trials, 1), 3),
-                 util::format_double(run_campaign<SortedListServer>(k, value, trials, 1), 3),
-                 util::format_double(run_campaign<WrappedServer>(k, value, trials, 1), 3)});
+                 util::format_double(run_campaign<SpecServer>(k, value, trials, seed), 3),
+                 util::format_double(run_campaign<SortedListServer>(k, value, trials, seed), 3),
+                 util::format_double(run_campaign<WrappedServer>(k, value, trials, seed), 3)});
     }
   }
   std::printf("%s", t.to_string().c_str());

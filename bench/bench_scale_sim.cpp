@@ -44,8 +44,10 @@ SimResult campaign(const System& sys, const StatePredicate& legit,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   header("E13", "large-N simulation: convergence steps vs ring size");
+  util::Cli cli(argc, argv);
+  const std::uint64_t seed = seed_from_cli(cli, 0);
 
   util::Table t({"system", "procs", "daemon", "mean steps", "p99", "max", "non-conv"});
   for (int n : {16, 64, 192}) {
@@ -64,8 +66,8 @@ int main() {
     systems.push_back({"KState", make_kstate(lk), lk.single_token_image()});
     for (auto& named : systems) {
       {
-        sim::RandomDaemon daemon(7 * n);
-        auto res = campaign(named.sys, named.legit, daemon, runs, 11 * n, 4000000);
+        sim::RandomDaemon daemon(seed + 7 * static_cast<std::uint64_t>(n));
+        auto res = campaign(named.sys, named.legit, daemon, runs, seed + 11 * static_cast<std::uint64_t>(n), 4000000);
         t.add_row({named.name, std::to_string(n + 1), "random",
                    util::format_double(res.steps.mean(), 0),
                    util::format_double(res.steps.percentile(99), 0),
@@ -92,7 +94,7 @@ int main() {
             return static_cast<double>(layoutk.image_token_count(s));
           };
         sim::GreedyAdversaryDaemon daemon(score);
-        auto res = campaign(named.sys, named.legit, daemon, 4, 13 * n, 4000000);
+        auto res = campaign(named.sys, named.legit, daemon, 4, seed + 13 * static_cast<std::uint64_t>(n), 4000000);
         t.add_row({named.name, std::to_string(n + 1), "adversary",
                    util::format_double(res.steps.mean(), 0),
                    util::format_double(res.steps.percentile(99), 0),

@@ -15,8 +15,10 @@
 using namespace cref;
 using namespace cref::bench;
 
-int main() {
+int main(int argc, char** argv) {
   header("E16", "meta-theorems on random automata");
+  util::Cli cli(argc, argv);
+  const std::uint64_t base_seed = seed_from_cli(cli, 0);
 
   const std::uint64_t trials = 4000;
   std::size_t hier_premises = 0, hier_ok = 0;
@@ -26,12 +28,13 @@ int main() {
   std::size_t l4_premises = 0, l4_ok = 0;
   bool printed_cex = false;
 
-  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = base_seed + trial;
     SystemSampler gen(seed);
-    StateId n = 4 + static_cast<StateId>(seed % 5);
+    StateId n = 4 + static_cast<StateId>(trial % 5);
     TransitionGraph a = gen.random_graph(n, 0.30);
     TransitionGraph c = gen.drop_edges(a, 0.85);
-    if (seed % 2 == 0) c = gen.add_shortcuts(c, 2);
+    if (trial % 2 == 0) c = gen.add_shortcuts(c, 2);
     TransitionGraph w = gen.random_graph(n, 0.10);
     TransitionGraph b = gen.random_graph(n, 0.30);
     std::vector<StateId> init = gen.random_subset(n, 0.3, true);

@@ -49,6 +49,17 @@ inline EngineOptions engine_options_from_cli(const util::Cli& cli) {
   return eo;
 }
 
+/// RNG knob shared by every randomized bench main: `--seed S` (default
+/// `fallback`, which reproduces the tables in EXPERIMENTS.md). The
+/// resolved value is printed up front so any observed anomaly can be
+/// replayed exactly — the same convention as cref_fuzz repro files.
+inline std::uint64_t seed_from_cli(const util::Cli& cli, std::uint64_t fallback = 1) {
+  const auto seed = static_cast<std::uint64_t>(cli.get_size("seed", fallback));
+  std::printf("base seed: %llu (override with --seed N)\n",
+              static_cast<unsigned long long>(seed));
+  return seed;
+}
+
 /// Feeds one checker's phase-timing snapshot into the named series of
 /// `phases` (ms): scc-build (C and A combined), closure-build, edge-scan.
 inline void record_phases(sim::StatsSet& phases, const PhaseTimings& t) {

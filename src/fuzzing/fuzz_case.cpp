@@ -1,0 +1,202 @@
+// Repro file format (one directive per line, '#' starts a comment line):
+//
+//   strategy <word>
+//   seed <u64>
+//   c_states <n>              a_states <m>
+//   c_edge <s> <t>            a_edge <s> <t>           w_edge <s> <t>
+//   c_init <s> [<s> ...]      a_init <s> [<s> ...]
+//   alpha <i0> <i1> ... <i n-1>        (omitted => identity, needs n == m)
+//   gcl_a <<<  ... lines ...  >>>      (heredoc; likewise gcl_c)
+//
+// A file with gcl_a/gcl_c blocks is a PROGRAM case: the graphs, spaces
+// and initial states are recompiled from the embedded sources on load
+// (graph directives are then disallowed — the sources are the truth).
+
+#include "fuzzing/fuzz_case.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "gcl/compile.hpp"
+#include "gcl/parser.hpp"
+
+namespace cref::fuzz {
+
+namespace {
+
+std::string ids_line(const char* key, const std::vector<StateId>& ids) {
+  std::string out = key;
+  for (StateId s : ids) out += " " + std::to_string(s);
+  return out + "\n";
+}
+
+std::string edges_block(const char* key, const TransitionGraph& g) {
+  std::string out;
+  for (StateId s = 0; s < g.num_states(); ++s)
+    for (StateId t : g.successors(s))
+      out += std::string(key) + " " + std::to_string(s) + " " + std::to_string(t) + "\n";
+  return out;
+}
+
+std::string heredoc(const char* key, const std::string& body) {
+  std::string out = std::string(key) + " <<<\n" + body;
+  if (!body.empty() && body.back() != '\n') out += "\n";
+  return out + ">>>\n";
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("repro line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+std::string format_repro(const FuzzCase& fc) {
+  std::string out = "# cref_fuzz repro v1\n";
+  out += "strategy " + (fc.strategy.empty() ? std::string("unknown") : fc.strategy) + "\n";
+  out += "seed " + std::to_string(fc.seed) + "\n";
+  if (fc.from_gcl()) {
+    out += heredoc("gcl_a", fc.gcl_a);
+    out += heredoc("gcl_c", fc.gcl_c);
+    return out;
+  }
+  out += "c_states " + std::to_string(fc.c.num_states()) + "\n";
+  out += "a_states " + std::to_string(fc.a.num_states()) + "\n";
+  out += edges_block("c_edge", fc.c);
+  out += edges_block("a_edge", fc.a);
+  out += edges_block("w_edge", fc.w);
+  if (!fc.c_init.empty()) out += ids_line("c_init", fc.c_init);
+  if (!fc.a_init.empty()) out += ids_line("a_init", fc.a_init);
+  if (!fc.alpha.empty()) out += ids_line("alpha", fc.alpha);
+  return out;
+}
+
+FuzzCase make_gcl_case(std::string strategy, std::uint64_t seed, std::string src_a,
+                       std::string src_c) {
+  System a = gcl::load_system(src_a);
+  System c = gcl::load_system(src_c);
+  if (!a.space().same_shape_as(c.space()))
+    throw std::runtime_error("gcl case: A and C declare different spaces");
+  FuzzCase fc;
+  fc.strategy = std::move(strategy);
+  fc.seed = seed;
+  fc.a = TransitionGraph::build(a);
+  fc.c = TransitionGraph::build(c);
+  fc.w = TransitionGraph::from_edges(fc.c.num_states(), {});
+  fc.a_init = a.initial_states();
+  fc.c_init = c.initial_states();
+  fc.gcl_a = std::move(src_a);
+  fc.gcl_c = std::move(src_c);
+  return fc;
+}
+
+FuzzCase parse_repro(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+
+  std::string strategy = "repro";
+  std::uint64_t seed = 0;
+  long long c_states = -1, a_states = -1;
+  std::vector<std::pair<StateId, StateId>> c_edges, a_edges, w_edges;
+  std::vector<StateId> c_init, a_init, alpha;
+  std::string gcl_a, gcl_c;
+  bool has_graph_directive = false;
+
+  auto read_ids = [&](std::istringstream& ss, std::vector<StateId>& out) {
+    unsigned long long v;
+    while (ss >> v) out.push_back(static_cast<StateId>(v));
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string key;
+    ss >> key;
+    if (key == "strategy") {
+      ss >> strategy;
+    } else if (key == "seed") {
+      if (!(ss >> seed)) fail(lineno, "seed wants an integer");
+    } else if (key == "gcl_a" || key == "gcl_c") {
+      std::string marker;
+      ss >> marker;
+      if (marker != "<<<") fail(lineno, key + " wants a <<< heredoc");
+      std::string body;
+      bool closed = false;
+      while (std::getline(in, line)) {
+        ++lineno;
+        if (line == ">>>") {
+          closed = true;
+          break;
+        }
+        body += line + "\n";
+      }
+      if (!closed) fail(lineno, "unterminated heredoc");
+      (key == "gcl_a" ? gcl_a : gcl_c) = body;
+    } else {
+      has_graph_directive = true;
+      if (key == "c_states") {
+        if (!(ss >> c_states)) fail(lineno, "c_states wants an integer");
+      } else if (key == "a_states") {
+        if (!(ss >> a_states)) fail(lineno, "a_states wants an integer");
+      } else if (key == "c_edge" || key == "a_edge" || key == "w_edge") {
+        unsigned long long s, t;
+        if (!(ss >> s >> t)) fail(lineno, key + " wants two state ids");
+        if (s == t) fail(lineno, "self-loop " + std::to_string(s) + " (transition semantics excludes no-op steps)");
+        auto& edges = key == "c_edge" ? c_edges : key == "a_edge" ? a_edges : w_edges;
+        edges.emplace_back(static_cast<StateId>(s), static_cast<StateId>(t));
+      } else if (key == "c_init") {
+        read_ids(ss, c_init);
+      } else if (key == "a_init") {
+        read_ids(ss, a_init);
+      } else if (key == "alpha") {
+        read_ids(ss, alpha);
+      } else {
+        fail(lineno, "unknown directive '" + key + "'");
+      }
+    }
+  }
+
+  if (!gcl_a.empty() || !gcl_c.empty()) {
+    if (gcl_a.empty() || gcl_c.empty()) fail(lineno, "gcl case needs both gcl_a and gcl_c");
+    if (has_graph_directive)
+      fail(lineno, "gcl case must not also carry graph directives (sources are the truth)");
+    return make_gcl_case(strategy, seed, gcl_a, gcl_c);
+  }
+
+  if (c_states < 0 || a_states < 0) fail(lineno, "missing c_states / a_states");
+  auto check_edges = [&](const char* what, const std::vector<std::pair<StateId, StateId>>& es,
+                         long long n) {
+    for (auto [s, t] : es)
+      if (s >= static_cast<StateId>(n) || t >= static_cast<StateId>(n))
+        fail(lineno, std::string(what) + " endpoint out of range");
+  };
+  check_edges("c_edge", c_edges, c_states);
+  check_edges("a_edge", a_edges, a_states);
+  check_edges("w_edge", w_edges, c_states);
+  for (StateId s : c_init)
+    if (s >= static_cast<StateId>(c_states)) fail(lineno, "c_init state out of range");
+  for (StateId s : a_init)
+    if (s >= static_cast<StateId>(a_states)) fail(lineno, "a_init state out of range");
+  if (alpha.empty()) {
+    if (c_states != a_states) fail(lineno, "identity alpha needs c_states == a_states");
+  } else {
+    if (alpha.size() != static_cast<std::size_t>(c_states))
+      fail(lineno, "alpha wants one image per C state");
+    for (StateId img : alpha)
+      if (img >= static_cast<StateId>(a_states)) fail(lineno, "alpha image out of range");
+  }
+
+  FuzzCase fc;
+  fc.strategy = strategy;
+  fc.seed = seed;
+  fc.c = TransitionGraph::from_edges(static_cast<StateId>(c_states), std::move(c_edges));
+  fc.a = TransitionGraph::from_edges(static_cast<StateId>(a_states), std::move(a_edges));
+  fc.w = TransitionGraph::from_edges(static_cast<StateId>(c_states), std::move(w_edges));
+  fc.c_init = std::move(c_init);
+  fc.a_init = std::move(a_init);
+  fc.alpha = std::move(alpha);
+  return fc;
+}
+
+}  // namespace cref::fuzz

@@ -1,0 +1,56 @@
+#pragma once
+
+// One differential-fuzzing input: a (C, A, alpha, W) quadruple of finite
+// automata — concrete system, abstract system, abstraction table, and a
+// wrapper used by the meta-theorem oracle — optionally born from a pair
+// of randomly generated GCL programs (in which case the sources ride
+// along so the lexer/parser/analyzer/compile path is re-exercised on
+// replay). Cases serialize to a self-contained text repro file, the unit
+// of the seed corpus and of shrunk counterexamples.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace cref::fuzz {
+
+struct FuzzCase {
+  std::string strategy;  // generator that produced it ("repro" when loaded)
+  std::uint64_t seed = 0;
+
+  // The quadruple. `alpha` empty means identity (C and A share ids); `w`
+  // always has C's state count and may have no edges.
+  TransitionGraph c, a, w;
+  std::vector<StateId> c_init, a_init;
+  std::vector<StateId> alpha;
+
+  // Non-empty iff the case came from the GCL program generator: the two
+  // sources compile to `a` and `c` respectively (same declarations, so
+  // the spaces coincide and alpha is identity).
+  std::string gcl_a, gcl_c;
+
+  bool from_gcl() const { return !gcl_a.empty(); }
+  StateId image(StateId s) const { return alpha.empty() ? s : alpha[s]; }
+};
+
+/// Serializes a case to the repro text format (see fuzz_case.cpp header
+/// comment for the grammar). The result round-trips through parse_repro.
+std::string format_repro(const FuzzCase& fc);
+
+/// Parses a repro file. Validates shape (edge endpoints and init states
+/// in range, alpha total with in-range images, no self-loops — the
+/// checkers' transition semantics excludes them) and, for GCL cases,
+/// recompiles the embedded sources into the graphs. Throws
+/// std::runtime_error with a line-numbered message on any violation.
+FuzzCase parse_repro(const std::string& text);
+
+/// Builds a program case from two GCL sources over the same variable
+/// declarations: A and C are the compiled transition graphs, inits the
+/// compiled initial-state sets, alpha identity, W empty. Throws if the
+/// sources do not parse or declare different spaces.
+FuzzCase make_gcl_case(std::string strategy, std::uint64_t seed, std::string src_a,
+                       std::string src_c);
+
+}  // namespace cref::fuzz

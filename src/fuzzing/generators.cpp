@@ -1,0 +1,211 @@
+#include "fuzzing/generators.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "gcl/pretty.hpp"
+#include "refinement/random_systems.hpp"
+#include "util/rng.hpp"
+
+namespace cref::fuzz {
+
+namespace {
+
+using gcl::Expr;
+using gcl::Op;
+
+Expr var_ref(const std::vector<gcl::VarDeclAst>& vars, std::size_t index) {
+  Expr e;
+  e.op = Op::Var;
+  e.name = vars[index].name;
+  e.var_index = index;
+  return e;
+}
+
+Expr binary(Op op, Expr lhs, Expr rhs) {
+  Expr e;
+  e.op = op;
+  e.children.push_back(std::move(lhs));
+  e.children.push_back(std::move(rhs));
+  return e;
+}
+
+// Arithmetic-valued expression of bounded depth. Division and modulo are
+// allowed with arbitrary (even zero) divisors: eval() is total, and the
+// analyzer's zero-divisor pass must cope with whatever we throw at it.
+Expr rand_arith(std::mt19937_64& rng, const std::vector<gcl::VarDeclAst>& vars, int depth) {
+  if (depth <= 0 || util::chance(rng, 0.45)) {
+    if (util::chance(rng, 0.55))
+      return var_ref(vars, util::uniform_below(rng, vars.size()));
+    return Expr::constant(static_cast<std::int64_t>(util::uniform_below(rng, 4)));
+  }
+  static constexpr Op kArith[] = {Op::Add, Op::Add, Op::Sub, Op::Mul, Op::Mod, Op::Div};
+  Op op = kArith[util::uniform_below(rng, std::size(kArith))];
+  if (util::chance(rng, 0.08)) {
+    Expr e;
+    e.op = Op::Neg;
+    e.children.push_back(rand_arith(rng, vars, depth - 1));
+    return e;
+  }
+  return binary(op, rand_arith(rng, vars, depth - 1), rand_arith(rng, vars, depth - 1));
+}
+
+// Boolean-valued expression: comparisons at the leaves, &&/||/! above.
+Expr rand_cond(std::mt19937_64& rng, const std::vector<gcl::VarDeclAst>& vars, int depth) {
+  if (depth <= 0 || util::chance(rng, 0.5)) {
+    static constexpr Op kCmp[] = {Op::Eq, Op::Ne, Op::Lt, Op::Le, Op::Gt, Op::Ge};
+    Op op = kCmp[util::uniform_below(rng, std::size(kCmp))];
+    return binary(op, rand_arith(rng, vars, 1), rand_arith(rng, vars, 1));
+  }
+  if (util::chance(rng, 0.15)) {
+    Expr e;
+    e.op = Op::Not;
+    e.children.push_back(rand_cond(rng, vars, depth - 1));
+    return e;
+  }
+  return binary(util::chance(rng, 0.5) ? Op::And : Op::Or, rand_cond(rng, vars, depth - 1),
+                rand_cond(rng, vars, depth - 1));
+}
+
+gcl::ActionAst rand_action(std::mt19937_64& rng, const std::vector<gcl::VarDeclAst>& vars,
+                           std::size_t index) {
+  gcl::ActionAst act;
+  act.name = "m" + std::to_string(index);
+  act.process = util::chance(rng, 0.5)
+                    ? static_cast<int>(util::uniform_below(rng, vars.size()))
+                    : -1;
+  act.guard = rand_cond(rng, vars, 2);
+  // 1-2 assignments to DISTINCT targets (duplicate targets would make
+  // the multiple assignment ambiguous).
+  std::size_t first = util::uniform_below(rng, vars.size());
+  gcl::AssignmentAst asg;
+  asg.var = vars[first].name;
+  asg.var_index = first;
+  asg.value = rand_arith(rng, vars, 2);
+  act.assignments.push_back(std::move(asg));
+  if (vars.size() >= 2 && util::chance(rng, 0.35)) {
+    std::size_t second = util::uniform_below(rng, vars.size() - 1);
+    if (second >= first) ++second;
+    gcl::AssignmentAst more;
+    more.var = vars[second].name;
+    more.var_index = second;
+    more.value = rand_arith(rng, vars, 2);
+    act.assignments.push_back(std::move(more));
+  }
+  return act;
+}
+
+}  // namespace
+
+gcl::SystemAst random_gcl_system(std::mt19937_64& rng) {
+  gcl::SystemAst ast;
+  ast.name = "fuzz_a";
+  std::size_t nv = 1 + util::uniform_below(rng, 3);
+  for (std::size_t i = 0; i < nv; ++i) {
+    gcl::VarDeclAst v;
+    v.name = "v" + std::to_string(i);
+    v.cardinality = static_cast<int>(2 + util::uniform_below(rng, 2));
+    ast.vars.push_back(v);
+  }
+  std::size_t na = 1 + util::uniform_below(rng, 4);
+  for (std::size_t i = 0; i < na; ++i) ast.actions.push_back(rand_action(rng, ast.vars, i));
+  if (util::chance(rng, 0.6))
+    ast.init = std::make_unique<Expr>(rand_cond(rng, ast.vars, 1));
+  return ast;
+}
+
+namespace {
+
+gcl::SystemAst clone_system(const gcl::SystemAst& src) {
+  gcl::SystemAst out;
+  out.name = src.name;
+  out.vars = src.vars;
+  out.actions = src.actions;  // Expr is value-semantic, deep copy
+  if (src.init) out.init = std::make_unique<Expr>(*src.init);
+  return out;
+}
+
+}  // namespace
+
+gcl::SystemAst mutate_gcl_system(const gcl::SystemAst& a, std::mt19937_64& rng) {
+  gcl::SystemAst c = clone_system(a);
+  c.name = "fuzz_c";
+  // Strengthened guards shrink the transition relation toward a subset
+  // of A's — the near-refinement bias.
+  for (gcl::ActionAst& act : c.actions)
+    if (util::chance(rng, 0.5))
+      act.guard = binary(Op::And, std::move(act.guard), rand_cond(rng, c.vars, 1));
+  if (c.actions.size() >= 2 && util::chance(rng, 0.25))
+    c.actions.erase(c.actions.begin() +
+                    static_cast<long>(util::uniform_below(rng, c.actions.size())));
+  // Retargeted assignment: C steps somewhere A would not — compressions
+  // or invalid edges, depending on A's reachability.
+  if (util::chance(rng, 0.2)) {
+    gcl::ActionAst& act = c.actions[util::uniform_below(rng, c.actions.size())];
+    gcl::AssignmentAst& asg = act.assignments[util::uniform_below(rng, act.assignments.size())];
+    asg.value = rand_arith(rng, c.vars, 2);
+  }
+  if (c.init && util::chance(rng, 0.25)) *c.init = rand_cond(rng, c.vars, 1);
+  return c;
+}
+
+const std::vector<std::string>& strategy_names() {
+  static const std::vector<std::string> kNames = {"identity", "subset",   "shortcut",
+                                                  "noise",    "quotient", "gcl"};
+  return kNames;
+}
+
+FuzzCase draw_case(const std::string& strategy, std::uint64_t seed, StateId max_states) {
+  if (max_states < 4) max_states = 4;
+  if (strategy == "gcl") {
+    std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + 1);
+    gcl::SystemAst a = random_gcl_system(rng);
+    gcl::SystemAst c = mutate_gcl_system(a, rng);
+    return make_gcl_case("gcl", seed, gcl::print_system(a), gcl::print_system(c));
+  }
+
+  SystemSampler gen(seed);
+  FuzzCase fc;
+  fc.strategy = strategy;
+  fc.seed = seed;
+  StateId n = 3 + static_cast<StateId>(util::uniform_below(gen.rng(), max_states - 2));
+
+  if (strategy == "quotient") {
+    // Explicit-alpha case: C over n states quotiented onto m < n abstract
+    // states; A starts as the exact image graph (all edges Exact or
+    // Stutter by construction) and is then perturbed so some concrete
+    // edges become compressed or invalid.
+    fc.c = gen.random_graph(n, 0.30);
+    StateId m = 2 + static_cast<StateId>(util::uniform_below(gen.rng(), n > 3 ? n - 3 : 1));
+    fc.alpha.resize(n);
+    for (StateId s = 0; s < n; ++s)
+      fc.alpha[s] = s < m ? s : static_cast<StateId>(util::uniform_below(gen.rng(), m));
+    std::vector<std::pair<StateId, StateId>> image_edges;
+    for (StateId s = 0; s < n; ++s)
+      for (StateId t : fc.c.successors(s))
+        if (fc.alpha[s] != fc.alpha[t]) image_edges.emplace_back(fc.alpha[s], fc.alpha[t]);
+    fc.a = TransitionGraph::from_edges(m, std::move(image_edges));
+    if (util::chance(gen.rng(), 0.5)) fc.a = gen.drop_edges(fc.a, 0.85);
+    if (util::chance(gen.rng(), 0.3)) fc.a = graph_union(fc.a, gen.random_graph(m, 0.10));
+    fc.a_init = gen.random_subset(m, 0.4, /*nonempty=*/true);
+  } else {
+    fc.a = gen.random_graph(n, 0.30);
+    if (strategy == "identity") {
+      fc.c = fc.a;
+    } else if (strategy == "subset") {
+      fc.c = gen.drop_edges(fc.a, 0.80);
+    } else if (strategy == "shortcut") {
+      fc.c = gen.add_shortcuts(gen.drop_edges(fc.a, 0.85), 3);
+    } else if (strategy == "noise") {
+      fc.c = graph_union(gen.drop_edges(fc.a, 0.85), gen.random_graph(n, 0.05));
+    } else {
+      throw std::invalid_argument("draw_case: unknown strategy '" + strategy + "'");
+    }
+    fc.a_init = gen.random_subset(n, 0.3, /*nonempty=*/true);
+  }
+  fc.w = gen.random_graph(fc.c.num_states(), 0.08);
+  fc.c_init = gen.random_subset(fc.c.num_states(), 0.3, /*nonempty=*/true);
+  return fc;
+}
+
+}  // namespace cref::fuzz

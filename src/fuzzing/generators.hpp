@@ -1,0 +1,44 @@
+#pragma once
+
+// Input generators of the fuzzing harness.
+//
+// Graph strategies extend SystemSampler into a quadruple sampler: each
+// draws a (C, A, alpha, W) case biased toward NEAR-refinements — mostly
+// exact edges with a sprinkling of compressions (shortcuts), omissions
+// (dropped edges), and invalid steps (noise) — because verdict-boundary
+// instances are where engine bugs live. The "gcl" strategy instead
+// generates a random valid-by-construction GCL program A and a mutated
+// sibling C, pretty-prints both, and re-parses them, so every fuzz
+// iteration also drives the lexer/parser/analyzer/compiler path.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fuzzing/fuzz_case.hpp"
+#include "gcl/ast.hpp"
+
+namespace cref::fuzz {
+
+/// Strategy names in draw order; the fuzz loop round-robins through
+/// them. All accept any seed.
+const std::vector<std::string>& strategy_names();
+
+/// Draws one case. `max_states` bounds the state count of graph
+/// strategies (the GCL strategy bounds its space by construction:
+/// <= 3 variables of cardinality <= 3). Throws on unknown strategy.
+FuzzCase draw_case(const std::string& strategy, std::uint64_t seed, StateId max_states);
+
+/// Random GCL system: 1-3 variables of cardinality 2-3, 1-4 actions
+/// with depth-bounded guards/assignments, optional init predicate.
+/// Valid by construction: print_system(ast) always re-parses.
+gcl::SystemAst random_gcl_system(std::mt19937_64& rng);
+
+/// A near-refinement sibling of `a`: guards strengthened by conjoined
+/// comparisons (shrinking the transition relation toward a subset),
+/// occasionally an action dropped or an assignment retargeted (which
+/// introduces compressions and invalid steps).
+gcl::SystemAst mutate_gcl_system(const gcl::SystemAst& a, std::mt19937_64& rng);
+
+}  // namespace cref::fuzz

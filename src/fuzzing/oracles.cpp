@@ -1,0 +1,341 @@
+#include "fuzzing/oracles.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "fuzzing/reference.hpp"
+#include "gcl/analyze.hpp"
+#include "gcl/compile.hpp"
+#include "gcl/diag.hpp"
+#include "gcl/parser.hpp"
+#include "gcl/pretty.hpp"
+#include "refinement/certificate.hpp"
+#include "refinement/checker.hpp"
+#include "refinement/equivalence.hpp"
+#include "refinement/random_systems.hpp"
+#include "sim/fault.hpp"
+#include "sim/runner.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace cref::fuzz {
+
+const char* to_string(InjectedBug bug) {
+  switch (bug) {
+    case InjectedBug::kNone: return "none";
+    case InjectedBug::kDropLastCEdge: return "drop-last-c-edge";
+    case InjectedBug::kShiftCInit: return "shift-c-init";
+  }
+  return "?";
+}
+
+namespace {
+
+struct EngineView {
+  TransitionGraph c;
+  std::vector<StateId> c_init;
+};
+
+// The inputs the engine legs see. With a bug injected they differ from
+// the true case — the reference (which always sees the truth) must then
+// disagree on some drawn case.
+EngineView engine_view(const FuzzCase& fc, InjectedBug bug) {
+  EngineView ev{fc.c, fc.c_init};
+  if (bug == InjectedBug::kDropLastCEdge) {
+    std::vector<std::pair<StateId, StateId>> edges;
+    for (StateId s = 0; s < fc.c.num_states(); ++s)
+      for (StateId t : fc.c.successors(s)) edges.emplace_back(s, t);
+    if (!edges.empty()) edges.pop_back();
+    ev.c = TransitionGraph::from_edges(fc.c.num_states(), std::move(edges));
+  } else if (bug == InjectedBug::kShiftCInit) {
+    const StateId n = fc.c.num_states();
+    for (StateId& s : ev.c_init) s = n ? (s + 1) % n : s;
+    std::sort(ev.c_init.begin(), ev.c_init.end());
+    ev.c_init.erase(std::unique(ev.c_init.begin(), ev.c_init.end()), ev.c_init.end());
+  }
+  return ev;
+}
+
+struct RelationResult {
+  const char* name;
+  CheckResult r;
+};
+
+std::vector<RelationResult> run_all(const RefinementChecker& rc) {
+  std::vector<RelationResult> out;
+  out.push_back({"refinement_init", rc.refinement_init()});
+  out.push_back({"everywhere", rc.everywhere_refinement()});
+  out.push_back({"convergence", rc.convergence_refinement()});
+  out.push_back({"eventually", rc.everywhere_eventually_refinement()});
+  out.push_back({"stabilizing", rc.stabilizing_to()});
+  return out;
+}
+
+std::string yn(bool b) { return b ? "holds" : "fails"; }
+
+}  // namespace
+
+std::vector<OracleFailure> run_oracles(const FuzzCase& fc, const OracleOptions& opts,
+                                       OracleStats* stats) {
+  std::vector<OracleFailure> fails;
+  auto add = [&](const char* oracle, std::string detail) {
+    fails.push_back({oracle, std::move(detail)});
+  };
+  OracleStats local;
+  OracleStats& st = stats ? *stats : local;
+  ++st.cases;
+
+  const EngineView ev = engine_view(fc, opts.bug);
+  RefinementChecker serial(ev.c, fc.a, ev.c_init, fc.a_init, fc.alpha);
+  serial.set_engine_options(EngineOptions{/*num_threads=*/1, /*chunk_size=*/0});
+  const std::vector<RelationResult> sr = run_all(serial);
+
+  // ---- differential-reference -------------------------------------
+  if (std::max(fc.c.num_states(), fc.a.num_states()) <= opts.max_reference_states) {
+    ++st.reference_checked;
+    const ReferenceVerdicts ref =
+        reference_check(fc.c, fc.a, fc.c_init, fc.a_init, fc.alpha);
+    const bool bits[5] = {ref.refinement_init, ref.everywhere, ref.convergence,
+                          ref.eventually, ref.stabilizing};
+    for (std::size_t i = 0; i < sr.size(); ++i)
+      if (sr[i].r.holds != bits[i])
+        add("differential-reference", std::string(sr[i].name) + ": engine " +
+                                          yn(sr[i].r.holds) + " but brute-force reference " +
+                                          yn(bits[i]));
+  } else {
+    ++st.reference_skipped;
+  }
+
+  // ---- serial-parallel --------------------------------------------
+  {
+    ++st.parallel_compared;
+    RefinementChecker par(ev.c, fc.a, ev.c_init, fc.a_init, fc.alpha);
+    par.set_engine_options(opts.parallel);
+    const std::vector<RelationResult> pr = run_all(par);
+    for (std::size_t i = 0; i < sr.size(); ++i) {
+      if (sr[i].r.holds != pr[i].r.holds || sr[i].r.reason != pr[i].r.reason ||
+          sr[i].r.witness.states != pr[i].r.witness.states)
+        add("serial-parallel",
+            std::string(sr[i].name) + ": serial and parallel engines disagree");
+    }
+    const EdgeStats se = serial.edge_stats(), pe = par.edge_stats();
+    if (se.exact != pe.exact || se.stutter != pe.stutter || se.compressed != pe.compressed ||
+        se.invalid != pe.invalid)
+      add("serial-parallel", "EdgeStats differ between serial and parallel engines");
+  }
+
+  // ---- witness-path -----------------------------------------------
+  for (const RelationResult& rr : sr)
+    if (!rr.r.holds && !rr.r.witness.empty() && !rr.r.witness.is_path_of(ev.c))
+      add("witness-path",
+          std::string(rr.name) + ": witness " + rr.r.witness.format_ids() +
+              " is not a path of C");
+
+  // ---- certificate ------------------------------------------------
+  {
+    const bool stab = sr[4].r.holds;
+    auto cert = make_certificate(serial);
+    if (stab != cert.has_value()) {
+      add("certificate", stab ? "stabilizing verdict but no certificate produced"
+                              : "certificate produced for a non-stabilizing system");
+    } else if (cert) {
+      auto ok = validate_certificate(ev.c, fc.a, serial.a_initial(), fc.alpha, *cert);
+      if (!ok.holds)
+        add("certificate", "validator rejected a genuine certificate: " + ok.reason);
+      else
+        ++st.certificates_validated;
+
+      // Mutations that provably break a component; the independent
+      // validator must reject every one of them.
+      auto expect_reject = [&](const StabilizationCertificate& mut, const char* kind) {
+        if (validate_certificate(ev.c, fc.a, serial.a_initial(), fc.alpha, mut).holds)
+          add("certificate", std::string("mutated certificate accepted (") + kind + ")");
+        else
+          ++st.mutations_rejected;
+      };
+      // (a) bump rho across the first C edge: breaks non-increase if the
+      // edge is good, breaks strict decrease if it is bad.
+      for (StateId s = 0; s < ev.c.num_states(); ++s) {
+        auto succ = ev.c.successors(s);
+        if (succ.empty()) continue;
+        StabilizationCertificate mut = *cert;
+        mut.rho[succ[0]] = mut.rho[s] + 1;
+        expect_reject(mut, "rho-bump");
+        break;
+      }
+      // (b) claim an unreachable A-state reachable with no witness path.
+      for (StateId u = 0; u < fc.a.num_states(); ++u) {
+        if (cert->a_reachable[u]) continue;
+        StabilizationCertificate mut = *cert;
+        mut.a_reachable[u] = 1;
+        mut.a_parent[u] = StabilizationCertificate::kNoParent;
+        expect_reject(mut, "reach-flip");
+        break;
+      }
+      // (c) corrupt a BFS depth: breaks the parent/depth forest.
+      for (StateId u = 0; u < fc.a.num_states(); ++u) {
+        if (!cert->a_reachable[u] ||
+            cert->a_parent[u] == StabilizationCertificate::kNoParent)
+          continue;
+        StabilizationCertificate mut = *cert;
+        mut.a_depth[u] += 1;
+        expect_reject(mut, "depth-corrupt");
+        break;
+      }
+      // (d) truncate a component: sizes must match the graphs.
+      if (ev.c.num_states() > 0) {
+        StabilizationCertificate mut = *cert;
+        mut.rho.pop_back();
+        expect_reject(mut, "rho-truncate");
+      }
+    }
+  }
+
+  // ---- simulation -------------------------------------------------
+  {
+    // Graph side: any state repeated along a random walk closes a real
+    // cycle of C; when the checker says "stabilizing", every edge of
+    // that cycle must be good w.r.t. A and R_A.
+    std::mt19937_64 wrng(fc.seed ^ 0x5bf03635u);
+    const TransitionGraph& g = ev.c;
+    const bool stab = sr[4].r.holds;
+    const std::vector<char>& ra = serial.a_reachable();
+    for (std::size_t walk = 0; walk < opts.sim_walks && g.num_states() > 0; ++walk) {
+      StateId s = static_cast<StateId>(util::uniform_below(wrng, g.num_states()));
+      std::vector<long> seen_at(g.num_states(), -1);
+      std::vector<StateId> path;
+      for (std::size_t step = 0; step < 2 * g.num_states() + 8; ++step) {
+        seen_at[s] = static_cast<long>(path.size());
+        path.push_back(s);
+        auto succ = g.successors(s);
+        if (succ.empty()) break;
+        StateId t = succ[util::uniform_below(wrng, succ.size())];
+        if (seen_at[t] >= 0) {
+          path.push_back(t);
+          if (stab) {
+            for (std::size_t i = static_cast<std::size_t>(seen_at[t]); i + 1 < path.size();
+                 ++i) {
+              StateId is = fc.image(path[i]), it = fc.image(path[i + 1]);
+              if (!(ra[is] && ra[it] && (is == it || fc.a.has_edge(is, it)))) {
+                add("simulation",
+                    "random walk closed a cycle with a non-good edge although the checker "
+                    "says stabilizing (walk " +
+                        std::to_string(walk) + ")");
+                break;
+              }
+            }
+          }
+          break;
+        }
+        s = t;
+      }
+      ++st.walks_checked;
+    }
+
+    // Program side: the simulator under fault injection must stay
+    // consistent with the exhaustively built transition graph.
+    if (fc.from_gcl()) {
+      try {
+        System csys = gcl::load_system(fc.gcl_c);
+        const Space& space = csys.space();
+        sim::FaultInjector fi(fc.seed + 17);
+        sim::RandomDaemon daemon(fc.seed + 23);
+        StateVec start;
+        for (std::size_t walk = 0; walk < opts.sim_walks; ++walk) {
+          fi.scramble(space, start);
+          sim::RunOptions ro;
+          ro.max_steps = 4 * fc.c.num_states() + 16;
+          ro.record_trace = true;
+          sim::RunResult rr = sim::run_until(
+              csys, start, daemon, [](const StateVec&) { return false; }, ro);
+          Trace tr;
+          for (const StateVec& v : rr.trace) tr.states.push_back(space.encode(v));
+          if (!tr.is_path_of(fc.c))
+            add("simulation", "simulator trace is not a path of the built graph");
+          if (rr.final_state.empty() ||
+              (!rr.trace.empty() && rr.final_state != rr.trace.back()))
+            add("simulation", "RunResult::final_state inconsistent with the trace");
+          if (rr.deadlocked && !fc.c.is_deadlock(space.encode(rr.final_state)))
+            add("simulation", "simulator reported deadlock in a state with successors");
+          ++st.walks_checked;
+        }
+      } catch (const std::exception& e) {
+        add("simulation", std::string("GCL simulation leg threw: ") + e.what());
+      }
+    }
+  }
+
+  // ---- meta-theorems ----------------------------------------------
+  {
+    if (sr[1].r.holds && !sr[2].r.holds)
+      add("meta-theorems", "everywhere refinement without convergence refinement");
+    if (sr[2].r.holds && !sr[3].r.holds)
+      add("meta-theorems", "convergence refinement without everywhere-eventually");
+    if (sr[2].r.holds && !sr[0].r.holds)
+      add("meta-theorems", "convergence refinement without [C (= A]_init");
+    st.meta_implications += 3;
+
+    RefinementChecker aa(fc.a, fc.a, fc.a_init, fc.a_init);
+    if (!aa.everywhere_refinement().holds || !aa.convergence_refinement().holds)
+      add("meta-theorems", "A does not refine itself (reflexivity)");
+    ++st.meta_implications;
+
+    // Theorems 0/1 on (C, A, W), identity alpha: with B = A [] W, if A
+    // is stabilizing to B then so must be any (everywhere/convergence)
+    // refinement C of A.
+    if (fc.alpha.empty() && (sr[1].r.holds || sr[2].r.holds)) {
+      TransitionGraph b = graph_union(fc.a, fc.w);
+      RefinementChecker ab(fc.a, std::move(b), fc.c_init, fc.a_init);
+      if (ab.stabilizing_to().holds) {
+        TransitionGraph b2 = graph_union(fc.a, fc.w);
+        RefinementChecker cb(ev.c, std::move(b2), ev.c_init, fc.a_init);
+        const bool cb_stab = cb.stabilizing_to().holds;
+        if (sr[1].r.holds && !cb_stab)
+          add("meta-theorems", "Theorem 0 violated: everywhere refinement did not "
+                               "preserve stabilization to A [] W");
+        if (sr[2].r.holds && !cb_stab)
+          add("meta-theorems", "Theorem 1 violated: convergence refinement did not "
+                               "preserve stabilization to A [] W");
+        ++st.meta_implications;
+      }
+    }
+  }
+
+  // ---- gcl-roundtrip ----------------------------------------------
+  if (fc.from_gcl()) {
+    auto roundtrip = [&](const char* side, const std::string& src,
+                         const TransitionGraph& expect) {
+      try {
+        gcl::SystemAst ast1 = gcl::parse(src);
+        const std::string p1 = gcl::print_system(ast1);
+        gcl::SystemAst ast2 = gcl::parse(p1);
+        const std::string p2 = gcl::print_system(ast2);
+        if (p1 != p2)
+          add("gcl-roundtrip",
+              std::string(side) + ": print -> parse -> print is not a fixpoint");
+        TransitionGraph g1 = TransitionGraph::build(gcl::compile(ast1));
+        TransitionGraph g2 = TransitionGraph::build(gcl::compile(ast2));
+        if (!compare_relations(g1, g2).equal)
+          add("gcl-roundtrip",
+              std::string(side) + ": reparsed program compiles to a different relation");
+        if (!compare_relations(g1, expect).equal)
+          add("gcl-roundtrip",
+              std::string(side) + ": compiled relation differs from the case's graph");
+        // Analyzer totality: the lint passes and both renderers must
+        // accept arbitrary generated programs without throwing.
+        std::vector<gcl::Diagnostic> diags = gcl::analyze(ast1, gcl::AnalyzeOptions{});
+        (void)gcl::render_text(diags, "fuzz.gcl");
+        (void)gcl::render_json(diags, "fuzz.gcl");
+        ++st.gcl_roundtrips;
+      } catch (const std::exception& e) {
+        add("gcl-roundtrip", std::string(side) + ": threw: " + e.what());
+      }
+    };
+    roundtrip("A", fc.gcl_a, fc.a);
+    roundtrip("C", fc.gcl_c, fc.c);
+  }
+
+  return fails;
+}
+
+}  // namespace cref::fuzz

@@ -1,0 +1,89 @@
+#pragma once
+
+// The oracle stack: every consistency property a FuzzCase is held
+// against. A case passes only if ALL apply-able oracles pass:
+//
+//   differential-reference  engine verdicts (serial) == brute-force
+//                           reference on all five relations
+//   serial-parallel         multi-threaded engine bit-identical to the
+//                           serial one (verdict, reason, witness,
+//                           EdgeStats)
+//   witness-path            every failing verdict's witness is a real
+//                           path/cycle of C
+//   certificate             stabilizing => make_certificate validates;
+//                           not stabilizing => no certificate; every
+//                           applicable certificate mutation is REJECTED
+//                           by the validator
+//   simulation              cycles discovered by seeded random walks
+//                           are "good" whenever the checker says
+//                           stabilizing; for GCL cases, simulator runs
+//                           under fault injection stay consistent with
+//                           the built transition graph
+//   meta-theorems           relation hierarchy, reflexivity, and
+//                           Theorems 0/1 instances on (C, A, W)
+//   gcl-roundtrip           print -> parse -> print fixpoint, compile
+//                           equality, analyzer totality (GCL cases)
+//
+// For harness self-tests, an InjectedBug perturbs the inputs the ENGINE
+// sees (the reference always sees the true case) — simulating a defect
+// in the engine's edge scan or init handling. The differential oracle
+// must catch every injected bug on some drawn case, and the shrinker
+// must reduce that case; tests/fuzzing/oracle_test.cpp pins this.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fuzzing/fuzz_case.hpp"
+#include "refinement/engine.hpp"
+
+namespace cref::fuzz {
+
+/// Simulated engine defects, applied to the engine-facing inputs only.
+enum class InjectedBug {
+  kNone,
+  kDropLastCEdge,  // edge scan loses the last edge of C (CSR off-by-one)
+  kShiftCInit,     // init-state set read off by one state
+};
+
+const char* to_string(InjectedBug bug);
+
+struct OracleOptions {
+  /// Brute-force reference cap: cases whose C or A exceed this many
+  /// states skip the differential-reference oracle (counted in stats).
+  StateId max_reference_states = 64;
+
+  /// Engine options of the parallel leg of serial-parallel.
+  EngineOptions parallel{/*num_threads=*/2, /*chunk_size=*/0};
+
+  /// Random-walk starts per case in the simulation oracle.
+  std::size_t sim_walks = 4;
+
+  InjectedBug bug = InjectedBug::kNone;
+};
+
+/// One failed oracle: which one, and a human-readable detail naming the
+/// relation / mutation / walk that broke.
+struct OracleFailure {
+  std::string oracle;
+  std::string detail;
+};
+
+/// Non-vacuity counters accumulated across a fuzz run.
+struct OracleStats {
+  std::size_t cases = 0;
+  std::size_t reference_checked = 0;
+  std::size_t reference_skipped = 0;   // over max_reference_states
+  std::size_t parallel_compared = 0;
+  std::size_t certificates_validated = 0;
+  std::size_t mutations_rejected = 0;
+  std::size_t walks_checked = 0;
+  std::size_t gcl_roundtrips = 0;
+  std::size_t meta_implications = 0;
+};
+
+/// Runs the whole stack on one case. Empty result == all oracles green.
+std::vector<OracleFailure> run_oracles(const FuzzCase& fc, const OracleOptions& opts,
+                                       OracleStats* stats = nullptr);
+
+}  // namespace cref::fuzz

@@ -1,0 +1,37 @@
+#pragma once
+
+// Brute-force reference decision procedures for every relation of the
+// paper, deliberately sharing NO algorithmic machinery with
+// RefinementChecker: dense boolean adjacency matrices, Floyd-Warshall
+// transitive closure, and direct application of the definitional
+// conditions — no Tarjan SCC, no condensation closure, no BFS, no thread
+// pool, no lazy caches. O(n^3) time and O(n^2) space, intended for the
+// <= a-few-dozen-state instances the fuzzer draws; the differential
+// oracle (src/fuzzing/oracles.hpp) compares its verdicts against the
+// production engine on every sampled case.
+
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace cref::fuzz {
+
+/// The five verdict bits of RefinementChecker, recomputed naively.
+struct ReferenceVerdicts {
+  bool refinement_init = false;   // [C (= A]_init
+  bool everywhere = false;        // [C (= A]
+  bool convergence = false;       // [C <~ A]
+  bool eventually = false;        // everywhere-eventually refinement
+  bool stabilizing = false;       // C is stabilizing to A
+};
+
+/// Decides all five relations for (C, A, alpha). `alpha` empty means
+/// identity (requires equal state counts). Semantics match checker.hpp
+/// exactly: empty C-init makes the init-scoped conditions vacuous, empty
+/// A-init makes stabilizing-to fail outright.
+ReferenceVerdicts reference_check(const TransitionGraph& c, const TransitionGraph& a,
+                                  const std::vector<StateId>& c_init,
+                                  const std::vector<StateId>& a_init,
+                                  const std::vector<StateId>& alpha);
+
+}  // namespace cref::fuzz

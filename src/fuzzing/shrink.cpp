@@ -1,0 +1,198 @@
+#include "fuzzing/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "fuzzing/fuzz_case.hpp"
+#include "gcl/parser.hpp"
+#include "gcl/pretty.hpp"
+
+namespace cref::fuzz {
+
+namespace {
+
+using Edges = std::vector<std::pair<StateId, StateId>>;
+
+Edges edges_of(const TransitionGraph& g) {
+  Edges out;
+  for (StateId s = 0; s < g.num_states(); ++s)
+    for (StateId t : g.successors(s)) out.emplace_back(s, t);
+  return out;
+}
+
+TransitionGraph without_edge(const TransitionGraph& g, std::size_t index) {
+  Edges e = edges_of(g);
+  e.erase(e.begin() + static_cast<long>(index));
+  return TransitionGraph::from_edges(g.num_states(), std::move(e));
+}
+
+// Graph with state `victim` removed; surviving ids shift down by one.
+TransitionGraph without_state(const TransitionGraph& g, StateId victim) {
+  Edges e;
+  for (auto [s, t] : edges_of(g)) {
+    if (s == victim || t == victim) continue;
+    e.emplace_back(s - (s > victim ? 1 : 0), t - (t > victim ? 1 : 0));
+  }
+  return TransitionGraph::from_edges(g.num_states() - 1, std::move(e));
+}
+
+std::vector<StateId> remap_ids(const std::vector<StateId>& ids, StateId victim) {
+  std::vector<StateId> out;
+  for (StateId s : ids)
+    if (s != victim) out.push_back(s - (s > victim ? 1 : 0));
+  return out;
+}
+
+// Candidate with C-state `victim` removed. Identity-alpha cases share
+// ids between C and A, so the state is removed from both sides (and W);
+// explicit-alpha cases remove it from the concrete side only.
+std::optional<FuzzCase> drop_c_state(const FuzzCase& fc, StateId victim) {
+  if (fc.c.num_states() <= 1) return std::nullopt;
+  FuzzCase out = fc;
+  out.c = without_state(fc.c, victim);
+  out.w = without_state(fc.w, victim);
+  out.c_init = remap_ids(fc.c_init, victim);
+  if (fc.alpha.empty()) {
+    if (fc.a.num_states() != fc.c.num_states()) return std::nullopt;
+    out.a = without_state(fc.a, victim);
+    out.a_init = remap_ids(fc.a_init, victim);
+  } else {
+    out.alpha.erase(out.alpha.begin() + static_cast<long>(victim));
+  }
+  return out;
+}
+
+// Candidate with A-state `victim` removed (explicit-alpha cases only;
+// blocked while any concrete state still maps onto it).
+std::optional<FuzzCase> drop_a_state(const FuzzCase& fc, StateId victim) {
+  if (fc.alpha.empty() || fc.a.num_states() <= 1) return std::nullopt;
+  for (StateId image : fc.alpha)
+    if (image == victim) return std::nullopt;
+  FuzzCase out = fc;
+  out.a = without_state(fc.a, victim);
+  out.a_init = remap_ids(fc.a_init, victim);
+  for (StateId& image : out.alpha)
+    if (image > victim) --image;
+  return out;
+}
+
+// GCL-level reductions: drop one action from one side, or drop the init
+// section. Each candidate recompiles; compile failures just skip it.
+void gcl_candidates(const FuzzCase& fc, std::vector<FuzzCase>& out) {
+  auto rebuild = [&](const gcl::SystemAst& a, const gcl::SystemAst& c) {
+    try {
+      FuzzCase cand = make_gcl_case(fc.strategy, fc.seed, gcl::print_system(a),
+                                    gcl::print_system(c));
+      cand.w = TransitionGraph::from_edges(cand.c.num_states(), {});
+      out.push_back(std::move(cand));
+    } catch (const std::exception&) {
+    }
+  };
+  try {
+    gcl::SystemAst ast_a = gcl::parse(fc.gcl_a);
+    gcl::SystemAst ast_c = gcl::parse(fc.gcl_c);
+    for (std::size_t i = 0; i < ast_a.actions.size(); ++i) {
+      gcl::SystemAst mut = gcl::parse(fc.gcl_a);
+      mut.actions.erase(mut.actions.begin() + static_cast<long>(i));
+      rebuild(mut, ast_c);
+    }
+    for (std::size_t i = 0; i < ast_c.actions.size(); ++i) {
+      gcl::SystemAst mut = gcl::parse(fc.gcl_c);
+      mut.actions.erase(mut.actions.begin() + static_cast<long>(i));
+      rebuild(ast_a, mut);
+    }
+    if (ast_a.init) {
+      gcl::SystemAst mut = gcl::parse(fc.gcl_a);
+      mut.init.reset();
+      rebuild(mut, ast_c);
+    }
+    if (ast_c.init) {
+      gcl::SystemAst mut = gcl::parse(fc.gcl_c);
+      mut.init.reset();
+      rebuild(ast_a, mut);
+    }
+  } catch (const std::exception&) {
+  }
+}
+
+// All single-step reductions of `fc`, most aggressive first (state
+// removal shrinks fastest, so trying it first minimizes oracle runs).
+std::vector<FuzzCase> candidates(const FuzzCase& fc) {
+  std::vector<FuzzCase> out;
+  if (fc.from_gcl()) {
+    gcl_candidates(fc, out);
+    // Demotion: forget the sources and shrink the graphs directly. Only
+    // survives re-judging if the failure is not GCL-specific.
+    FuzzCase graph = fc;
+    graph.gcl_a.clear();
+    graph.gcl_c.clear();
+    out.push_back(std::move(graph));
+    return out;
+  }
+  for (StateId s = 0; s < fc.c.num_states(); ++s)
+    if (auto cand = drop_c_state(fc, s)) out.push_back(std::move(*cand));
+  for (StateId s = 0; s < fc.a.num_states(); ++s)
+    if (auto cand = drop_a_state(fc, s)) out.push_back(std::move(*cand));
+  for (std::size_t i = 0; i < fc.c.num_edges(); ++i) {
+    FuzzCase cand = fc;
+    cand.c = without_edge(fc.c, i);
+    out.push_back(std::move(cand));
+  }
+  for (std::size_t i = 0; i < fc.a.num_edges(); ++i) {
+    FuzzCase cand = fc;
+    cand.a = without_edge(fc.a, i);
+    out.push_back(std::move(cand));
+  }
+  if (fc.w.num_edges() > 0) {
+    FuzzCase cand = fc;
+    cand.w = TransitionGraph::from_edges(fc.w.num_states(), {});
+    out.push_back(std::move(cand));
+  }
+  for (std::size_t i = 0; i < fc.c_init.size(); ++i) {
+    FuzzCase cand = fc;
+    cand.c_init.erase(cand.c_init.begin() + static_cast<long>(i));
+    out.push_back(std::move(cand));
+  }
+  for (std::size_t i = 0; i < fc.a_init.size(); ++i) {
+    FuzzCase cand = fc;
+    cand.a_init.erase(cand.a_init.begin() + static_cast<long>(i));
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_case(const FuzzCase& fc, const OracleOptions& opts) {
+  ShrinkResult res;
+  res.minimized = fc;
+  const std::vector<OracleFailure> original = run_oracles(fc, opts);
+  if (original.empty()) return res;
+  res.oracle = original.front().oracle;
+
+  auto still_fails = [&](const FuzzCase& cand) {
+    for (const OracleFailure& f : run_oracles(cand, opts))
+      if (f.oracle == res.oracle) return true;
+    return false;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (FuzzCase& cand : candidates(res.minimized)) {
+      ++res.attempts;
+      if (still_fails(cand)) {
+        res.minimized = std::move(cand);
+        ++res.accepted;
+        progress = true;
+        break;  // restart from the smaller case
+      }
+    }
+  }
+  res.minimized.strategy = fc.strategy;
+  res.minimized.seed = fc.seed;
+  return res;
+}
+
+}  // namespace cref::fuzz

@@ -1,0 +1,32 @@
+#pragma once
+
+// Counterexample minimization. Given a case on which some oracle fired,
+// greedily applies structure-removing transformations (drop a state,
+// drop an edge, drop an init state, clear W; for GCL cases: drop an
+// action, drop the init section, or demote to a plain graph case) and
+// keeps each one that still reproduces a failure of the SAME oracle.
+// Runs to a fixpoint, so the result is 1-minimal with respect to the
+// transformation set: removing any single remaining state/edge makes
+// the failure disappear.
+
+#include <cstddef>
+
+#include "fuzzing/fuzz_case.hpp"
+#include "fuzzing/oracles.hpp"
+
+namespace cref::fuzz {
+
+struct ShrinkResult {
+  FuzzCase minimized;
+  std::size_t attempts = 0;  // candidate reductions tried
+  std::size_t accepted = 0;  // reductions that kept the failure alive
+  std::string oracle;        // the oracle the shrink preserved
+};
+
+/// Minimizes `fc`, which must fail at least one oracle under `opts`
+/// (otherwise the case is returned unchanged with an empty `oracle`).
+/// The same `opts` (including any injected bug) are used to re-judge
+/// every candidate.
+ShrinkResult shrink_case(const FuzzCase& fc, const OracleOptions& opts);
+
+}  // namespace cref::fuzz

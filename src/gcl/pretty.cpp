@@ -1,0 +1,61 @@
+#include "gcl/pretty.hpp"
+
+#include <stdexcept>
+
+namespace cref::gcl {
+
+namespace {
+
+const char* op_token(Op op) {
+  switch (op) {
+    case Op::Add: return "+";
+    case Op::Sub: return "-";
+    case Op::Mul: return "*";
+    case Op::Mod: return "%";
+    case Op::Div: return "/";
+    case Op::Eq: return "==";
+    case Op::Ne: return "!=";
+    case Op::Lt: return "<";
+    case Op::Le: return "<=";
+    case Op::Gt: return ">";
+    case Op::Ge: return ">=";
+    case Op::And: return "&&";
+    case Op::Or: return "||";
+    default: throw std::logic_error("print_expr: not a binary operator");
+  }
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& e) {
+  switch (e.op) {
+    case Op::Const: return std::to_string(e.value);
+    case Op::Var: return e.name;
+    case Op::Not: return "(!" + print_expr(e.children.at(0)) + ")";
+    case Op::Neg: return "(-" + print_expr(e.children.at(0)) + ")";
+    default:
+      return "(" + print_expr(e.children.at(0)) + " " + op_token(e.op) + " " +
+             print_expr(e.children.at(1)) + ")";
+  }
+}
+
+std::string print_system(const SystemAst& ast) {
+  std::string out = "system " + ast.name + " {\n";
+  for (const VarDeclAst& v : ast.vars)
+    out += "  var " + v.name + " : 0.." + std::to_string(v.cardinality - 1) + ";\n";
+  for (const ActionAst& a : ast.actions) {
+    out += "  action " + a.name;
+    if (a.process >= 0) out += " @" + std::to_string(a.process);
+    out += " : " + print_expr(a.guard) + " ->";
+    for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+      out += i ? ", " : " ";
+      out += a.assignments[i].var + " := " + print_expr(a.assignments[i].value);
+    }
+    out += ";\n";
+  }
+  if (ast.init) out += "  init : " + print_expr(*ast.init) + ";\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cref::gcl

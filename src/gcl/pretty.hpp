@@ -1,0 +1,24 @@
+#pragma once
+
+// Pretty-printer for GCL ASTs: the inverse of parser.hpp. Emitted text
+// always re-parses, and printing is a parse fixpoint:
+// print(parse(print(ast))) == print(ast). The fuzzing harness leans on
+// this to drive randomly generated ASTs through the full
+// lexer/parser/analyzer/compiler path (see src/fuzzing/), and gcl tools
+// use it to echo programs back in canonical form.
+
+#include <string>
+
+#include "gcl/ast.hpp"
+
+namespace cref::gcl {
+
+/// Renders one expression. Binary and unary nodes are parenthesized
+/// explicitly, so operator precedence never has to be reconstructed.
+std::string print_expr(const Expr& e);
+
+/// Renders a whole system declaration in the grammar of parser.hpp,
+/// one declaration per line.
+std::string print_system(const SystemAst& ast);
+
+}  // namespace cref::gcl

@@ -1,22 +1,32 @@
 #include "sim/fault.hpp"
 
+#include <numeric>
+
+#include "util/rng.hpp"
+
 namespace cref::sim {
 
 void FaultInjector::corrupt(const Space& space, StateVec& s, std::size_t count) {
-  std::uniform_int_distribution<std::size_t> var(0, space.var_count() - 1);
+  const std::size_t n = space.var_count();
+  if (count > n) count = n;
+  // Partial Fisher-Yates: the first `count` entries of `pick` end up a
+  // uniformly random sample of distinct variable indices.
+  std::vector<std::size_t> pick(n);
+  std::iota(pick.begin(), pick.end(), std::size_t{0});
   for (std::size_t i = 0; i < count; ++i) {
-    std::size_t v = var(rng_);
-    std::uniform_int_distribution<int> val(0, space.var(v).cardinality - 1);
-    s[v] = static_cast<Value>(val(rng_));
+    std::size_t j = i + static_cast<std::size_t>(util::uniform_below(rng_, n - i));
+    std::swap(pick[i], pick[j]);
+    const std::size_t v = pick[i];
+    s[v] = static_cast<Value>(
+        util::uniform_below(rng_, static_cast<std::uint64_t>(space.var(v).cardinality)));
   }
 }
 
 void FaultInjector::scramble(const Space& space, StateVec& s) {
   s.resize(space.var_count());
-  for (std::size_t v = 0; v < space.var_count(); ++v) {
-    std::uniform_int_distribution<int> val(0, space.var(v).cardinality - 1);
-    s[v] = static_cast<Value>(val(rng_));
-  }
+  for (std::size_t v = 0; v < space.var_count(); ++v)
+    s[v] = static_cast<Value>(
+        util::uniform_below(rng_, static_cast<std::uint64_t>(space.var(v).cardinality)));
 }
 
 }  // namespace cref::sim

@@ -12,12 +12,18 @@ class FaultInjector {
  public:
   explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
 
-  /// Corrupts `count` uniformly chosen variables of `s` to uniformly
-  /// chosen values of their domains (values may coincide with the old
-  /// ones — a transient fault need not be observable).
+  /// Corrupts exactly `count` DISTINCT uniformly chosen variables of `s`
+  /// (clamped to the variable count) to uniformly chosen values of their
+  /// domains. A new value may coincide with the old one — a transient
+  /// fault need not be observable — but no draw is wasted re-corrupting
+  /// the same variable, so "k faults" means k variables touched.
+  /// The draw sequence is identical on every platform for a given seed
+  /// (mt19937_64 + rejection sampling; no std:: distributions, whose
+  /// output is implementation-defined) — fault_test.cpp pins goldens.
   void corrupt(const Space& space, StateVec& s, std::size_t count);
 
   /// Replaces the whole state by a uniformly random state of the space.
+  /// Platform-deterministic under the seed, like corrupt().
   void scramble(const Space& space, StateVec& s);
 
   std::mt19937_64& rng() { return rng_; }

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace cref::util {
+
+/// Deterministic uniform draws on top of std::mt19937_64.
+///
+/// The mt19937_64 engine itself is bit-exactly specified by the standard,
+/// but std::uniform_int_distribution is NOT — its algorithm is
+/// implementation-defined, so the same seed produces different values on
+/// libstdc++ vs libc++. Everything that must be reproducible from a seed
+/// across platforms (fault injection goldens, fuzz repro files, shrinker
+/// decisions) draws through these fixed algorithms instead.
+
+/// Uniform value in [0, bound). bound == 0 returns 0. Unbiased via
+/// rejection sampling on the top of the 64-bit range (Lemire-style
+/// threshold; the loop terminates after one draw almost always).
+inline std::uint64_t uniform_below(std::mt19937_64& rng, std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Reject draws from the final partial bucket so every residue is
+  // equally likely: accept x only below the largest multiple of bound.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound + 1) % bound;
+  std::uint64_t x = rng();
+  while (x > limit) x = rng();
+  return x % bound;
+}
+
+/// Uniform double in [0, 1) with 53 random bits (the IEEE mantissa).
+inline double uniform_unit(std::mt19937_64& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Bernoulli(p) draw; p outside [0, 1] clamps to always-false/always-true.
+inline bool chance(std::mt19937_64& rng, double p) { return uniform_unit(rng) < p; }
+
+}  // namespace cref::util

@@ -1,0 +1,66 @@
+// Seed-corpus replay: every checked-in repro must parse and pass the
+// whole oracle stack. The corpus holds boundary instances (paper
+// counterexamples, quotient and divergence edge cases, a GCL pair) that
+// once regressed or are near the semantic cliffs — this is the cheap
+// tier-1 slice of the fuzz harness.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "fuzzing/fuzz_case.hpp"
+#include "fuzzing/oracles.hpp"
+
+namespace cref::fuzz {
+namespace {
+
+std::filesystem::path corpus_dir() {
+  return std::filesystem::path(CREF_SOURCE_DIR) / "tests" / "fuzzing" / "corpus";
+}
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_dir()))
+    if (entry.path().extension() == ".repro") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(CorpusTest, CorpusIsNonempty) {
+  EXPECT_GE(corpus_files().size(), 5u)
+      << "seed corpus at " << corpus_dir() << " went missing";
+}
+
+TEST(CorpusTest, EveryCorpusCasePassesAllOracles) {
+  OracleOptions opts;
+  OracleStats stats;
+  for (const auto& path : corpus_files()) {
+    FuzzCase fc;
+    ASSERT_NO_THROW(fc = parse_repro(slurp(path))) << path;
+    for (const OracleFailure& f : run_oracles(fc, opts, &stats))
+      ADD_FAILURE() << path.filename() << ": [" << f.oracle << "] " << f.detail;
+  }
+  EXPECT_EQ(stats.cases, corpus_files().size());
+}
+
+TEST(CorpusTest, CorpusCasesAreCanonicalSerializations) {
+  // Repro -> parse -> format is stable, so a shrunk repro dropped into
+  // the corpus stays byte-comparable across round trips.
+  for (const auto& path : corpus_files()) {
+    FuzzCase fc = parse_repro(slurp(path));
+    EXPECT_EQ(format_repro(parse_repro(format_repro(fc))), format_repro(fc)) << path;
+  }
+}
+
+}  // namespace
+}  // namespace cref::fuzz

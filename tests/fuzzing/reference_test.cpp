@@ -1,0 +1,108 @@
+// The brute-force reference checker is only worth differencing against
+// if it is right. This suite pins it two ways: against hand-derived
+// verdicts on boundary systems (empty inits, stutter cycles, off-cycle
+// compressions) and against the production engine on a broad random
+// sweep — any disagreement here is a bug in one of the two, found
+// before the fuzz loop ever runs.
+
+#include "fuzzing/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fuzzing/generators.hpp"
+#include "refinement/checker.hpp"
+
+namespace cref::fuzz {
+namespace {
+
+ReferenceVerdicts ref(const FuzzCase& fc) {
+  return reference_check(fc.c, fc.a, fc.c_init, fc.a_init, fc.alpha);
+}
+
+TEST(ReferenceTest, IdenticalSystemsSatisfyEverything) {
+  TransitionGraph g = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  ReferenceVerdicts v = reference_check(g, g, {0}, {0}, {});
+  EXPECT_TRUE(v.refinement_init);
+  EXPECT_TRUE(v.everywhere);
+  EXPECT_TRUE(v.convergence);
+  EXPECT_TRUE(v.eventually);
+  EXPECT_TRUE(v.stabilizing);
+}
+
+TEST(ReferenceTest, EmptyCInitMakesRefinementInitVacuous) {
+  // C has an invalid edge, but no initial states: [C (= A]_init holds
+  // vacuously while the everywhere relations still reject.
+  TransitionGraph a = TransitionGraph::from_edges(2, {{0, 1}});
+  TransitionGraph c = TransitionGraph::from_edges(2, {{1, 0}});
+  ReferenceVerdicts v = reference_check(c, a, {}, {0}, {});
+  EXPECT_TRUE(v.refinement_init);
+  EXPECT_FALSE(v.everywhere);
+}
+
+TEST(ReferenceTest, EmptyAInitFailsStabilizationOutright) {
+  TransitionGraph g = TransitionGraph::from_edges(2, {{0, 1}});
+  ReferenceVerdicts v = reference_check(g, g, {0}, {}, {});
+  EXPECT_TRUE(v.everywhere);
+  EXPECT_FALSE(v.stabilizing);
+}
+
+TEST(ReferenceTest, OffCycleCompressionSeparatesConvergenceFromEverywhere) {
+  // A: 0 -> 1 -> 2; C compresses to 0 -> 2 (off-cycle). Everywhere
+  // refinement rejects the compression, convergence refinement allows it.
+  TransitionGraph a = TransitionGraph::from_edges(3, {{0, 1}, {1, 2}});
+  TransitionGraph c = TransitionGraph::from_edges(3, {{0, 2}, {1, 2}});
+  ReferenceVerdicts v = reference_check(c, a, {}, {0}, {});
+  EXPECT_FALSE(v.everywhere);
+  EXPECT_TRUE(v.convergence);
+  EXPECT_TRUE(v.eventually);
+}
+
+TEST(ReferenceTest, StutterCycleRejectedUnlessImageIsADeadlock) {
+  // Both C-states map onto abstract state 0. If A deadlocks there, the
+  // stutter 2-cycle is legal divergence; give A an outgoing edge and the
+  // same cycle becomes a violation.
+  TransitionGraph c = TransitionGraph::from_edges(2, {{0, 1}, {1, 0}});
+  TransitionGraph a_dead = TransitionGraph::from_edges(1, {});
+  ReferenceVerdicts dead = reference_check(c, a_dead, {0}, {0}, {0, 0});
+  EXPECT_TRUE(dead.everywhere);
+  EXPECT_TRUE(dead.stabilizing);
+
+  TransitionGraph a_live = TransitionGraph::from_edges(2, {{0, 1}});
+  ReferenceVerdicts live = reference_check(c, a_live, {0}, {0}, {0, 0});
+  EXPECT_FALSE(live.everywhere);
+  EXPECT_FALSE(live.stabilizing);
+}
+
+TEST(ReferenceTest, DeadlockMustMapToADeadlock) {
+  TransitionGraph a = TransitionGraph::from_edges(2, {{0, 1}, {1, 0}});
+  TransitionGraph c = TransitionGraph::from_edges(2, {{0, 1}});  // deadlock at 1
+  ReferenceVerdicts v = reference_check(c, a, {0}, {0}, {});
+  EXPECT_FALSE(v.everywhere);
+  EXPECT_FALSE(v.stabilizing);
+}
+
+// The sweep: on every drawn case of every strategy, the reference and
+// the engine must agree on all five verdicts. This is the differential
+// oracle run in reverse — seeded, so a failure names its case.
+TEST(ReferenceTest, AgreesWithEngineOnRandomSweep) {
+  for (const std::string& strategy : strategy_names()) {
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+      FuzzCase fc = draw_case(strategy, seed, 12);
+      ReferenceVerdicts v = ref(fc);
+      RefinementChecker rc(fc.c, fc.a, fc.c_init, fc.a_init, fc.alpha);
+      EXPECT_EQ(rc.refinement_init().holds, v.refinement_init)
+          << strategy << " seed " << seed;
+      EXPECT_EQ(rc.everywhere_refinement().holds, v.everywhere)
+          << strategy << " seed " << seed;
+      EXPECT_EQ(rc.convergence_refinement().holds, v.convergence)
+          << strategy << " seed " << seed;
+      EXPECT_EQ(rc.everywhere_eventually_refinement().holds, v.eventually)
+          << strategy << " seed " << seed;
+      EXPECT_EQ(rc.stabilizing_to().holds, v.stabilizing)
+          << strategy << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cref::fuzz

@@ -1,0 +1,95 @@
+// Shrinker contracts: a passing case is returned untouched; a failing
+// case shrinks monotonically, keeps failing the SAME oracle, and the
+// result is 1-minimal under the transformation set.
+
+#include "fuzzing/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fuzzing/generators.hpp"
+#include "fuzzing/oracles.hpp"
+
+namespace cref::fuzz {
+namespace {
+
+TEST(ShrinkTest, PassingCaseIsReturnedUnchanged) {
+  OracleOptions opts;
+  FuzzCase fc = draw_case("identity", 5, 12);
+  ShrinkResult sr = shrink_case(fc, opts);
+  EXPECT_TRUE(sr.oracle.empty());
+  EXPECT_EQ(sr.accepted, 0u);
+  EXPECT_EQ(format_repro(sr.minimized), format_repro(fc));
+}
+
+TEST(ShrinkTest, InjectedBugShrinksToOneMinimalCase) {
+  OracleOptions opts;
+  opts.bug = InjectedBug::kDropLastCEdge;
+  // Find a tripping case first (guaranteed by oracle_test).
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    FuzzCase fc = draw_case("subset", seed, 12);
+    if (run_oracles(fc, opts).empty()) continue;
+
+    ShrinkResult sr = shrink_case(fc, opts);
+    EXPECT_FALSE(sr.oracle.empty());
+    EXPECT_LE(sr.minimized.c.num_states(), fc.c.num_states());
+    EXPECT_FALSE(run_oracles(sr.minimized, opts).empty());
+    EXPECT_EQ(sr.minimized.strategy, fc.strategy);
+    EXPECT_EQ(sr.minimized.seed, fc.seed);
+
+    // 1-minimality spot check: dropping any single remaining C edge
+    // makes the failure disappear (otherwise the fixpoint loop would
+    // have dropped it).
+    for (StateId s = 0; s < sr.minimized.c.num_states(); ++s)
+      for (StateId t : sr.minimized.c.successors(s)) {
+        FuzzCase cand = sr.minimized;
+        std::vector<std::pair<StateId, StateId>> edges;
+        for (StateId u = 0; u < cand.c.num_states(); ++u)
+          for (StateId v : cand.c.successors(u))
+            if (!(u == s && v == t)) edges.emplace_back(u, v);
+        cand.c = TransitionGraph::from_edges(cand.c.num_states(), std::move(edges));
+        bool same_oracle = false;
+        for (const OracleFailure& f : run_oracles(cand, opts))
+          if (f.oracle == sr.oracle) same_oracle = true;
+        EXPECT_FALSE(same_oracle)
+            << "edge (" << s << ", " << t << ") was removable but kept";
+      }
+    return;
+  }
+  FAIL() << "no seed tripped the injected bug";
+}
+
+TEST(ShrinkTest, ShrunkReproRoundTripsAndStillFails) {
+  OracleOptions opts;
+  opts.bug = InjectedBug::kShiftCInit;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    FuzzCase fc = draw_case("shortcut", seed, 12);
+    if (run_oracles(fc, opts).empty()) continue;
+    ShrinkResult sr = shrink_case(fc, opts);
+    FuzzCase back = parse_repro(format_repro(sr.minimized));
+    EXPECT_FALSE(run_oracles(back, opts).empty())
+        << "repro file lost the failure in serialization";
+    return;
+  }
+  FAIL() << "no seed tripped the injected bug";
+}
+
+TEST(ShrinkTest, GclCaseDemotesToGraphCaseWhenFailureIsNotGclSpecific) {
+  OracleOptions opts;
+  opts.bug = InjectedBug::kDropLastCEdge;
+  for (std::uint64_t seed = 1; seed <= 80; ++seed) {
+    FuzzCase fc = draw_case("gcl", seed, 12);
+    bool differential = false;
+    for (const OracleFailure& f : run_oracles(fc, opts))
+      if (f.oracle == "differential-reference") differential = true;
+    if (!differential) continue;
+    ShrinkResult sr = shrink_case(fc, opts);
+    // A graph-level failure sheds its sources and then shrinks freely.
+    EXPECT_FALSE(sr.minimized.from_gcl());
+    EXPECT_LE(sr.minimized.c.num_states(), fc.c.num_states());
+    return;
+  }
+  GTEST_SKIP() << "no gcl seed tripped the differential oracle in range";
+}
+
+}  // namespace
+}  // namespace cref::fuzz

@@ -1,0 +1,102 @@
+// Property tests of SystemSampler itself — the generator under all
+// randomized suites (property_test, bench_theory_properties, and the
+// fuzzing harness), so its contracts get pinned here.
+
+#include "refinement/random_systems.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace cref {
+namespace {
+
+std::vector<std::pair<StateId, StateId>> edges_of(const TransitionGraph& g) {
+  std::vector<std::pair<StateId, StateId>> out;
+  for (StateId s = 0; s < g.num_states(); ++s)
+    for (StateId t : g.successors(s)) out.emplace_back(s, t);
+  return out;
+}
+
+TEST(SystemSamplerTest, RandomGraphHasNoSelfLoopsAndInRangeEndpoints) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    SystemSampler gen(seed);
+    TransitionGraph g = gen.random_graph(12, 0.4);
+    ASSERT_EQ(g.num_states(), 12u);
+    for (auto [s, t] : edges_of(g)) {
+      EXPECT_NE(s, t) << "seed " << seed;
+      EXPECT_LT(t, 12u) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SystemSamplerTest, RandomSubsetNonemptyNeverEmptyNeverDuplicates) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    SystemSampler gen(seed);
+    // p = 0 forces the nonempty fallback path on every draw.
+    for (double p : {0.0, 0.05, 0.5, 1.0}) {
+      std::vector<StateId> sub = gen.random_subset(9, p, /*nonempty=*/true);
+      ASSERT_FALSE(sub.empty()) << "seed " << seed << " p " << p;
+      std::set<StateId> uniq(sub.begin(), sub.end());
+      EXPECT_EQ(uniq.size(), sub.size()) << "seed " << seed << " p " << p;
+      for (StateId s : sub) EXPECT_LT(s, 9u);
+    }
+  }
+}
+
+TEST(SystemSamplerTest, RandomSubsetRespectsEmptySpace) {
+  SystemSampler gen(3);
+  EXPECT_TRUE(gen.random_subset(0, 0.5, /*nonempty=*/true).empty());
+  EXPECT_TRUE(gen.random_subset(0, 0.5, /*nonempty=*/false).empty());
+}
+
+TEST(SystemSamplerTest, DropEdgesYieldsSubgraph) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    SystemSampler gen(seed);
+    TransitionGraph g = gen.random_graph(10, 0.5);
+    TransitionGraph sub = gen.drop_edges(g, 0.6);
+    ASSERT_EQ(sub.num_states(), g.num_states());
+    for (auto [s, t] : edges_of(sub))
+      EXPECT_TRUE(g.has_edge(s, t)) << "seed " << seed;
+    EXPECT_LE(sub.num_edges(), g.num_edges());
+  }
+}
+
+TEST(SystemSamplerTest, AddShortcutsOnlyAddsGenuineTwoStepCompressions) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    SystemSampler gen(seed);
+    TransitionGraph g = gen.random_graph(8, 0.25);
+    TransitionGraph aug = gen.add_shortcuts(g, 5);
+    ASSERT_EQ(aug.num_states(), g.num_states());
+    // The original relation survives intact...
+    for (auto [s, t] : edges_of(g))
+      EXPECT_TRUE(aug.has_edge(s, t)) << "seed " << seed;
+    // ...and every NEW edge compresses an actual 2-step path of g and
+    // was neither an edge nor a self-loop before.
+    for (auto [s, t] : edges_of(aug)) {
+      if (g.has_edge(s, t)) continue;
+      EXPECT_NE(s, t) << "seed " << seed;
+      bool two_step = false;
+      for (StateId x : g.successors(s))
+        if (g.has_edge(x, t)) two_step = true;
+      EXPECT_TRUE(two_step) << "seed " << seed << ": shortcut (" << s << ", " << t
+                            << ") compresses no 2-step path";
+    }
+  }
+}
+
+TEST(SystemSamplerTest, GraphUnionContainsExactlyBothRelations) {
+  SystemSampler gen(11);
+  TransitionGraph a = gen.random_graph(9, 0.2);
+  TransitionGraph b = gen.random_graph(9, 0.2);
+  TransitionGraph u = graph_union(a, b);
+  for (auto [s, t] : edges_of(a)) EXPECT_TRUE(u.has_edge(s, t));
+  for (auto [s, t] : edges_of(b)) EXPECT_TRUE(u.has_edge(s, t));
+  for (auto [s, t] : edges_of(u))
+    EXPECT_TRUE(a.has_edge(s, t) || b.has_edge(s, t));
+}
+
+}  // namespace
+}  // namespace cref

@@ -59,5 +59,66 @@ TEST(FaultInjectorTest, DeterministicUnderSeed) {
   EXPECT_EQ(s1, s2);
 }
 
+TEST(FaultInjectorTest, CorruptTouchesExactlyCountDistinctVariables) {
+  // Sentinel trick: drawn values stay below the cardinality (4), so
+  // every 255 still standing was not touched. "k faults" must mean
+  // exactly k variables written.
+  constexpr Value kUntouched = 255;
+  Space space({{"a", 4}, {"b", 4}, {"c", 4}, {"d", 4}, {"e", 4}});
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    FaultInjector fi(seed);
+    for (std::size_t count = 0; count <= 5; ++count) {
+      StateVec s(5, kUntouched);
+      fi.corrupt(space, s, count);
+      std::size_t touched = 0;
+      for (Value v : s)
+        if (v != kUntouched) ++touched;
+      EXPECT_EQ(touched, count) << "seed " << seed << " count " << count;
+    }
+  }
+}
+
+TEST(FaultInjectorTest, CorruptClampsCountToVariableCount) {
+  constexpr Value kUntouched = 255;
+  Space space({{"a", 3}, {"b", 3}});
+  FaultInjector fi(5);
+  StateVec s{kUntouched, kUntouched};
+  fi.corrupt(space, s, 100);  // must terminate and touch each var once
+  EXPECT_NE(s[0], kUntouched);
+  EXPECT_NE(s[1], kUntouched);
+  EXPECT_LT(s[0], 3);
+  EXPECT_LT(s[1], 3);
+}
+
+// Fixed-seed goldens. These values are part of the reproducibility
+// contract: repro files and logged seeds must replay identically on
+// every platform, so the injector uses mt19937_64 (bit-exact per the
+// standard) with rejection sampling instead of std:: distributions
+// (whose draw sequences are implementation-defined). A change here
+// means every recorded seed in every repro/log silently remaps.
+TEST(FaultInjectorTest, CorruptGoldenSequenceSeed2026) {
+  Space space({{"a", 2}, {"b", 3}, {"c", 7}, {"d", 5}});
+  FaultInjector fi(2026);
+  StateVec s{0, 0, 0, 0};
+  fi.corrupt(space, s, 2);
+  EXPECT_EQ(s, (StateVec{0, 0, 0, 0}));  // both redraws hit the old values
+  fi.corrupt(space, s, 2);
+  EXPECT_EQ(s, (StateVec{0, 0, 5, 0}));
+  fi.corrupt(space, s, 2);
+  EXPECT_EQ(s, (StateVec{0, 0, 5, 3}));
+}
+
+TEST(FaultInjectorTest, ScrambleGoldenSequenceSeed7) {
+  Space space({{"a", 2}, {"b", 3}, {"c", 7}, {"d", 5}});
+  FaultInjector fi(7);
+  StateVec s;
+  fi.scramble(space, s);
+  EXPECT_EQ(s, (StateVec{1, 0, 1, 1}));
+  fi.scramble(space, s);
+  EXPECT_EQ(s, (StateVec{1, 0, 0, 3}));
+  fi.scramble(space, s);
+  EXPECT_EQ(s, (StateVec{1, 2, 6, 0}));
+}
+
 }  // namespace
 }  // namespace cref::sim
