@@ -1,0 +1,198 @@
+// E18: allocation-free parallel state-space materialization.
+//
+// Times TransitionGraph::build serially and across thread counts on
+// three system families — the 3-state ring (native guarded commands),
+// the same ring as an interpreted GCL program, and seeded random
+// guarded-command systems over a uniform space — verifying at every
+// thread count that the parallel CSR arrays are bit-identical to the
+// serial build. Also times the word-parallel bitset BFS over each built
+// graph. Alongside the printed table the results are written
+// machine-readably to BENCH_graph_build.json in the working directory.
+//
+//   ./bench_graph_build [--smoke] [--seed N]
+//
+// --smoke shrinks every configuration to a few thousand states (CI).
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "core/graph.hpp"
+#include "gcl/compile.hpp"
+#include "refinement/reachability.hpp"
+#include "ring/three_state.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace cref;
+
+namespace {
+
+/// Dijkstra's 3-state ring over processes 0..n as GCL source — the
+/// parametric generalization of examples/gcl/dijkstra3_n3.gcl, so this
+/// leg times the build over compiled-from-text guards.
+std::string dijkstra3_gcl(int n) {
+  std::string src = "system dijkstra3_n" + std::to_string(n) + " {\n";
+  for (int j = 0; j <= n; ++j)
+    src += "  var c" + std::to_string(j) + " : 0..2;\n";
+  auto c = [](int j) { return "c" + std::to_string(j); };
+  src += "  action bottom @0 : " + c(1) + " == (" + c(0) + " + 1) % 3 -> " + c(0) +
+         " := (" + c(1) + " + 1) % 3;\n";
+  src += "  action top @" + std::to_string(n) + " : " + c(n - 1) + " == " + c(0) +
+         " && (" + c(n - 1) + " + 1) % 3 != " + c(n) + " -> " + c(n) + " := (" + c(n - 1) +
+         " + 1) % 3;\n";
+  for (int j = 1; j < n; ++j) {
+    src += "  action up" + std::to_string(j) + " @" + std::to_string(j) + " : " + c(j - 1) +
+           " == (" + c(j) + " + 1) % 3 -> " + c(j) + " := " + c(j - 1) + ";\n";
+    src += "  action down" + std::to_string(j) + " @" + std::to_string(j) + " : " +
+           c(j + 1) + " == (" + c(j) + " + 1) % 3 -> " + c(j) + " := " + c(j + 1) + ";\n";
+  }
+  src += "  init : c0 == 1";
+  for (int j = 1; j <= n; ++j) src += " && c" + std::to_string(j) + " == 0";
+  src += ";\n}\n";
+  return src;
+}
+
+/// A seeded random guarded-command system over `vars` mod-`card`
+/// counters: each action fires when one variable holds a specific value
+/// and rotates another variable by a nonzero delta (so every firing is a
+/// real transition). Edge density is tunable via the action count.
+System random_system(std::size_t vars, Value card, std::size_t n_actions,
+                     std::uint64_t seed) {
+  SpacePtr space = make_uniform_space(vars, card, "r");
+  std::mt19937_64 rng(seed);
+  std::vector<Action> actions;
+  for (std::size_t k = 0; k < n_actions; ++k) {
+    const std::size_t gv = util::uniform_below(rng, vars);
+    const Value gc = static_cast<Value>(util::uniform_below(rng, card));
+    const std::size_t ev = util::uniform_below(rng, vars);
+    const Value delta = static_cast<Value>(1 + util::uniform_below(rng, card - 1));
+    Action a;
+    a.name = "r" + std::to_string(k);
+    a.guard = [gv, gc](const StateVec& s) { return s[gv] == gc; };
+    a.effect = [ev, delta, card](StateVec& s) {
+      s[ev] = static_cast<Value>((s[ev] + delta) % card);
+    };
+    actions.push_back(std::move(a));
+  }
+  return System("random-v" + std::to_string(vars), std::move(space), std::move(actions),
+                std::nullopt);
+}
+
+struct Row {
+  std::string family;
+  std::string label;
+  StateId states;
+  std::size_t edges;
+  std::size_t threads;
+  double build_ms;
+  double speedup;
+  bool identical;
+  double bfs_ms;
+  std::size_t bfs_reached;
+};
+
+void run_config(const std::string& family, const std::string& label, const System& sys,
+                const std::vector<std::size_t>& thread_counts, std::vector<Row>& rows) {
+  // Serial baseline: also the reference for the bit-identity checks.
+  bench::Timer ts;
+  const TransitionGraph serial =
+      TransitionGraph::build(sys, EngineOptions{/*num_threads=*/1, /*chunk_size=*/0});
+  const double serial_ms = ts.ms();
+
+  // Word-parallel BFS over the whole graph from state 0.
+  bench::Timer tb;
+  const util::DenseBitset reach = reachable_from(serial, {0});
+  const double bfs_ms = tb.ms();
+
+  rows.push_back({family, label, serial.num_states(), serial.num_edges(), 1, serial_ms, 1.0,
+                  true, bfs_ms, reach.count()});
+  for (std::size_t t : thread_counts) {
+    if (t <= 1) continue;
+    bench::Timer tp;
+    const TransitionGraph par =
+        TransitionGraph::build(sys, EngineOptions{/*num_threads=*/t, /*chunk_size=*/0});
+    const double par_ms = tp.ms();
+    rows.push_back({family, label, par.num_states(), par.num_edges(), t, par_ms,
+                    par_ms > 0 ? serial_ms / par_ms : 0.0, par == serial, bfs_ms,
+                    reach.count()});
+  }
+}
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", ms);
+  return buf;
+}
+
+void write_json(const char* path, std::uint64_t seed, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  out << "{\n  \"experiment\": \"E18 graph-build\",\n  \"seed\": " << seed
+      << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"family\": \"" << r.family << "\", \"config\": \"" << r.label
+        << "\", \"states\": " << r.states << ", \"edges\": " << r.edges
+        << ", \"threads\": " << r.threads << ", \"build_ms\": " << r.build_ms
+        << ", \"speedup\": " << r.speedup
+        << ", \"identical\": " << (r.identical ? "true" : "false")
+        << ", \"bfs_ms\": " << r.bfs_ms << ", \"bfs_reached\": " << r.bfs_reached << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv, {"smoke"});
+  const bool smoke = cli.has("smoke");
+  bench::header("E18", "parallel state-space materialization (build + bitset BFS)");
+  const std::uint64_t seed = bench::seed_from_cli(cli);
+
+  const std::vector<std::size_t> thread_counts =
+      smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
+  const std::vector<int> ring_ns = smoke ? std::vector<int>{3, 4} : std::vector<int>{8, 10, 12};
+  const std::vector<int> gcl_ns = smoke ? std::vector<int>{3} : std::vector<int>{8, 10};
+  const std::size_t rand_vars = smoke ? 5 : 10;
+
+  std::vector<Row> rows;
+  for (int n : ring_ns) {
+    ring::ThreeStateLayout l(n);
+    run_config("ring3", "n=" + std::to_string(n), ring::make_dijkstra3(l), thread_counts,
+               rows);
+  }
+  for (int n : gcl_ns)
+    run_config("gcl", "n=" + std::to_string(n), gcl::load_system(dijkstra3_gcl(n)),
+               thread_counts, rows);
+  run_config("random", "vars=" + std::to_string(rand_vars),
+             random_system(rand_vars, /*card=*/4, /*n_actions=*/3 * rand_vars, seed),
+             thread_counts, rows);
+
+  util::Table t({"family", "config", "states", "edges", "threads", "build ms", "speedup",
+                 "identical", "bfs ms", "reached"});
+  bool all_identical = true;
+  for (const Row& r : rows) {
+    all_identical = all_identical && r.identical;
+    char speedup[16];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", r.speedup);
+    t.add_row({r.family, r.label, std::to_string(r.states), std::to_string(r.edges),
+               std::to_string(r.threads), fmt_ms(r.build_ms), speedup,
+               r.identical ? "yes" : "NO", fmt_ms(r.bfs_ms), std::to_string(r.bfs_reached)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  write_json("BENCH_graph_build.json", seed, rows);
+  std::printf("wrote BENCH_graph_build.json\n");
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: a parallel build differed from the serial CSR arrays (see table)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -61,8 +61,10 @@ inline std::uint64_t seed_from_cli(const util::Cli& cli, std::uint64_t fallback 
 }
 
 /// Feeds one checker's phase-timing snapshot into the named series of
-/// `phases` (ms): scc-build (C and A combined), closure-build, edge-scan.
+/// `phases` (ms): graph-build, scc-build (C and A combined),
+/// closure-build, edge-scan.
 inline void record_phases(sim::StatsSet& phases, const PhaseTimings& t) {
+  phases.add("graph-build", t.graph_build_ms);
   phases.add("scc-build", t.c_scc_ms + t.a_scc_ms);
   phases.add("closure-build", t.closure_ms);
   phases.add("edge-scan", t.edge_scan_ms);

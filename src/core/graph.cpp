@@ -5,7 +5,8 @@
 
 namespace cref {
 
-TransitionGraph TransitionGraph::build(const System& sys, StateId max_states) {
+TransitionGraph TransitionGraph::build(const System& sys, const EngineOptions& opts,
+                                       StateId max_states) {
   const StateId n = sys.space().size();
   if (n > max_states)
     throw std::length_error("TransitionGraph::build: state space of " + sys.name() +
@@ -13,23 +14,64 @@ TransitionGraph TransitionGraph::build(const System& sys, StateId max_states) {
                             std::to_string(max_states) + ")");
   TransitionGraph g;
   g.offsets_.assign(n + 1, 0);
-  // Two passes: count, then fill (keeps memory at exactly CSR size).
-  std::vector<std::vector<StateId>> adj(n);
-  for (StateId s = 0; s < n; ++s) adj[s] = sys.successors(s);
-  std::size_t total = 0;
-  for (StateId s = 0; s < n; ++s) {
-    g.offsets_[s] = total;
-    total += adj[s].size();
+  const std::size_t threads = opts.resolved_threads(n);
+  if (threads <= 1) {
+    // Serial fast path: one pass, appending each state's slice directly.
+    SuccessorScratch scratch;
+    for (StateId s = 0; s < n; ++s) {
+      g.offsets_[s] = g.targets_.size();
+      scratch.out.clear();
+      sys.successors_into(s, scratch);
+      g.targets_.insert(g.targets_.end(), scratch.out.begin(), scratch.out.end());
+    }
+    g.offsets_[n] = g.targets_.size();
+    return g;
   }
-  g.offsets_[n] = total;
-  g.targets_.resize(total);
-  for (StateId s = 0; s < n; ++s)
-    std::copy(adj[s].begin(), adj[s].end(), g.targets_.begin() + g.offsets_[s]);
+  // Parallel two-pass build: no vector-of-vector staging, and the output
+  // is byte-identical to the serial path at any thread count because the
+  // count pass fixes every state's slice offset before anything is
+  // written. The successor sets are computed twice (count, then fill);
+  // with per-worker scratch both passes are allocation-free, so the
+  // recompute still wins well below t/2 of the serial wall-clock.
+  std::vector<SuccessorScratch> scratch(threads);
+  // Pass 1: distinct-successor degree of s, written at offsets_[s + 1].
+  parallel_chunks(n, opts, [&](std::size_t tid, std::size_t begin, std::size_t end) {
+    SuccessorScratch& sc = scratch[tid];
+    for (StateId s = static_cast<StateId>(begin); s < end; ++s) {
+      sc.out.clear();
+      g.offsets_[s + 1] = sys.successors_into(s, sc);
+    }
+  });
+  // Prefix-sum the degrees into CSR offsets.
+  for (StateId s = 0; s < n; ++s) g.offsets_[s + 1] += g.offsets_[s];
+  g.targets_.resize(g.offsets_[n]);
+  // Pass 2: recompute and write each slice at its precomputed offset.
+  parallel_chunks(n, opts, [&](std::size_t tid, std::size_t begin, std::size_t end) {
+    SuccessorScratch& sc = scratch[tid];
+    for (StateId s = static_cast<StateId>(begin); s < end; ++s) {
+      sc.out.clear();
+      sys.successors_into(s, sc);
+      std::copy(sc.out.begin(), sc.out.end(),
+                g.targets_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[s]));
+    }
+  });
   return g;
 }
 
 TransitionGraph TransitionGraph::from_edges(StateId num_states,
                                             std::vector<std::pair<StateId, StateId>> edges) {
+  for (const auto& [s, t] : edges) {
+    if (s >= num_states)
+      throw std::out_of_range("TransitionGraph::from_edges: source " + std::to_string(s) +
+                              " of edge (" + std::to_string(s) + ", " + std::to_string(t) +
+                              ") out of range (num_states = " + std::to_string(num_states) +
+                              ")");
+    if (t >= num_states)
+      throw std::out_of_range("TransitionGraph::from_edges: target " + std::to_string(t) +
+                              " of edge (" + std::to_string(s) + ", " + std::to_string(t) +
+                              ") out of range (num_states = " + std::to_string(num_states) +
+                              ")");
+  }
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
   TransitionGraph g;
@@ -39,14 +81,10 @@ TransitionGraph TransitionGraph::from_edges(StateId num_states,
   for (StateId s = 0; s < num_states; ++s) {
     g.offsets_[s] = g.targets_.size();
     while (idx < edges.size() && edges[idx].first == s) {
-      if (edges[idx].first >= num_states || edges[idx].second >= num_states)
-        throw std::out_of_range("TransitionGraph::from_edges: endpoint out of range");
       g.targets_.push_back(edges[idx].second);
       ++idx;
     }
   }
-  if (idx != edges.size())
-    throw std::out_of_range("TransitionGraph::from_edges: source out of range");
   g.offsets_[num_states] = g.targets_.size();
   return g;
 }

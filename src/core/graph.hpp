@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/system.hpp"
+#include "util/parallel.hpp"
 
 namespace cref {
 
@@ -20,13 +21,28 @@ class TransitionGraph {
   /// An empty graph (0 states); assign a built graph over it.
   TransitionGraph() : offsets_(1, 0) {}
 
-  /// Explores every state of `sys.space()` and records its successors.
-  /// Throws std::length_error if the space exceeds `max_states` (guard
-  /// against accidentally materializing an astronomically large Sigma).
-  static TransitionGraph build(const System& sys, StateId max_states = (1ull << 26));
+  /// Explores every state of `sys.space()` and records its successors,
+  /// writing straight into the final CSR arrays. With more than one
+  /// resolved thread the exploration is a two-pass (count, then fill)
+  /// scan over EngineOptions-sized chunks with one SuccessorScratch per
+  /// worker; the result is byte-identical to the serial build at every
+  /// thread count, because each state's slice lands at an offset fixed
+  /// by the count pass. Throws std::length_error if the space exceeds
+  /// `max_states` (guard against accidentally materializing an
+  /// astronomically large Sigma).
+  static TransitionGraph build(const System& sys, const EngineOptions& opts,
+                               StateId max_states = (1ull << 26));
+
+  /// Convenience overload: default EngineOptions (one worker per
+  /// hardware thread).
+  static TransitionGraph build(const System& sys, StateId max_states = (1ull << 26)) {
+    return build(sys, EngineOptions{}, max_states);
+  }
 
   /// Builds a graph directly from adjacency lists (used by tests and by
   /// the Figure-1 hand-constructed automata). Lists need not be sorted.
+  /// Every endpoint is validated up front; an out-of-range source or
+  /// target throws std::out_of_range naming the offending edge.
   static TransitionGraph from_edges(StateId num_states,
                                     std::vector<std::pair<StateId, StateId>> edges);
 
@@ -48,8 +64,12 @@ class TransitionGraph {
   bool is_deadlock(StateId s) const { return offsets_[s] == offsets_[s + 1]; }
 
   /// The reverse graph (predecessor lists), built on demand and cached by
-  /// the caller if reused.
+  /// the caller if reused (RefinementChecker::c_reversed memoizes it).
   TransitionGraph reversed() const;
+
+  /// Structural equality of the CSR arrays — the bit-identity predicate
+  /// pinned by the parallel-build tests and the fuzzing oracle.
+  friend bool operator==(const TransitionGraph&, const TransitionGraph&) = default;
 
  private:
   std::vector<std::size_t> offsets_;  // num_states + 1

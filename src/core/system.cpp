@@ -20,10 +20,12 @@ const std::vector<StateId>& System::initial_states() const {
   if (!initial_cache_) {
     std::vector<StateId> ids;
     if (initial_) {
-      StateVec v;
+      // Same scratch-decode discipline as successors_into: one decode
+      // buffer for the whole scan of Sigma, no per-state StateVec.
+      SuccessorScratch scratch;
       for (StateId id = 0; id < space_->size(); ++id) {
-        space_->decode_into(id, v);
-        if ((*initial_)(v)) ids.push_back(id);
+        space_->decode_into(id, scratch.decoded);
+        if ((*initial_)(scratch.decoded)) ids.push_back(id);
       }
     }
     initial_cache_ = std::move(ids);
@@ -32,19 +34,26 @@ const std::vector<StateId>& System::initial_states() const {
 }
 
 std::vector<StateId> System::successors(StateId s) const {
-  std::vector<StateId> out;
-  StateVec v, w;
-  space_->decode_into(s, v);
+  SuccessorScratch scratch;
+  successors_into(s, scratch);
+  return std::move(scratch.out);
+}
+
+std::size_t System::successors_into(StateId s, SuccessorScratch& scratch) const {
+  const std::size_t base = scratch.out.size();
+  space_->decode_into(s, scratch.decoded);
   for (const auto& a : actions_) {
-    if (!a.guard(v)) continue;
-    w = v;
-    a.effect(w);
-    StateId t = space_->encode(w);
-    if (t != s) out.push_back(t);
+    if (!a.guard(scratch.decoded)) continue;
+    scratch.effect = scratch.decoded;
+    a.effect(scratch.effect);
+    StateId t = space_->encode(scratch.effect);
+    if (t != s) scratch.out.push_back(t);
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  // Sort + dedupe only the slice this state appended.
+  auto first = scratch.out.begin() + static_cast<std::ptrdiff_t>(base);
+  std::sort(first, scratch.out.end());
+  scratch.out.erase(std::unique(first, scratch.out.end()), scratch.out.end());
+  return scratch.out.size() - base;
 }
 
 std::vector<std::string> System::enabled_actions(StateId s) const {
@@ -119,10 +128,13 @@ System with_reachable_initial(const System& sys, const StateVec& seed) {
   StateId start = sys.space().encode(seed);
   seen.insert(start);
   queue.push_back(start);
+  SuccessorScratch scratch;
   while (!queue.empty()) {
     StateId s = queue.front();
     queue.pop_front();
-    for (StateId t : sys.successors(s))
+    scratch.out.clear();
+    sys.successors_into(s, scratch);
+    for (StateId t : scratch.out)
       if (seen.insert(t).second) queue.push_back(t);
   }
   std::vector<StateId> ids(seen.begin(), seen.end());

@@ -13,6 +13,16 @@ namespace cref {
 /// intensionally (they are materialized lazily by scanning Sigma).
 using StatePredicate = std::function<bool(const StateVec&)>;
 
+/// Reusable workspace for System::successors_into. One scratch per
+/// worker thread lets the Sigma-materialization loops decode, evaluate
+/// and collect successors for millions of states without a single heap
+/// allocation after warm-up (the three buffers keep their capacity).
+struct SuccessorScratch {
+  StateVec decoded;         // decode of the queried state
+  StateVec effect;          // action-effect workspace
+  std::vector<StateId> out; // caller-owned successor buffer
+};
+
 /// A system S = (Sigma, T, I) in the sense of the paper, presented as a
 /// set of guarded commands over a packed state space.
 ///
@@ -52,8 +62,17 @@ class System {
   const std::vector<StateId>& initial_states() const;
 
   /// Distinct successors of `s` under T (self-transitions excluded),
-  /// in ascending StateId order.
+  /// in ascending StateId order. Thin wrapper over successors_into; hot
+  /// loops should hold a SuccessorScratch and call that directly.
   std::vector<StateId> successors(StateId s) const;
+
+  /// Allocation-free successor enumeration: decodes `s` into
+  /// `scratch.decoded` once, evaluates every action against it in
+  /// place, and APPENDS the distinct non-self successors (ascending) to
+  /// `scratch.out`. Returns the number appended. The caller owns the
+  /// buffer: clear it between states, or keep appending to batch
+  /// several states' lists.
+  std::size_t successors_into(StateId s, SuccessorScratch& scratch) const;
 
   /// True if no action leads out of `s` (final state of a finite
   /// computation).

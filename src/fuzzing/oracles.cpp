@@ -199,7 +199,7 @@ std::vector<OracleFailure> run_oracles(const FuzzCase& fc, const OracleOptions& 
     std::mt19937_64 wrng(fc.seed ^ 0x5bf03635u);
     const TransitionGraph& g = ev.c;
     const bool stab = sr[4].r.holds;
-    const std::vector<char>& ra = serial.a_reachable();
+    const util::DenseBitset& ra = serial.a_reachable();
     for (std::size_t walk = 0; walk < opts.sim_walks && g.num_states() > 0; ++walk) {
       StateId s = static_cast<StateId>(util::uniform_below(wrng, g.num_states()));
       std::vector<long> seen_at(g.num_states(), -1);
@@ -299,6 +299,35 @@ std::vector<OracleFailure> run_oracles(const FuzzCase& fc, const OracleOptions& 
         ++st.meta_implications;
       }
     }
+  }
+
+  // ---- build-parallel-vs-serial -----------------------------------
+  // The parallel two-pass Sigma materialization must produce CSR arrays
+  // bit-identical to the serial single-pass build, at any thread count
+  // and chunking. Only GCL cases carry a System to materialize.
+  if (fc.from_gcl()) {
+    auto compare_builds = [&](const char* side, const std::string& src) {
+      try {
+        System sys = gcl::load_system(src);
+        const TransitionGraph ser =
+            TransitionGraph::build(sys, EngineOptions{/*num_threads=*/1, /*chunk_size=*/0});
+        for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+          // A tiny chunk forces several chunks per worker, exercising the
+          // dynamic scheduling of both passes.
+          EngineOptions par{threads, /*chunk_size=*/3};
+          if (!(TransitionGraph::build(sys, par) == ser))
+            add("build-parallel-vs-serial",
+                std::string(side) + ": parallel build (threads=" + std::to_string(threads) +
+                    ") differs from the serial CSR arrays");
+          else
+            ++st.builds_compared;
+        }
+      } catch (const std::exception& e) {
+        add("build-parallel-vs-serial", std::string(side) + ": threw: " + e.what());
+      }
+    };
+    compare_builds("A", fc.gcl_a);
+    compare_builds("C", fc.gcl_c);
   }
 
   // ---- gcl-roundtrip ----------------------------------------------

@@ -23,6 +23,9 @@
 //                           Theorems 0/1 instances on (C, A, W)
 //   gcl-roundtrip           print -> parse -> print fixpoint, compile
 //                           equality, analyzer totality (GCL cases)
+//   build-parallel-vs-serial  the parallel two-pass Sigma
+//                           materialization produces bit-identical CSR
+//                           arrays to the serial build (GCL cases)
 //
 // For harness self-tests, an InjectedBug perturbs the inputs the ENGINE
 // sees (the reference always sees the true case) — simulating a defect
@@ -80,6 +83,7 @@ struct OracleStats {
   std::size_t walks_checked = 0;
   std::size_t gcl_roundtrips = 0;
   std::size_t meta_implications = 0;
+  std::size_t builds_compared = 0;
 };
 
 /// Runs the whole stack on one case. Empty result == all oracles green.

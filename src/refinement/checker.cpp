@@ -82,22 +82,27 @@ std::optional<V> min_state_scan(StateId n, const EngineOptions& opts, F&& per_st
 
 }  // namespace
 
-RefinementChecker::RefinementChecker(const System& c, const System& a, Abstraction alpha)
-    : c_(TransitionGraph::build(c)),
-      a_(TransitionGraph::build(a)),
-      c_init_(c.initial_states()),
+RefinementChecker::RefinementChecker(const System& c, const System& a, Abstraction alpha,
+                                     const EngineOptions& opts)
+    : c_init_(c.initial_states()),
       a_init_(a.initial_states()),
       alpha_(build_alpha_table(alpha)),
       c_name_(c.name()),
-      a_name_(a.name()) {
+      a_name_(a.name()),
+      opts_(opts) {
   if (&alpha.from() != &c.space() && alpha.from().size() != c.space().size())
     throw std::invalid_argument("RefinementChecker: alpha domain does not match C");
   if (&alpha.to() != &a.space() && alpha.to().size() != a.space().size())
     throw std::invalid_argument("RefinementChecker: alpha codomain does not match A");
+  // Built in the body (not the member-init list) so the materialization
+  // of both graphs lands in the graph-build phase total.
+  PhaseTimer timer(graph_build_ms_);
+  c_ = TransitionGraph::build(c, opts_);
+  a_ = TransitionGraph::build(a, opts_);
 }
 
-RefinementChecker::RefinementChecker(const System& c, const System& a)
-    : RefinementChecker(c, a, Abstraction::identity(c.space_ptr())) {
+RefinementChecker::RefinementChecker(const System& c, const System& a, const EngineOptions& opts)
+    : RefinementChecker(c, a, Abstraction::identity(c.space_ptr()), opts) {
   if (!c.space().same_shape_as(a.space()))
     throw std::invalid_argument("RefinementChecker: same-space check needs equal spaces");
 }
@@ -118,9 +123,14 @@ RefinementChecker::RefinementChecker(TransitionGraph c, TransitionGraph a,
   std::sort(a_init_.begin(), a_init_.end());
 }
 
-const std::vector<char>& RefinementChecker::a_reachable() const {
+const util::DenseBitset& RefinementChecker::a_reachable() const {
   std::call_once(a_reach_once_, [&] { a_reach_ = reachable_from(a_, a_init_); });
   return *a_reach_;
+}
+
+const TransitionGraph& RefinementChecker::c_reversed() const {
+  std::call_once(c_rev_once_, [&] { c_rev_ = c_.reversed(); });
+  return *c_rev_;
 }
 
 const Scc& RefinementChecker::c_scc() const {
@@ -146,25 +156,24 @@ void RefinementChecker::ensure_a_closure() const {
     // Condensation transitive closure. Tarjan ids are in reverse
     // topological order (cross edges go from higher to lower id), so a
     // single pass in increasing id order sees every successor
-    // component's closure completed.
-    const std::size_t words = (scc.count() + 63) / 64;
-    comp_reach_.assign(scc.count(), std::vector<std::uint64_t>(words, 0));
+    // component's closure completed. Rows are DenseBitsets, so the
+    // closure union is a word-parallel |=.
+    comp_reach_.assign(scc.count(), util::DenseBitset(scc.count()));
     // Bucket states by component.
     std::vector<std::vector<StateId>> members(scc.count());
     for (StateId s = 0; s < a_.num_states(); ++s) members[scc.component(s)].push_back(s);
     for (std::size_t comp = 0; comp < scc.count(); ++comp) {
       auto& row = comp_reach_[comp];
-      if (scc.size_of(comp) >= 2) row[comp / 64] |= 1ull << (comp % 64);
+      if (scc.size_of(comp) >= 2) row.set(comp);
       for (StateId s : members[comp]) {
         for (StateId t : a_.successors(s)) {
           std::size_t ct = scc.component(t);
           // Setting the bit unconditionally also marks a singleton
           // component self-reachable when its state has a self-loop,
           // matching the BFS fallback's path-of-length->=1 semantics.
-          row[ct / 64] |= 1ull << (ct % 64);
+          row.set(ct);
           if (ct == comp) continue;
-          const auto& sub = comp_reach_[ct];
-          for (std::size_t w = 0; w < words; ++w) row[w] |= sub[w];
+          row |= comp_reach_[ct];
         }
       }
     }
@@ -176,21 +185,20 @@ bool RefinementChecker::reachable_in_a(StateId src, StateId dst) const {
   ensure_a_closure();
   if (comp_reach_built_) {
     const Scc& scc = *a_scc_;
-    std::size_t cs = scc.component(src), ct = scc.component(dst);
-    return (comp_reach_[cs][ct / 64] >> (ct % 64)) & 1;
+    return comp_reach_[scc.component(src)].test(scc.component(dst));
   }
   // Fallback: plain BFS (rare: only for very large A graphs). Purely
   // local state, so concurrent queries are safe.
-  std::vector<char> seen(a_.num_states(), 0);
+  util::DenseBitset seen(a_.num_states());
   std::deque<StateId> queue{src};
-  seen[src] = 1;
+  seen.set(src);
   while (!queue.empty()) {
     StateId s = queue.front();
     queue.pop_front();
     for (StateId t : a_.successors(s)) {
       if (t == dst) return true;
-      if (!seen[t]) {
-        seen[t] = 1;
+      if (!seen.test(t)) {
+        seen.set(t);
         queue.push_back(t);
       }
     }
@@ -243,15 +251,15 @@ bool RefinementChecker::initial_states_match() const {
   return true;
 }
 
-std::optional<Trace> RefinementChecker::find_stutter_cycle(const std::vector<char>* filter) const {
+std::optional<Trace> RefinementChecker::find_stutter_cycle(const util::DenseBitset* filter) const {
   // Subgraph of stutter edges whose image is NOT an A-deadlock (infinite
   // stuttering at an A-deadlock image collapses to a maximal finite
   // computation of A and is therefore permitted).
   std::vector<std::pair<StateId, StateId>> edges;
   for (StateId s = 0; s < c_.num_states(); ++s) {
-    if (filter && !(*filter)[s]) continue;
+    if (filter && !filter->test(s)) continue;
     for (StateId t : c_.successors(s)) {
-      if (filter && !(*filter)[t]) continue;
+      if (filter && !filter->test(t)) continue;
       if (image(s) == image(t) && !a_.is_deadlock(image(s))) edges.emplace_back(s, t);
     }
   }
@@ -261,11 +269,11 @@ std::optional<Trace> RefinementChecker::find_stutter_cycle(const std::vector<cha
   for (StateId s = 0; s < sub.num_states(); ++s) {
     if (scc.size_of(scc.component(s)) < 2) continue;
     // Build the membership filter of this component and close the cycle.
-    std::vector<char> in_comp(sub.num_states(), 0);
+    util::DenseBitset in_comp(sub.num_states());
     for (StateId u = 0; u < sub.num_states(); ++u)
-      in_comp[u] = scc.component(u) == scc.component(s);
+      in_comp.set(u, scc.component(u) == scc.component(s));
     for (StateId t : sub.successors(s)) {
-      if (!in_comp[t]) continue;
+      if (!in_comp.test(t)) continue;
       if (auto back = find_path_within(sub, t, s, in_comp)) {
         Trace cycle;
         cycle.states.push_back(s);
@@ -280,9 +288,9 @@ std::optional<Trace> RefinementChecker::find_stutter_cycle(const std::vector<cha
 Trace RefinementChecker::cycle_witness(StateId s, StateId t) const {
   // Present the cycle as s -> t -> ... -> s.
   const Scc& scc = c_scc();
-  std::vector<char> in_comp(c_.num_states(), 0);
+  util::DenseBitset in_comp(c_.num_states());
   for (StateId u = 0; u < c_.num_states(); ++u)
-    in_comp[u] = scc.component(u) == scc.component(s);
+    in_comp.set(u, scc.component(u) == scc.component(s));
   Trace cycle;
   cycle.states.push_back(s);
   if (auto back = find_path_within(c_, t, s, in_comp))
@@ -292,7 +300,7 @@ Trace RefinementChecker::cycle_witness(StateId s, StateId t) const {
   return cycle;
 }
 
-CheckResult RefinementChecker::check_region(const std::vector<char>* filter,
+CheckResult RefinementChecker::check_region(const util::DenseBitset* filter,
                                             bool allow_compressed_off_cycle,
                                             bool allow_invalid_off_cycle,
                                             const char* relation_name) const {
@@ -309,7 +317,7 @@ CheckResult RefinementChecker::check_region(const std::vector<char>* filter,
     bool deadlock;
   };
   auto per_state = [&](StateId s) -> std::optional<Violation> {
-    if (filter && !(*filter)[s]) return std::nullopt;
+    if (filter && !filter->test(s)) return std::nullopt;
     for (StateId t : c_.successors(s)) {
       EdgeClass cls = classify_edge(s, t);
       if (cls == EdgeClass::Exact || cls == EdgeClass::Stutter) continue;
@@ -374,7 +382,7 @@ CheckResult RefinementChecker::check_region(const std::vector<char>* filter,
 
 CheckResult RefinementChecker::refinement_init() const {
   if (c_init_.empty()) return CheckResult::ok();  // vacuous
-  std::vector<char> reach = reachable_from(c_, c_init_);
+  util::DenseBitset reach = reachable_from(c_, c_init_);
   return check_region(&reach, /*allow_compressed_off_cycle=*/false,
                       /*allow_invalid_off_cycle=*/false, "[C (= A]_init");
 }
@@ -400,7 +408,7 @@ CheckResult RefinementChecker::stabilizing_to() const {
   if (a_init_.empty())
     return CheckResult::fail("stabilizing-to: A has no initial states, so no computation of A "
                              "starts at one");
-  const std::vector<char>& ra = a_reachable();
+  const util::DenseBitset& ra = a_reachable();
   const Scc& scc = c_scc();
 
   struct Violation {
@@ -411,12 +419,12 @@ CheckResult RefinementChecker::stabilizing_to() const {
     for (StateId t : c_.successors(s)) {
       if (!scc.edge_on_cycle(s, t)) continue;
       StateId is = image(s), it = image(t);
-      bool good = ra[is] && ra[it] && (is == it || a_.has_edge(is, it));
+      bool good = ra.test(is) && ra.test(it) && (is == it || a_.has_edge(is, it));
       if (!good) return Violation{s, t, false};
     }
     if (c_.is_deadlock(s)) {
       StateId is = image(s);
-      if (!ra[is] || !a_.is_deadlock(is)) return Violation{s, 0, true};
+      if (!ra.test(is) || !a_.is_deadlock(is)) return Violation{s, 0, true};
     }
     return std::nullopt;
   };
@@ -445,18 +453,18 @@ CheckResult RefinementChecker::stabilizing_to() const {
   for (StateId s = 0; s < c_.num_states(); ++s)
     for (StateId t : c_.successors(s)) {
       StateId is = image(s);
-      if (is == image(t) && !(ra[is] && a_.is_deadlock(is))) edges.emplace_back(s, t);
+      if (is == image(t) && !(ra.test(is) && a_.is_deadlock(is))) edges.emplace_back(s, t);
     }
   if (!edges.empty()) {
     TransitionGraph sub = TransitionGraph::from_edges(c_.num_states(), edges);
     Scc sscc(sub);
     for (StateId s = 0; s < sub.num_states(); ++s) {
       if (sscc.size_of(sscc.component(s)) >= 2) {
-        std::vector<char> in_comp(sub.num_states(), 0);
+        util::DenseBitset in_comp(sub.num_states());
         for (StateId u = 0; u < sub.num_states(); ++u)
-          in_comp[u] = sscc.component(u) == sscc.component(s);
+          in_comp.set(u, sscc.component(u) == sscc.component(s));
         for (StateId t : sub.successors(s)) {
-          if (!in_comp[t]) continue;
+          if (!in_comp.test(t)) continue;
           if (auto back = find_path_within(sub, t, s, in_comp)) {
             Trace cycle;
             cycle.states.push_back(s);
@@ -484,6 +492,7 @@ std::optional<std::pair<Trace, Trace>> RefinementChecker::example_compression() 
 
 PhaseTimings RefinementChecker::phase_timings() const {
   PhaseTimings t;
+  t.graph_build_ms = graph_build_ms_.load(std::memory_order_relaxed);
   t.c_scc_ms = c_scc_ms_.load(std::memory_order_relaxed);
   t.a_scc_ms = a_scc_ms_.load(std::memory_order_relaxed);
   t.closure_ms = closure_ms_.load(std::memory_order_relaxed);
@@ -492,6 +501,7 @@ PhaseTimings RefinementChecker::phase_timings() const {
 }
 
 void RefinementChecker::reset_phase_timings() const {
+  graph_build_ms_.store(0, std::memory_order_relaxed);
   c_scc_ms_.store(0, std::memory_order_relaxed);
   a_scc_ms_.store(0, std::memory_order_relaxed);
   closure_ms_.store(0, std::memory_order_relaxed);

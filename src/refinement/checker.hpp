@@ -13,6 +13,7 @@
 #include "refinement/check_result.hpp"
 #include "refinement/engine.hpp"
 #include "refinement/scc.hpp"
+#include "util/bitset.hpp"
 
 namespace cref {
 
@@ -38,21 +39,24 @@ namespace cref {
 /// violation except at A-deadlock images.
 ///
 /// Engine: the shared read-only structures (C-side SCC, A-side SCC +
-/// condensation closure, R_A) are built once, thread-safely, on first
-/// use; the per-check scans over T_C then run across an EngineOptions-
-/// sized thread pool. Partial results are merged by state id (lowest
-/// violating (s, t) wins), so verdicts, EdgeStats, and counterexample
-/// witnesses are bit-identical to a single-threaded run. Checks on one
-/// instance may themselves be issued from multiple threads concurrently.
+/// condensation closure, R_A, the reversed C graph) are built once,
+/// thread-safely, on first use; the per-check scans over T_C then run
+/// across an EngineOptions-sized thread pool. Partial results are merged
+/// by state id (lowest violating (s, t) wins), so verdicts, EdgeStats,
+/// and counterexample witnesses are bit-identical to a single-threaded
+/// run. Checks on one instance may themselves be issued from multiple
+/// threads concurrently.
 class RefinementChecker {
  public:
-  /// Builds graphs for `c` and `a` and checks relations through `alpha`
-  /// (whose from/to spaces must match c/a).
-  RefinementChecker(const System& c, const System& a, Abstraction alpha);
+  /// Builds graphs for `c` and `a` (using `opts` for the parallel
+  /// Sigma-materialization) and checks relations through `alpha` (whose
+  /// from/to spaces must match c/a).
+  RefinementChecker(const System& c, const System& a, Abstraction alpha,
+                    const EngineOptions& opts = {});
 
   /// Same-space convenience: identity abstraction. The spaces of `c` and
   /// `a` must have the same shape.
-  RefinementChecker(const System& c, const System& a);
+  RefinementChecker(const System& c, const System& a, const EngineOptions& opts = {});
 
   /// Hand-built automata (tests, Figure 1). `alpha_table` maps every
   /// C-state to an A-state; empty means identity (same state count).
@@ -118,7 +122,8 @@ class RefinementChecker {
   bool reachable_in_a(StateId src, StateId dst) const;
 
   /// Engine tuning. Set BEFORE the first check; not synchronized against
-  /// concurrently running checks on this instance.
+  /// concurrently running checks on this instance. (The graph build in
+  /// the system-taking constructors uses the options passed there.)
   void set_engine_options(const EngineOptions& opts) { opts_ = opts; }
   const EngineOptions& engine_options() const { return opts_; }
 
@@ -131,21 +136,26 @@ class RefinementChecker {
   const std::vector<StateId>& c_initial() const { return c_init_; }
   const std::vector<StateId>& a_initial() const { return a_init_; }
 
+  /// The reversed concrete graph (predecessor lists), built lazily and
+  /// memoized; clients walking T_C backwards (convergence-time layering)
+  /// share one copy instead of re-deriving it per query.
+  const TransitionGraph& c_reversed() const;
+
   /// Image of concrete state `s` under alpha.
   StateId image(StateId s) const { return alpha_.empty() ? s : alpha_[s]; }
 
-  /// Membership vector of R_A = reachable(A, I_A) (computed lazily,
+  /// Membership bitset of R_A = reachable(A, I_A) (computed lazily,
   /// thread-safely).
-  const std::vector<char>& a_reachable() const;
+  const util::DenseBitset& a_reachable() const;
 
   /// SCC decomposition of C (computed lazily, thread-safely).
   const Scc& c_scc() const;
 
  private:
   void ensure_a_closure() const;
-  CheckResult check_region(const std::vector<char>* filter, bool allow_compressed_off_cycle,
+  CheckResult check_region(const util::DenseBitset* filter, bool allow_compressed_off_cycle,
                            bool allow_invalid_off_cycle, const char* relation_name) const;
-  std::optional<Trace> find_stutter_cycle(const std::vector<char>* filter) const;
+  std::optional<Trace> find_stutter_cycle(const util::DenseBitset* filter) const;
   Trace cycle_witness(StateId s, StateId t) const;
 
   TransitionGraph c_;
@@ -160,15 +170,18 @@ class RefinementChecker {
   // Lazily-built shared structures. Each is built exactly once under its
   // once_flag, so concurrent checks never race on them.
   mutable std::once_flag a_reach_once_;
-  mutable std::optional<std::vector<char>> a_reach_;
+  mutable std::optional<util::DenseBitset> a_reach_;
   mutable std::once_flag c_scc_once_;
   mutable std::optional<Scc> c_scc_;
+  mutable std::once_flag c_rev_once_;
+  mutable std::optional<TransitionGraph> c_rev_;
   mutable std::once_flag a_closure_once_;
   mutable std::optional<Scc> a_scc_;
-  mutable std::vector<std::vector<std::uint64_t>> comp_reach_;  // condensation closure
+  mutable std::vector<util::DenseBitset> comp_reach_;  // condensation closure
   mutable bool comp_reach_built_ = false;
   mutable bool comp_reach_too_big_ = false;
 
+  mutable std::atomic<double> graph_build_ms_{0};
   mutable std::atomic<double> c_scc_ms_{0};
   mutable std::atomic<double> a_scc_ms_{0};
   mutable std::atomic<double> closure_ms_{0};

@@ -7,7 +7,7 @@ namespace cref {
 ConvergenceTimeResult convergence_time(const RefinementChecker& rc) {
   const TransitionGraph& c = rc.c_graph();
   const TransitionGraph& a = rc.a_graph();
-  const std::vector<char>& ra = rc.a_reachable();
+  const util::DenseBitset& ra = rc.a_reachable();
   const StateId n = c.num_states();
 
   ConvergenceTimeResult res;
@@ -16,7 +16,7 @@ ConvergenceTimeResult convergence_time(const RefinementChecker& rc) {
   // Seed removals: bad images, bad edges, bad deadlocks.
   auto edge_good = [&](StateId s, StateId t) {
     StateId is = rc.image(s), it = rc.image(t);
-    return ra[is] && ra[it] && (is == it || a.has_edge(is, it));
+    return ra.test(is) && ra.test(it) && (is == it || a.has_edge(is, it));
   };
   std::deque<StateId> queue;
   auto remove = [&](StateId s) {
@@ -26,7 +26,7 @@ ConvergenceTimeResult convergence_time(const RefinementChecker& rc) {
     }
   };
   for (StateId s = 0; s < n; ++s) {
-    if (!ra[rc.image(s)]) {
+    if (!ra.test(rc.image(s))) {
       remove(s);
       continue;
     }
@@ -41,7 +41,9 @@ ConvergenceTimeResult convergence_time(const RefinementChecker& rc) {
       }
   }
   // Propagate: a state with an edge into a removed state is removed.
-  TransitionGraph rev = c.reversed();
+  // The reversed graph is memoized on the checker, so repeated
+  // convergence-time queries share one copy.
+  const TransitionGraph& rev = rc.c_reversed();
   while (!queue.empty()) {
     StateId t = queue.front();
     queue.pop_front();

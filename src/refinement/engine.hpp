@@ -1,62 +1,24 @@
 #pragma once
 
-#include <cstddef>
-#include <functional>
+// EngineOptions and parallel_chunks moved to util/parallel.hpp so the
+// Sigma-materialization in core/graph.cpp can run on the same chunked
+// thread pool as the edge scans; this header re-exports them for the
+// engine's call sites and keeps the per-phase timing struct.
+#include "util/parallel.hpp"
 
 namespace cref {
 
-/// Tuning knobs of the parallel refinement-check engine. The engine
-/// precomputes the shared read-only structures (C-side SCC, A-side SCC +
-/// condensation closure, R_A) once, then scans the concrete edge relation
-/// across a pool of std::threads. Results are bit-identical to the serial
-/// engine: per-thread partial results are merged by state id, so verdicts,
-/// EdgeStats, and counterexample witnesses do not depend on thread count
-/// or scheduling.
-///
-/// Set the options on a RefinementChecker BEFORE the first check; the
-/// options are not synchronized against concurrently running checks.
-struct EngineOptions {
-  /// Worker threads for the edge scans. 0 = one per hardware thread.
-  /// 1 = fully serial (no threads spawned).
-  std::size_t num_threads = 0;
-
-  /// States handed to a worker per grab. 0 = auto: n / (8 * threads),
-  /// clamped to at least 64 (small enough to balance skewed successor
-  /// lists, large enough to keep the atomic work-queue cold).
-  std::size_t chunk_size = 0;
-
-  /// Above this many A-side SCCs the condensation-closure bitsets would
-  /// use too much memory; reachability queries fall back to per-query
-  /// BFS. Exposed mainly so tests can force the BFS path.
-  std::size_t max_comps_for_closure = 20000;
-
-  /// Threads that will actually run for an `n`-item scan (respects
-  /// num_threads, hardware_concurrency, and never exceeds n).
-  std::size_t resolved_threads(std::size_t n) const;
-
-  /// Chunk size that will actually be used for an `n`-item scan.
-  std::size_t resolved_chunk(std::size_t n) const;
-};
-
 /// Wall-clock totals (ms) of the engine's internal phases, accumulated
-/// across all checks run on one RefinementChecker. SCC/closure phases are
-/// paid once (lazily, on first use); the edge scan recurs per check.
-/// Benches feed successive snapshots into sim::Stats for a per-phase
-/// breakdown.
+/// across all checks run on one RefinementChecker. Graph build is paid
+/// in the constructor, SCC/closure phases once (lazily, on first use);
+/// the edge scan recurs per check. Benches feed successive snapshots
+/// into sim::Stats for a per-phase breakdown.
 struct PhaseTimings {
-  double c_scc_ms = 0;     // SCC decomposition of C
-  double a_scc_ms = 0;     // SCC decomposition of A
-  double closure_ms = 0;   // A-side condensation transitive closure
-  double edge_scan_ms = 0; // classify / verify scans over T_C
+  double graph_build_ms = 0;  // CSR materialization of C and A
+  double c_scc_ms = 0;        // SCC decomposition of C
+  double a_scc_ms = 0;        // SCC decomposition of A
+  double closure_ms = 0;      // A-side condensation transitive closure
+  double edge_scan_ms = 0;    // classify / verify scans over T_C
 };
-
-/// Runs `fn(thread, begin, end)` over dynamically-scheduled chunks of
-/// [0, n). `thread` is a dense worker index in [0, threads) usable for
-/// per-thread accumulators; chunks are pulled from a shared atomic
-/// counter, so a worker may process many non-adjacent chunks. With one
-/// resolved thread (or n == 0) everything runs inline on the caller.
-/// `fn` must not throw.
-void parallel_chunks(std::size_t n, const EngineOptions& opts,
-                     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
 }  // namespace cref

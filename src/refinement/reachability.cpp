@@ -1,44 +1,52 @@
 #include "refinement/reachability.hpp"
 
+#include <algorithm>
 #include <deque>
+#include <utility>
 
 namespace cref {
 
-std::vector<char> reachable_from(const TransitionGraph& g, const std::vector<StateId>& sources) {
-  std::vector<char> seen(g.num_states(), 0);
-  std::deque<StateId> queue;
+util::DenseBitset reachable_from(const TransitionGraph& g, const std::vector<StateId>& sources) {
+  const StateId n = g.num_states();
+  util::DenseBitset visited(n);
+  util::DenseBitset frontier(n);
+  util::DenseBitset next(n);
   for (StateId s : sources) {
-    if (!seen[s]) {
-      seen[s] = 1;
-      queue.push_back(s);
+    if (!visited.test(s)) {
+      visited.set(s);
+      frontier.set(s);
     }
   }
-  while (!queue.empty()) {
-    StateId s = queue.front();
-    queue.pop_front();
-    for (StateId t : g.successors(s)) {
-      if (!seen[t]) {
-        seen[t] = 1;
-        queue.push_back(t);
+  while (frontier.any()) {
+    next.reset_all();
+    frontier.for_each_set([&](std::size_t s) {
+      for (StateId t : g.successors(s)) {
+        if (!visited.test(t)) {
+          visited.set(t);
+          next.set(t);
+        }
       }
-    }
+    });
+    std::swap(frontier, next);
   }
-  return seen;
+  return visited;
 }
 
 namespace {
 
 // Shared BFS-with-parents; `allowed` may be null (all states allowed).
+// Keeps the FIFO queue (shortest path needs level order), but the seen
+// set is a bitset.
 std::optional<Trace> bfs_path(const TransitionGraph& g, const std::vector<StateId>& sources,
-                              StateId target, const std::vector<char>* allowed) {
+                              StateId target, const util::DenseBitset* allowed) {
   constexpr StateId kNone = ~StateId{0};
   std::vector<StateId> parent(g.num_states(), kNone);
-  std::vector<char> seen(g.num_states(), 0);
+  util::DenseBitset seen(g.num_states());
   std::deque<StateId> queue;
   for (StateId s : sources) {
-    if (allowed && !(*allowed)[s]) continue;
-    if (seen[s]) continue;
-    seen[s] = 1;
+    if (allowed && !allowed->test(s)) continue;
+    if (seen.test(s)) continue;
+    seen.set(s);
     queue.push_back(s);
     if (s == target) {
       return Trace{{s}};
@@ -48,8 +56,8 @@ std::optional<Trace> bfs_path(const TransitionGraph& g, const std::vector<StateI
     StateId s = queue.front();
     queue.pop_front();
     for (StateId t : g.successors(s)) {
-      if (seen[t] || (allowed && !(*allowed)[t])) continue;
-      seen[t] = 1;
+      if (seen.test(t) || (allowed && !allowed->test(t))) continue;
+      seen.set(t);
       parent[t] = s;
       if (t == target) {
         Trace tr;
@@ -71,7 +79,7 @@ std::optional<Trace> find_path(const TransitionGraph& g, const std::vector<State
 }
 
 std::optional<Trace> find_path_within(const TransitionGraph& g, StateId source, StateId target,
-                                      const std::vector<char>& allowed) {
+                                      const util::DenseBitset& allowed) {
   return bfs_path(g, {source}, target, &allowed);
 }
 

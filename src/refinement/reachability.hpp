@@ -5,12 +5,15 @@
 
 #include "core/graph.hpp"
 #include "core/trace.hpp"
+#include "util/bitset.hpp"
 
 namespace cref {
 
-/// Breadth-first reachable set from `sources` (inclusive). The result is
-/// a 0/1 membership vector indexed by StateId.
-std::vector<char> reachable_from(const TransitionGraph& g, const std::vector<StateId>& sources);
+/// Reachable set from `sources` (inclusive), as a dense bitset indexed by
+/// StateId. Implemented as a word-parallel frontier sweep: the frontier,
+/// visited set and next frontier are all uint64_t bitsets, so membership
+/// tests and frontier enumeration touch 64 states per word.
+util::DenseBitset reachable_from(const TransitionGraph& g, const std::vector<StateId>& sources);
 
 /// Shortest path from any state in `sources` to `target` (inclusive of
 /// both endpoints); std::nullopt if unreachable. If `target` is itself a
@@ -19,8 +22,8 @@ std::optional<Trace> find_path(const TransitionGraph& g, const std::vector<State
                                StateId target);
 
 /// Shortest path from `source` to `target` restricted to states for which
-/// `allowed[s] != 0`; both endpoints must be allowed.
+/// `allowed.test(s)`; both endpoints must be allowed.
 std::optional<Trace> find_path_within(const TransitionGraph& g, StateId source, StateId target,
-                                      const std::vector<char>& allowed);
+                                      const util::DenseBitset& allowed);
 
 }  // namespace cref

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "util/bitset.hpp"
+
 namespace cref {
 
 namespace {
@@ -13,7 +15,7 @@ Scc::Scc(const TransitionGraph& g) {
   comp_.assign(n, kUndef);
   std::vector<std::size_t> index(n, kUndef);
   std::vector<std::size_t> lowlink(n, 0);
-  std::vector<char> on_stack(n, 0);
+  util::DenseBitset on_stack(n);
   std::vector<StateId> stack;
   std::size_t next_index = 0;
 
@@ -29,7 +31,7 @@ Scc::Scc(const TransitionGraph& g) {
     frames.push_back({root, 0});
     index[root] = lowlink[root] = next_index++;
     stack.push_back(root);
-    on_stack[root] = 1;
+    on_stack.set(root);
 
     while (!frames.empty()) {
       Frame& f = frames.back();
@@ -39,9 +41,9 @@ Scc::Scc(const TransitionGraph& g) {
         if (index[t] == kUndef) {
           index[t] = lowlink[t] = next_index++;
           stack.push_back(t);
-          on_stack[t] = 1;
+          on_stack.set(t);
           frames.push_back({t, 0});
-        } else if (on_stack[t]) {
+        } else if (on_stack.test(t)) {
           lowlink[f.s] = std::min(lowlink[f.s], index[t]);
         }
       } else {
@@ -52,7 +54,7 @@ Scc::Scc(const TransitionGraph& g) {
           do {
             w = stack.back();
             stack.pop_back();
-            on_stack[w] = 0;
+            on_stack.reset(w);
             comp_[w] = c;
             ++members;
           } while (w != f.s);

@@ -4,15 +4,21 @@ namespace cref::sim {
 
 std::vector<std::size_t> enabled_changing_actions(const System& sys, const StateVec& s) {
   std::vector<std::size_t> out;
-  StateVec scratch;
+  StateVec effect;
+  enabled_changing_actions_into(sys, s, out, effect);
+  return out;
+}
+
+void enabled_changing_actions_into(const System& sys, const StateVec& s,
+                                   std::vector<std::size_t>& out, StateVec& effect) {
+  out.clear();
   for (std::size_t i = 0; i < sys.actions().size(); ++i) {
     const Action& a = sys.actions()[i];
     if (!a.guard(s)) continue;
-    scratch = s;
-    a.effect(scratch);
-    if (scratch != s) out.push_back(i);
+    effect = s;
+    a.effect(effect);
+    if (effect != s) out.push_back(i);
   }
-  return out;
 }
 
 RunResult run_until(const System& sys, StateVec start, Scheduler& sched,
@@ -20,13 +26,15 @@ RunResult run_until(const System& sys, StateVec start, Scheduler& sched,
   RunResult res;
   StateVec state = std::move(start);
   if (opts.record_trace) res.trace.push_back(state);
+  std::vector<std::size_t> enabled;
+  StateVec effect;
   for (res.steps = 0; res.steps < opts.max_steps; ++res.steps) {
     if (legitimate(state)) {
       res.converged = true;
       res.final_state = std::move(state);
       return res;
     }
-    auto enabled = enabled_changing_actions(sys, state);
+    enabled_changing_actions_into(sys, state, enabled, effect);
     if (enabled.empty()) {
       res.deadlocked = true;
       res.final_state = std::move(state);

@@ -28,6 +28,12 @@ struct RunOptions {
 /// state (no-op executions are not steps).
 std::vector<std::size_t> enabled_changing_actions(const System& sys, const StateVec& s);
 
+/// Allocation-free variant: clears and refills `out`, using `effect` as
+/// the action-effect workspace. run_until holds both buffers across its
+/// whole execution, so long simulations allocate nothing per step.
+void enabled_changing_actions_into(const System& sys, const StateVec& s,
+                                   std::vector<std::size_t>& out, StateVec& effect);
+
 /// Runs `sys` from `start` under central-daemon semantics driven by
 /// `sched`, until `legitimate` holds, a deadlock is reached, or
 /// `opts.max_steps` steps have been taken. The legitimacy predicate is

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cref::util {
+
+/// Dense fixed-size bitset over 64-bit words, the membership container of
+/// the hot reachability/SCC paths. Compared to std::vector<char> it is 8x
+/// smaller (one cache line covers 512 states) and supports word-parallel
+/// sweeps: BFS frontiers are consumed 64 states at a time, skipping zero
+/// words outright and peeling set bits with countr_zero instead of
+/// pushing every state through a deque.
+///
+/// Invariant: bits at positions >= size() are always zero, so operator==
+/// and count() are exact and |= of equal-sized sets preserves it.
+class DenseBitset {
+ public:
+  static constexpr std::size_t kWordBits = 64;
+
+  DenseBitset() = default;
+  explicit DenseBitset(std::size_t n, bool value = false) { assign(n, value); }
+
+  /// Resizes to `n` bits, all set to `value` (like vector::assign).
+  void assign(std::size_t n, bool value = false) {
+    size_ = n;
+    words_.assign((n + kWordBits - 1) / kWordBits, value ? ~std::uint64_t{0} : 0);
+    if (value) clear_tail();
+  }
+
+  std::size_t size() const { return size_; }
+
+  bool test(std::size_t i) const {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+  /// vector<char>-style membership read (`if (seen[s])`).
+  bool operator[](std::size_t i) const { return test(i); }
+
+  void set(std::size_t i) { words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits); }
+  void reset(std::size_t i) { words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits)); }
+  void set(std::size_t i, bool value) { value ? set(i) : reset(i); }
+
+  /// Clears every bit, keeping the size (frontier reuse between levels).
+  void reset_all() { std::fill(words_.begin(), words_.end(), 0); }
+
+  bool any() const {
+    for (std::uint64_t w : words_)
+      if (w) return true;
+    return false;
+  }
+  bool none() const { return !any(); }
+
+  /// Number of set bits.
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  /// Word-parallel union. Precondition: other.size() == size().
+  DenseBitset& operator|=(const DenseBitset& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+    return *this;
+  }
+
+  /// Calls `f(i)` for every set bit in ascending order, 64 states per
+  /// word probe (zero words cost one compare).
+  template <typename F>
+  void for_each_set(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits) {
+        f(w * kWordBits + static_cast<std::size_t>(std::countr_zero(bits)));
+        bits &= bits - 1;  // drop lowest set bit
+      }
+    }
+  }
+
+  friend bool operator==(const DenseBitset&, const DenseBitset&) = default;
+
+ private:
+  void clear_tail() {
+    const std::size_t tail = size_ % kWordBits;
+    if (tail) words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace cref::util

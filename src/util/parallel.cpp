@@ -1,4 +1,4 @@
-#include "refinement/engine.hpp"
+#include "util/parallel.hpp"
 
 #include <algorithm>
 #include <atomic>

@@ -54,6 +54,28 @@ TEST(GraphTest, FromEdgesRejectsOutOfRange) {
   EXPECT_THROW(TransitionGraph::from_edges(2, {{5, 0}}), std::out_of_range);
 }
 
+TEST(GraphTest, FromEdgesNamesTheOffendingEndpoint) {
+  // Regression: targets are now validated up front (the old in-loop check
+  // for sources was dead code), and the error names the edge. An
+  // out-of-range target must throw even when its source is the largest
+  // valid state — the old loop only reached it via the source grouping.
+  try {
+    TransitionGraph::from_edges(3, {{0, 1}, {2, 7}});
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("target 7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(2, 7)"), std::string::npos) << msg;
+  }
+  try {
+    TransitionGraph::from_edges(3, {{4, 0}});
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("source 4"), std::string::npos) << msg;
+  }
+}
+
 TEST(GraphTest, BuildFromSystemMatchesSuccessors) {
   auto space = make_uniform_space(2, 3, "v");
   System sys("rotate", space,
@@ -68,6 +90,28 @@ TEST(GraphTest, BuildFromSystemMatchesSuccessors) {
     auto expect = sys.successors(s);
     EXPECT_EQ(std::vector<StateId>(g.successors(s).begin(), g.successors(s).end()), expect);
   }
+}
+
+TEST(GraphTest, ParallelBuildBitIdenticalToSerial) {
+  auto space = make_uniform_space(4, 3, "v");  // 81 states
+  System sys("rotate4", space,
+             {{"rot0", 0, [](const StateVec& s) { return s[0] != s[1]; },
+               [](StateVec& s) { s[0] = static_cast<Value>((s[0] + 1) % 3); }},
+              {"rot1", 1, [](const StateVec&) { return true; },
+               [](StateVec& s) { s[1] = static_cast<Value>((s[1] + 2) % 3); }},
+              {"copy2", 2, [](const StateVec& s) { return s[2] != s[3]; },
+               [](StateVec& s) { s[2] = s[3]; }}},
+             std::nullopt);
+  const TransitionGraph serial =
+      TransitionGraph::build(sys, EngineOptions{/*num_threads=*/1, /*chunk_size=*/0});
+  for (std::size_t threads : {std::size_t{2}, std::size_t{3}, std::size_t{8}}) {
+    EngineOptions eo;
+    eo.num_threads = threads;
+    eo.chunk_size = 5;  // force many chunks per worker
+    EXPECT_EQ(TransitionGraph::build(sys, eo), serial) << "threads=" << threads;
+  }
+  // Default options (one worker per hardware thread) must agree too.
+  EXPECT_EQ(TransitionGraph::build(sys), serial);
 }
 
 TEST(GraphTest, BuildRespectsStateLimit) {

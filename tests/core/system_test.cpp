@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+#include "ring/three_state.hpp"
+
 namespace cref {
 namespace {
 
@@ -34,6 +36,33 @@ TEST(SystemTest, SuccessorsAreDeduplicatedAndSorted) {
   EXPECT_EQ(sys.successors(2), (std::vector<StateId>{0, 3}));
 }
 
+TEST(SystemTest, SuccessorsIntoAppendsSortedDistinctSlices) {
+  System sys = make_counter(4, /*with_reset=*/true);
+  SuccessorScratch scratch;
+  // From 2: inc -> 3, reset -> 0; the slice is sorted and the count is
+  // the number appended.
+  EXPECT_EQ(sys.successors_into(2, scratch), 2u);
+  EXPECT_EQ(scratch.out, (std::vector<StateId>{0, 3}));
+  // Appending without clearing batches a second state's slice after the
+  // first; from 3 both actions lead to 0 (deduplicated within the slice).
+  EXPECT_EQ(sys.successors_into(3, scratch), 1u);
+  EXPECT_EQ(scratch.out, (std::vector<StateId>{0, 3, 0}));
+  // Clearing reuses the buffers without reallocating.
+  scratch.out.clear();
+  EXPECT_EQ(sys.successors_into(0, scratch), 1u);
+  EXPECT_EQ(scratch.out, (std::vector<StateId>{1}));
+}
+
+TEST(SystemTest, SuccessorsWrapperMatchesInto) {
+  System sys = make_counter(5, /*with_reset=*/true);
+  SuccessorScratch scratch;
+  for (StateId s = 0; s < sys.space().size(); ++s) {
+    scratch.out.clear();
+    sys.successors_into(s, scratch);
+    EXPECT_EQ(sys.successors(s), scratch.out) << "state " << s;
+  }
+}
+
 TEST(SystemTest, NoOpExecutionsAreNotTransitions) {
   // An action whose effect is the identity never yields a transition —
   // the tau-step convention used for C3 (DESIGN.md).
@@ -51,6 +80,22 @@ TEST(SystemTest, InitialStatesMaterialized) {
   System sys = make_counter(4);
   EXPECT_TRUE(sys.has_initial());
   EXPECT_EQ(sys.initial_states(), (std::vector<StateId>{0}));
+}
+
+TEST(SystemTest, InitialStatesScratchScanMatchesFreshDecodes) {
+  // The cached set from the scratch-decode scan must equal a brute-force
+  // scan that decodes every state into a fresh vector — on a ring system
+  // whose initial predicate actually reads several variables.
+  ring::ThreeStateLayout l(3);
+  System sys = ring::make_dijkstra3(l);
+  ASSERT_TRUE(sys.has_initial());
+  std::vector<StateId> brute;
+  for (StateId id = 0; id < sys.space().size(); ++id)
+    if (sys.is_initial(sys.space().decode(id))) brute.push_back(id);
+  EXPECT_EQ(sys.initial_states(), brute);
+  EXPECT_FALSE(brute.empty());
+  // Second call returns the cache (same address).
+  EXPECT_EQ(&sys.initial_states(), &sys.initial_states());
 }
 
 TEST(SystemTest, WrapperHasNoInitialStates) {

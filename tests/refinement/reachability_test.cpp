@@ -5,6 +5,13 @@
 namespace cref {
 namespace {
 
+util::DenseBitset bits(std::initializer_list<int> membership) {
+  util::DenseBitset b(membership.size());
+  std::size_t i = 0;
+  for (int m : membership) b.set(i++, m != 0);
+  return b;
+}
+
 TransitionGraph chain_with_branch() {
   // 0 -> 1 -> 2 -> 3, 1 -> 4, 5 isolated, 6 -> 0
   return TransitionGraph::from_edges(7, {{0, 1}, {1, 2}, {2, 3}, {1, 4}, {6, 0}});
@@ -12,17 +19,18 @@ TransitionGraph chain_with_branch() {
 
 TEST(ReachabilityTest, FromSingleSource) {
   auto reach = reachable_from(chain_with_branch(), {0});
-  EXPECT_EQ(reach, (std::vector<char>{1, 1, 1, 1, 1, 0, 0}));
+  EXPECT_EQ(reach, bits({1, 1, 1, 1, 1, 0, 0}));
 }
 
 TEST(ReachabilityTest, FromMultipleSources) {
   auto reach = reachable_from(chain_with_branch(), {5, 6});
-  EXPECT_EQ(reach, (std::vector<char>{1, 1, 1, 1, 1, 1, 1}));
+  EXPECT_EQ(reach, bits({1, 1, 1, 1, 1, 1, 1}));
 }
 
 TEST(ReachabilityTest, EmptySources) {
   auto reach = reachable_from(chain_with_branch(), {});
-  for (char r : reach) EXPECT_EQ(r, 0);
+  EXPECT_TRUE(reach.none());
+  EXPECT_EQ(reach.size(), 7u);
 }
 
 TEST(FindPathTest, ShortestPath) {
@@ -48,18 +56,32 @@ TEST(FindPathTest, Unreachable) {
 TEST(FindPathWithinTest, RespectsAllowedSet) {
   // 0 -> 1 -> 3 and 0 -> 2 -> 3; forbid 1.
   TransitionGraph g = TransitionGraph::from_edges(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
-  std::vector<char> allowed{1, 0, 1, 1};
-  auto path = find_path_within(g, 0, 3, allowed);
+  auto path = find_path_within(g, 0, 3, bits({1, 0, 1, 1}));
   ASSERT_TRUE(path.has_value());
   EXPECT_EQ(path->states, (std::vector<StateId>{0, 2, 3}));
-  std::vector<char> none{1, 0, 0, 1};
-  EXPECT_FALSE(find_path_within(g, 0, 3, none).has_value());
+  EXPECT_FALSE(find_path_within(g, 0, 3, bits({1, 0, 0, 1})).has_value());
 }
 
 TEST(FindPathWithinTest, ForbiddenEndpointsFail) {
   TransitionGraph g = TransitionGraph::from_edges(2, {{0, 1}});
-  std::vector<char> allowed{0, 1};
-  EXPECT_FALSE(find_path_within(g, 0, 1, allowed).has_value());
+  EXPECT_FALSE(find_path_within(g, 0, 1, bits({0, 1})).has_value());
+}
+
+TEST(ReachabilityTest, CrossesWordBoundaries) {
+  // A 130-state chain spans three bitset words; the frontier sweep must
+  // carry the wave across both 64-bit boundaries.
+  const StateId n = 130;
+  std::vector<std::pair<StateId, StateId>> edges;
+  for (StateId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  TransitionGraph g = TransitionGraph::from_edges(n, std::move(edges));
+  auto reach = reachable_from(g, {0});
+  EXPECT_EQ(reach.count(), n);
+  EXPECT_TRUE(reach.test(63));
+  EXPECT_TRUE(reach.test(64));
+  EXPECT_TRUE(reach.test(n - 1));
+  auto from_mid = reachable_from(g, {64});
+  EXPECT_EQ(from_mid.count(), n - 64);
+  EXPECT_FALSE(from_mid.test(63));
 }
 
 TEST(ReachabilityTest, LargeChainIterative) {
@@ -70,7 +92,8 @@ TEST(ReachabilityTest, LargeChainIterative) {
   for (StateId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
   TransitionGraph g = TransitionGraph::from_edges(n, std::move(edges));
   auto reach = reachable_from(g, {0});
-  EXPECT_EQ(reach[n - 1], 1);
+  EXPECT_TRUE(reach.test(n - 1));
+  EXPECT_EQ(reach.count(), n);
   auto path = find_path(g, {0}, n - 1);
   ASSERT_TRUE(path.has_value());
   EXPECT_EQ(path->states.size(), n);

@@ -1,0 +1,100 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cref::util {
+namespace {
+
+TEST(DenseBitsetTest, StartsAllClear) {
+  DenseBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+  EXPECT_EQ(b.count(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DenseBitsetTest, SetResetAcrossWordBoundary) {
+  DenseBitset b(130);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b[129]);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 3u);
+  b.set(64, true);
+  b.set(63, false);
+  EXPECT_TRUE(b.test(64));
+  EXPECT_FALSE(b.test(63));
+}
+
+TEST(DenseBitsetTest, AssignAllSetMasksTail) {
+  // 70 bits: the second word is partial; the tail bits must stay zero so
+  // count/none/== remain exact.
+  DenseBitset b(70, true);
+  EXPECT_EQ(b.count(), 70u);
+  DenseBitset manual(70);
+  for (std::size_t i = 0; i < 70; ++i) manual.set(i);
+  EXPECT_EQ(b, manual);
+}
+
+TEST(DenseBitsetTest, ResetAllKeepsSize) {
+  DenseBitset b(65, true);
+  b.reset_all();
+  EXPECT_EQ(b.size(), 65u);
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DenseBitsetTest, UnionIsWordParallel) {
+  DenseBitset a(129), b(129);
+  a.set(1);
+  a.set(128);
+  b.set(64);
+  b.set(1);
+  a |= b;
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(64));
+  EXPECT_TRUE(a.test(128));
+  EXPECT_EQ(b.count(), 2u);  // operand unchanged
+}
+
+TEST(DenseBitsetTest, ForEachSetAscending) {
+  DenseBitset b(200);
+  const std::vector<std::size_t> want{0, 1, 63, 64, 65, 127, 128, 199};
+  for (std::size_t i : want) b.set(i);
+  std::vector<std::size_t> got;
+  b.for_each_set([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(DenseBitsetTest, EqualityIsExact) {
+  DenseBitset a(66), b(66);
+  EXPECT_EQ(a, b);
+  a.set(65);
+  EXPECT_NE(a, b);
+  b.set(65);
+  EXPECT_EQ(a, b);
+  // Different sizes are never equal, even when both are empty.
+  EXPECT_NE(DenseBitset(64), DenseBitset(65));
+}
+
+TEST(DenseBitsetTest, EmptyBitset) {
+  DenseBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.count(), 0u);
+  std::size_t calls = 0;
+  b.for_each_set([&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+}
+
+}  // namespace
+}  // namespace cref::util

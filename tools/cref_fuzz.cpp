@@ -200,6 +200,7 @@ int main(int argc, char** argv) {
             << st.mutations_rejected << " mutations rejected\n"
             << "  simulation:   " << st.walks_checked << " walks\n"
             << "  gcl:          " << st.gcl_roundtrips << " roundtrips\n"
+            << "  builds:       " << st.builds_compared << " parallel-vs-serial compared\n"
             << "  meta:         " << st.meta_implications << " implications\n";
   if (drv.failures)
     std::cout << "rerun a failing case with --strategy NAME --seed N "
