@@ -1,0 +1,241 @@
+// E19: abstract-interpretation pruning of the explicit engine.
+//
+// Measures what the absint fixpoint (src/absint) buys the explicit
+// TransitionGraph build: for each program the abstract reachable region
+// R# is computed from the init region, installed as the engine's state
+// filter, and the pruned build is compared against the unpruned one —
+// states per side, analysis time vs build time saved, and slice-level
+// agreement on every member state (the pruning soundness contract).
+//
+// Two families:
+//   ring    Dijkstra's K-state token ring as GCL. From the all-zeros
+//           init the reachable set is exactly K*(n+1) of the K^(n+1)
+//           states, each a single point — the disjunctive region tracks
+//           them exactly, so pruning collapses the build to a sliver.
+//   random  seeded random GCL programs whose init pins a subset of the
+//           variables; unwritten variables stay pinned in R#, shrinking
+//           the materialized product space by the pinned cardinalities.
+//
+//   ./bench_absint [--smoke] [--seed N]
+//
+// Results go to BENCH_absint.json. Exit 1 if any pruned build disagrees
+// with its unpruned reference on a member state (soundness, not speed).
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "absint/absint.hpp"
+#include "common.hpp"
+#include "core/graph.hpp"
+#include "gcl/compile.hpp"
+#include "gcl/parser.hpp"
+#include "refinement/reachability.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace cref;
+
+namespace {
+
+/// Dijkstra's K-state token ring over processes 0..n, all-zeros init.
+std::string kstate_gcl(int k, int n) {
+  auto c = [](int j) { return "c" + std::to_string(j); };
+  std::string src =
+      "system kring_k" + std::to_string(k) + "_n" + std::to_string(n) + " {\n";
+  for (int j = 0; j <= n; ++j)
+    src += "  var " + c(j) + " : 0.." + std::to_string(k - 1) + ";\n";
+  src += "  action bottom @0 : " + c(0) + " == " + c(n) + " -> " + c(0) + " := (" +
+         c(0) + " + 1) % " + std::to_string(k) + ";\n";
+  for (int j = 1; j <= n; ++j) {
+    src += "  action up" + std::to_string(j) + " @" + std::to_string(j) + " : " +
+           c(j) + " != " + c(j - 1) + " -> " + c(j) + " := " + c(j - 1) + ";\n";
+  }
+  src += "  init : " + c(0) + " == 0";
+  for (int j = 1; j <= n; ++j) src += " && " + c(j) + " == 0";
+  src += ";\n}\n";
+  return src;
+}
+
+/// A seeded random GCL program: `vars` mod-`card` counters, init pins
+/// the first `pinned` of them, and each action bumps one variable when
+/// another holds a specific value. Variables no action writes keep
+/// their pinned value in every reachable state.
+std::string random_gcl(std::size_t vars, int card, std::size_t pinned,
+                       std::size_t n_actions, std::mt19937_64& rng) {
+  auto v = [](std::size_t j) { return "v" + std::to_string(j); };
+  std::string src = "system rnd {\n";
+  for (std::size_t j = 0; j < vars; ++j)
+    src += "  var " + v(j) + " : 0.." + std::to_string(card - 1) + ";\n";
+  for (std::size_t a = 0; a < n_actions; ++a) {
+    const std::size_t gv = util::uniform_below(rng, vars);
+    const int gc = static_cast<int>(util::uniform_below(rng, card));
+    // Write only into the un-pinned upper half so the pinned prefix
+    // stays constant and R# keeps the product space small.
+    const std::size_t ev =
+        pinned + util::uniform_below(rng, vars - pinned);
+    const int delta = 1 + static_cast<int>(util::uniform_below(rng, card - 1));
+    src += "  action a" + std::to_string(a) + " : " + v(gv) + " == " +
+           std::to_string(gc) + " -> " + v(ev) + " := (" + v(ev) + " + " +
+           std::to_string(delta) + ") % " + std::to_string(card) + ";\n";
+  }
+  src += "  init : " + v(0) + " == " + std::to_string(card - 1);
+  for (std::size_t j = 1; j < pinned; ++j)
+    src += " && " + v(j) + " == " + std::to_string(static_cast<int>(
+                                        util::uniform_below(rng, card)));
+  src += ";\n}\n";
+  return src;
+}
+
+struct Row {
+  std::string family;
+  std::string config;
+  StateId sigma;            // |Sigma|: all product states
+  std::size_t reach;        // explicitly reachable from init
+  std::size_t rsharp;       // members of R# within Sigma (= pruned sources)
+  bool collapsed;
+  double analysis_ms;       // absint fixpoint
+  double full_ms;           // unpruned build
+  double pruned_ms;         // R#-filtered build
+  bool identical;           // member slices bit-identical, others empty
+};
+
+Row run_config(const std::string& family, const std::string& config,
+               const std::string& src) {
+  gcl::SystemAst ast = gcl::parse(src);
+  System sys = gcl::compile(ast);
+
+  bench::Timer tf;
+  const TransitionGraph full = TransitionGraph::build(sys);
+  const double full_ms = tf.ms();
+  const util::DenseBitset reach = reachable_from(full, sys.initial_states());
+
+  const absint::AbsintResult res = absint::analyze_reachable(ast);
+
+  sys.set_state_filter(absint::make_state_filter(res.region));
+  bench::Timer tp;
+  const TransitionGraph pruned = TransitionGraph::build(sys);
+  const double pruned_ms = tp.ms();
+
+  const StateId n = full.num_states();
+  StateVec decoded;
+  std::size_t members = 0;
+  bool identical = true;
+  for (StateId s = 0; s < n; ++s) {
+    sys.space().decode_into(s, decoded);
+    auto ps = pruned.successors(s);
+    if (res.region.contains(decoded)) {
+      ++members;
+      auto fs = full.successors(s);
+      identical = identical && std::equal(ps.begin(), ps.end(), fs.begin(), fs.end());
+    } else {
+      identical = identical && ps.empty();
+      identical = identical && !reach.test(s);  // soundness: R# covers reach
+    }
+  }
+  return {family,  config,  n,         reach.count(), members,
+          res.collapsed, res.analysis_ms, full_ms, pruned_ms, identical};
+}
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", ms);
+  return buf;
+}
+
+std::string fmt_pct(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", p);
+  return buf;
+}
+
+double reduction_pct(const Row& r) {
+  return r.sigma ? 100.0 * (1.0 - static_cast<double>(r.rsharp) /
+                                      static_cast<double>(r.sigma))
+                 : 0.0;
+}
+
+void write_json(const char* path, std::uint64_t seed, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  out << "{\n  \"experiment\": \"E19 absint-pruning\",\n  \"seed\": " << seed
+      << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"family\": \"" << r.family << "\", \"config\": \"" << r.config
+        << "\", \"sigma_states\": " << r.sigma << ", \"explicit_states\": " << r.reach
+        << ", \"rsharp_states\": " << r.rsharp
+        << ", \"collapsed\": " << (r.collapsed ? "true" : "false")
+        << ", \"analysis_ms\": " << r.analysis_ms << ", \"full_build_ms\": " << r.full_ms
+        << ", \"pruned_build_ms\": " << r.pruned_ms
+        << ", \"saved_ms\": " << r.full_ms - r.pruned_ms
+        << ", \"reduction_pct\": " << reduction_pct(r)
+        << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv, {"smoke"});
+  const bool smoke = cli.has("smoke");
+  bench::header("E19", "abstract-interpretation engine pruning (R# state filter)");
+  const std::uint64_t seed = bench::seed_from_cli(cli);
+
+  // (K, n) ring configs; the full run includes the paper-scale K=8,
+  // n=6 instance (8^7 states, 56 reachable).
+  const std::vector<std::pair<int, int>> rings =
+      smoke ? std::vector<std::pair<int, int>>{{4, 3}, {5, 4}}
+            : std::vector<std::pair<int, int>>{{6, 5}, {8, 5}, {8, 6}};
+  const std::size_t n_random = smoke ? 2 : 4;
+
+  std::vector<Row> rows;
+  for (auto [k, n] : rings) {
+    rows.push_back(run_config(
+        "ring", "K=" + std::to_string(k) + " n=" + std::to_string(n), kstate_gcl(k, n)));
+  }
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < n_random; ++i) {
+    const std::size_t vars = smoke ? 4 : 6;
+    const int card = smoke ? 3 : 4;
+    rows.push_back(run_config("random", "#" + std::to_string(i),
+                              random_gcl(vars, card, /*pinned=*/vars / 2,
+                                         /*n_actions=*/2 * vars, rng)));
+  }
+
+  util::Table t({"family", "config", "|Sigma|", "explicit", "|R#|", "reduction",
+                 "analysis ms", "full ms", "pruned ms", "saved ms", "identical"});
+  bool all_identical = true;
+  for (const Row& r : rows) {
+    all_identical = all_identical && r.identical;
+    t.add_row({r.family, r.config, std::to_string(r.sigma), std::to_string(r.reach),
+               std::to_string(r.rsharp), fmt_pct(reduction_pct(r)),
+               fmt_ms(r.analysis_ms), fmt_ms(r.full_ms), fmt_ms(r.pruned_ms),
+               fmt_ms(r.full_ms - r.pruned_ms), r.identical ? "yes" : "NO"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // The acceptance instance: K=8, n=6 must prune >= 30% of the states
+  // it would otherwise materialize, at no wall-clock cost.
+  for (const Row& r : rows) {
+    if (r.family == "ring" && r.config == "K=8 n=6") {
+      const bool ok = reduction_pct(r) >= 30.0 && r.pruned_ms <= r.full_ms;
+      std::printf("acceptance (K=8 n=6): reduction %s, saved %.2f ms -> %s\n",
+                  fmt_pct(reduction_pct(r)).c_str(), r.full_ms - r.pruned_ms,
+                  ok ? "PASS" : "FAIL");
+    }
+  }
+
+  write_json("BENCH_absint.json", seed, rows);
+  std::printf("wrote BENCH_absint.json\n");
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: a pruned build disagreed with its unpruned reference "
+                 "on a member state (see table)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -3,12 +3,21 @@
 //
 //   $ ./gcl_check protocol.gcl                     # stats + self-stabilization
 //   $ ./gcl_check protocol.gcl --lint              # semantic lint first
+//   $ ./gcl_check protocol.gcl --absint            # abstract reachability R#
+//   $ ./gcl_check protocol.gcl --closure 'x == 0'  # static closure proof
 //   $ ./gcl_check concrete.gcl --a abstract.gcl    # all refinement relations
 //
 // --lint runs the gcl_lint semantic passes (see tools/gcl_lint.cpp)
 // before any state-space exploration and aborts on error-severity
 // findings — structural defects die here instead of surfacing as
 // confusing verdicts after a full exploration.
+//
+// --absint computes the abstract over-approximation R# of the states
+// reachable from init (src/absint/absint.hpp) and reports how much of
+// Sigma the engine's R#-pruned build would skip. --closure EXPR
+// attempts the static proof that EXPR is closed under every action
+// (the Theorem 1/3 precondition) and, when the proof succeeds,
+// cross-checks it edge-by-edge on the explicit transition graph.
 //
 // Systems in different files must share the same variable declarations
 // (same state space) — cross-space abstraction functions are a C++-level
@@ -17,7 +26,10 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
+#include "absint/absint.hpp"
+#include "absint/closure.hpp"
 #include "gcl/analyze.hpp"
 #include "gcl/compile.hpp"
 #include "gcl/parser.hpp"
@@ -52,15 +64,20 @@ void describe(const System& sys) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Cli cli(argc, argv, {"lint"});
+  util::Cli cli(argc, argv, {"lint", "absint"});
   if (cli.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: gcl_check FILE.gcl [--a ABSTRACT.gcl] [--lint]\n"
+                 "usage: gcl_check FILE.gcl [--a ABSTRACT.gcl] [--lint] "
+                 "[--absint] [--closure EXPR]\n"
                  "       (see examples/gcl/*.gcl for the syntax)\n");
     return 2;
   }
   try {
-    auto load = [&](const std::string& path) {
+    struct Loaded {
+      gcl::SystemAst ast;
+      System sys;
+    };
+    auto load = [&](const std::string& path) -> Loaded {
       gcl::SystemAst ast = gcl::parse(read_file(path));
       if (cli.has("lint")) {
         auto diags = gcl::analyze(ast);
@@ -69,10 +86,63 @@ int main(int argc, char** argv) {
           throw std::runtime_error("lint found errors in " + path +
                                    "; fix them before exploring");
       }
-      return gcl::compile(ast);
+      System sys = gcl::compile(ast);
+      return {std::move(ast), std::move(sys)};
     };
-    System c = load(cli.positional()[0]);
+    Loaded lc = load(cli.positional()[0]);
+    System& c = lc.sys;
     describe(c);
+
+    if (cli.has("absint")) {
+      absint::AbsintResult res = absint::analyze_reachable(lc.ast);
+      const Space& space = c.space();
+      StateVec decoded;
+      unsigned long long kept = 0;
+      for (StateId s = 0; s < space.size(); ++s) {
+        space.decode_into(s, decoded);
+        kept += res.region.contains(decoded);
+      }
+      std::printf("abstract reachability R#: %zu box(es) after %zu iteration(s), "
+                  "%.2f ms%s\n",
+                  res.region.boxes.size(), res.iterations, res.analysis_ms,
+                  res.collapsed ? " (collapsed to hull)" : "");
+      std::printf("  |R#| = %llu of %llu states (%.1f%%) — an R#-pruned build "
+                  "skips the other %.1f%%\n",
+                  kept, static_cast<unsigned long long>(space.size()),
+                  space.size() ? 100.0 * static_cast<double>(kept) /
+                                     static_cast<double>(space.size())
+                               : 100.0,
+                  space.size() ? 100.0 - 100.0 * static_cast<double>(kept) /
+                                             static_cast<double>(space.size())
+                               : 0.0);
+    }
+
+    if (cli.has("closure")) {
+      const std::string text = cli.get("closure");
+      std::string err;
+      auto pred = absint::parse_predicate(lc.ast, text, &err);
+      if (!pred) {
+        std::fprintf(stderr, "error: --closure: %s\n", err.c_str());
+        return 2;
+      }
+      if (auto cert = absint::make_closure_certificate(lc.ast, *pred)) {
+        std::printf("closure: PROVED — '%s' is closed under all %zu action(s) "
+                    "(%zu obligation(s))\n",
+                    cert->predicate.c_str(), lc.ast.actions.size(),
+                    cert->obligations.size());
+        ClosedRegionCertificate crc =
+            absint::to_closed_region_certificate(c.space(), cert->region);
+        CheckResult r = validate_closed_region(TransitionGraph::build(c), crc);
+        std::printf("  explicit edge-level cross-check: %s\n",
+                    r.holds ? "confirmed" : ("REFUTED — " + r.reason).c_str());
+        if (!r.holds) return 1;
+      } else {
+        std::printf("closure: NOT PROVED — no abstract proof that '%s' is "
+                    "closed (it may still be: the abstraction only "
+                    "over-approximates)\n",
+                    text.c_str());
+      }
+    }
 
     if (!cli.has("a")) {
       // Single system: check self-stabilization (C stabilizing to C).
@@ -93,7 +163,7 @@ int main(int argc, char** argv) {
       return r.holds ? 0 : 1;
     }
 
-    System a = load(cli.get("a"));
+    System a = load(cli.get("a")).sys;
     describe(a);
     if (!c.space().same_shape_as(a.space())) {
       std::fprintf(stderr, "error: the two systems declare different variables\n");

@@ -1,0 +1,70 @@
+#pragma once
+
+// The abstract-interpretation fixpoint engine: computes a sound
+// over-approximation R# of the states reachable from an abstract
+// initial region of a GCL program, as a bounded disjunction of
+// interval x congruence boxes (domain.hpp, transfer.hpp).
+//
+// No widening is used. Every abstract value is drawn from the finite
+// sublattice over the variable's declared domain 0..card-1 (assignment
+// wrap-around keeps post-states inside it), so ascending chains are
+// finite; the disjunct and step budgets below bound the worklist phase,
+// and on overflow the engine collapses to a single-box ascending-chain
+// fixpoint whose chain length is itself bounded by the per-variable
+// lattice heights. The absolute fallback is the top box — trivially
+// sound.
+//
+// Clients: closure certificates (closure.hpp), explicit-engine pruning
+// (core/graph.cpp via make_state_filter), and the absint lint rules
+// (lint.hpp).
+
+#include <cstddef>
+
+#include "absint/domain.hpp"
+#include "absint/transfer.hpp"
+#include "core/system.hpp"
+#include "gcl/ast.hpp"
+
+namespace cref::absint {
+
+struct AbsintOptions {
+  /// Cap on the number of disjuncts in R#; exceeding it collapses the
+  /// analysis to a single-box fixpoint.
+  std::size_t max_disjuncts = 128;
+  /// Cap on worklist pops before collapsing.
+  std::size_t max_steps = 4096;
+};
+
+struct AbsintResult {
+  AbsRegion region;           // R#: gamma(region) covers every reachable state
+  std::size_t iterations = 0;  // worklist pops performed
+  bool collapsed = false;      // budgets overflowed; single-box result
+  double analysis_ms = 0.0;
+};
+
+/// The abstract initial region: ast.init refined over the top box
+/// (top-level `||` disjuncts become separate boxes, up to
+/// max_disjuncts), or the whole domain box when the program declares no
+/// init.
+AbsRegion init_region(const gcl::SystemAst& ast, std::size_t max_disjuncts = 128);
+
+/// Abstraction of an arbitrary predicate over ast's variables (same
+/// construction as init_region). Bottom when the predicate is provably
+/// unsatisfiable.
+AbsRegion region_from_predicate(const gcl::SystemAst& ast, const gcl::Expr& pred,
+                                std::size_t max_disjuncts = 128);
+
+/// R# from an explicit abstract initial region.
+AbsintResult analyze_reachable_from(const gcl::SystemAst& ast, const AbsRegion& init,
+                                    const AbsintOptions& opts = {});
+
+/// R# from the program's own init predicate (init_region(ast)).
+AbsintResult analyze_reachable(const gcl::SystemAst& ast,
+                               const AbsintOptions& opts = {});
+
+/// Wraps a region as a cref::StatePredicate for
+/// System::set_state_filter — the engine-pruning hook. The region is
+/// moved into a shared closure so copies of the predicate stay cheap.
+StatePredicate make_state_filter(AbsRegion region);
+
+}  // namespace cref::absint

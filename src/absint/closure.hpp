@@ -1,0 +1,72 @@
+#pragma once
+
+// Static closure certificates: prove, from the program text alone, that
+// a candidate predicate B is closed under every action of a GCL program
+// — the precondition of the paper's Theorems 1 and 3. The proof is a
+// per-(box, action) obligation list over the abstraction of B
+// (region_from_predicate): each obligation shows the abstract
+// post-state either stays inside a box of B's region or satisfies B
+// outright, or that the action's guard is unsatisfiable inside the box.
+//
+// Trust story (mirroring refinement/certificate.hpp): the generator
+// here is paired with two validators — check_closure_certificate
+// re-derives every obligation from the AST, and the graph-level
+// cref::validate_closed_region (refinement/certificate.hpp) re-checks
+// the materialized region edge-by-edge on an explicit TransitionGraph
+// without touching any absint code. Because abstraction is an
+// over-approximation, a static proof can FAIL on a predicate that is in
+// fact closed (incompleteness); it can never claim closure wrongly —
+// the absint-soundness fuzz oracle cross-checks exactly that.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "absint/absint.hpp"
+#include "refinement/certificate.hpp"
+
+namespace cref::absint {
+
+/// One proof obligation: the action applied to one box of B's region.
+struct ClosureObligation {
+  std::string action;     // action name
+  std::size_t box_index;  // index into ClosureCertificate::region.boxes
+  bool vacuous = false;   // guard unsatisfiable in the box — nothing to show
+  AbsBox post;            // abstract post-state (empty when vacuous)
+};
+
+/// A static proof that B is closed under the program's actions.
+struct ClosureCertificate {
+  std::string predicate;  // pretty-printed B, for display only
+  AbsRegion region;       // abstraction of B the obligations quantify over
+  std::vector<ClosureObligation> obligations;  // one per (box, action)
+};
+
+/// Attempts the static closure proof for `predicate`. nullopt when some
+/// obligation cannot be discharged — either B is genuinely not closed,
+/// or the abstraction is too coarse to see that it is.
+std::optional<ClosureCertificate> make_closure_certificate(const gcl::SystemAst& ast,
+                                                           const gcl::Expr& predicate);
+
+/// Re-derives every obligation of `cert` from the AST and `predicate`:
+/// the region must be the abstraction of the predicate, the obligation
+/// list must cover every (box, action) pair, and each post must be
+/// covered by the region or prove the predicate. True iff all hold.
+bool check_closure_certificate(const gcl::SystemAst& ast, const gcl::Expr& predicate,
+                               const ClosureCertificate& cert);
+
+/// Materializes the region as a graph-level ClosedRegionCertificate by
+/// scanning Sigma of `space` (which must be the compile() space of the
+/// same program). Bridges the static proof to the explicit validator
+/// cref::validate_closed_region; intended for test/oracle-sized spaces.
+ClosedRegionCertificate to_closed_region_certificate(const Space& space,
+                                                     const AbsRegion& region);
+
+/// Convenience: parses `text` as a predicate over ast's variables by
+/// wrapping it in a synthetic system with the same declarations.
+/// nullopt on parse/resolution errors (message in *error if non-null).
+std::optional<gcl::Expr> parse_predicate(const gcl::SystemAst& ast,
+                                         const std::string& text,
+                                         std::string* error = nullptr);
+
+}  // namespace cref::absint

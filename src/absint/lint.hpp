@@ -1,0 +1,51 @@
+#pragma once
+
+// Abstract-interpretation lint pass: diagnostics that need the
+// reachable-region over-approximation R# (absint.hpp), complementing
+// the per-expression exact passes of gcl/analyze.hpp. Lives in the
+// absint module (not gcl/) so the gcl library stays independent of the
+// analysis engine; gcl_lint and gcl_check merge these findings with
+// analyze()'s under the --absint flag.
+//
+// Rules (ids in gcl/diag.hpp):
+//   absint-unreachable-action  guard unsatisfiable in every box of R#
+//                              (but satisfiable somewhere in Sigma —
+//                              globally-dead actions stay with
+//                              guard-always-false)
+//   absint-guard-dead          the guard, or one of its top-level
+//                              conjuncts, is surely true across R#: the
+//                              test is dead weight in reachable states
+//   absint-var-constant        a written variable holds one single
+//                              value across R#
+//   absint-init-not-closed     the init region is not closed under the
+//                              actions (exact check with witness under
+//                              the budget; "not provably closed" above)
+//
+// Everything here is quantified over R#, an OVER-approximation: a
+// guard unsatisfiable within R# is truly unreachable from init, and a
+// conjunct surely-true across R# is truly redundant — but both checks
+// may miss instances the abstraction is too coarse to see.
+
+#include <vector>
+
+#include "absint/absint.hpp"
+#include "gcl/diag.hpp"
+
+namespace cref::absint {
+
+struct AbsintLintOptions {
+  AbsintOptions absint;
+  /// Valuation cap for the exact init-closure check (counted over the
+  /// full variable product, as in gcl::AnalyzeOptions::exact_budget).
+  std::size_t exact_budget = std::size_t{1} << 20;
+};
+
+/// Runs all four rules. `result`, when non-null, receives the
+/// fixpoint's R# so callers (gcl_check --absint) can reuse it without
+/// re-analyzing. Findings are unsorted; merge with analyze()'s and
+/// gcl::sort_diagnostics before rendering.
+std::vector<gcl::Diagnostic> check_absint(const gcl::SystemAst& ast,
+                                          const AbsintLintOptions& opts = {},
+                                          AbsintResult* result = nullptr);
+
+}  // namespace cref::absint

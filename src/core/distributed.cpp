@@ -38,7 +38,7 @@ System make_distributed(const System& sys, const std::vector<int>& processes) {
     std::string name = "sync{";
     for (std::size_t i = 0; i < count; ++i) {
       if (mask & (std::size_t{1} << i)) {
-        if (members.size() > 0) name += ",";
+        if (!members.empty()) name += ",";
         members.push_back(processes[i]);
         name += std::to_string(processes[i]);
       }

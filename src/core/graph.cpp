@@ -14,6 +14,12 @@ TransitionGraph TransitionGraph::build(const System& sys, const EngineOptions& o
                             std::to_string(max_states) + ")");
   TransitionGraph g;
   g.offsets_.assign(n + 1, 0);
+  // Engine pruning (System::set_state_filter): filtered-out source
+  // states contribute empty slices and skip successor enumeration
+  // entirely — for a transition-closed filter set (an absint R#) the
+  // retained slices are identical to the unpruned build's. Without a
+  // filter every code path below is exactly the pre-pruning one.
+  const bool pruned = sys.has_state_filter();
   const std::size_t threads = opts.resolved_threads(n);
   if (threads <= 1) {
     // Serial fast path: one pass, appending each state's slice directly.
@@ -21,7 +27,7 @@ TransitionGraph TransitionGraph::build(const System& sys, const EngineOptions& o
     for (StateId s = 0; s < n; ++s) {
       g.offsets_[s] = g.targets_.size();
       scratch.out.clear();
-      sys.successors_into(s, scratch);
+      if (!pruned || sys.passes_filter(s, scratch)) sys.successors_into(s, scratch);
       g.targets_.insert(g.targets_.end(), scratch.out.begin(), scratch.out.end());
     }
     g.offsets_[n] = g.targets_.size();
@@ -39,7 +45,8 @@ TransitionGraph TransitionGraph::build(const System& sys, const EngineOptions& o
     SuccessorScratch& sc = scratch[tid];
     for (StateId s = static_cast<StateId>(begin); s < end; ++s) {
       sc.out.clear();
-      g.offsets_[s + 1] = sys.successors_into(s, sc);
+      g.offsets_[s + 1] =
+          (pruned && !sys.passes_filter(s, sc)) ? 0 : sys.successors_into(s, sc);
     }
   });
   // Prefix-sum the degrees into CSR offsets.
@@ -49,6 +56,7 @@ TransitionGraph TransitionGraph::build(const System& sys, const EngineOptions& o
   parallel_chunks(n, opts, [&](std::size_t tid, std::size_t begin, std::size_t end) {
     SuccessorScratch& sc = scratch[tid];
     for (StateId s = static_cast<StateId>(begin); s < end; ++s) {
+      if (pruned && !sys.passes_filter(s, sc)) continue;  // empty slice
       sc.out.clear();
       sys.successors_into(s, sc);
       std::copy(sc.out.begin(), sc.out.end(),

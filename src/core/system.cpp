@@ -56,6 +56,11 @@ std::size_t System::successors_into(StateId s, SuccessorScratch& scratch) const 
   return scratch.out.size() - base;
 }
 
+bool System::passes_filter(StateId s, SuccessorScratch& scratch) const {
+  space_->decode_into(s, scratch.decoded);
+  return state_filter_(scratch.decoded);
+}
+
 std::vector<std::string> System::enabled_actions(StateId s) const {
   std::vector<std::string> out;
   StateVec v;

@@ -82,11 +82,31 @@ class System {
   /// their execution would change the state. Used by diagnostics.
   std::vector<std::string> enabled_actions(StateId s) const;
 
+  /// Engine-pruning hook: an optional predicate over decoded states
+  /// restricting which SOURCE states TransitionGraph::build enumerates
+  /// successors for — states failing the filter get empty slices. With
+  /// a filter whose set is closed under T (e.g. an absint reachable
+  /// region R#, see src/absint/absint.hpp), the pruned graph agrees
+  /// with the unpruned one on every state inside the set, so any
+  /// analysis confined to it (reachability from a covered init, ...)
+  /// is unaffected. The filter is consulted ONLY by the graph build;
+  /// successors()/simulation semantics never change, and box()/
+  /// box_priority compositions do not inherit it. No filter (the
+  /// default) leaves the build code path bit-identical to before.
+  void set_state_filter(StatePredicate filter) { state_filter_ = std::move(filter); }
+  void clear_state_filter() { state_filter_ = nullptr; }
+  bool has_state_filter() const { return static_cast<bool>(state_filter_); }
+
+  /// Evaluates the filter on `s`, decoding into `scratch.decoded`.
+  /// Precondition: has_state_filter().
+  bool passes_filter(StateId s, SuccessorScratch& scratch) const;
+
  private:
   std::string name_;
   SpacePtr space_;
   std::vector<Action> actions_;
   std::optional<StatePredicate> initial_;
+  StatePredicate state_filter_;  // empty: no pruning
   mutable std::optional<std::vector<StateId>> initial_cache_;
 };
 

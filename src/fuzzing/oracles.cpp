@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "absint/absint.hpp"
+#include "absint/closure.hpp"
 #include "fuzzing/reference.hpp"
 #include "gcl/analyze.hpp"
 #include "gcl/compile.hpp"
@@ -12,6 +14,7 @@
 #include "refinement/certificate.hpp"
 #include "refinement/checker.hpp"
 #include "refinement/equivalence.hpp"
+#include "refinement/reachability.hpp"
 #include "refinement/random_systems.hpp"
 #include "sim/fault.hpp"
 #include "sim/runner.hpp"
@@ -362,6 +365,93 @@ std::vector<OracleFailure> run_oracles(const FuzzCase& fc, const OracleOptions& 
     };
     roundtrip("A", fc.gcl_a, fc.a);
     roundtrip("C", fc.gcl_c, fc.c);
+  }
+
+  // ---- absint-soundness -------------------------------------------
+  // The abstract interpreter's R# must over-approximate the explicitly
+  // enumerated reachable set of every generated program, the R#-pruned
+  // CSR build must agree slice-for-slice with the unpruned one on every
+  // member state, and any static closure proof of the init predicate
+  // must survive the independent edge-level validator. Abstraction bugs
+  // show up here as a reachable state outside gamma(R#) — an unsound
+  // transformer, join, or reduction.
+  if (fc.from_gcl()) {
+    auto check_absint = [&](const char* side, const std::string& src) {
+      try {
+        gcl::SystemAst ast = gcl::parse(src);
+        System sys = gcl::compile(ast);
+        const TransitionGraph full = TransitionGraph::build(sys);
+        absint::AbsintResult res = absint::analyze_reachable(ast);
+        const StateId n = full.num_states();
+        std::vector<StateId> sources;
+        if (sys.has_initial()) {
+          sources = sys.initial_states();
+        } else {
+          sources.resize(n);
+          for (StateId s = 0; s < n; ++s) sources[s] = s;
+        }
+        util::DenseBitset reach = reachable_from(full, sources);
+        StateVec decoded;
+        bool sound = true;
+        for (StateId s = 0; s < n && sound; ++s) {
+          if (!reach.test(s)) continue;
+          sys.space().decode_into(s, decoded);
+          if (!res.region.contains(decoded)) {
+            sound = false;
+            add("absint-soundness",
+                std::string(side) + ": reachable state " + std::to_string(s) +
+                    " is outside gamma(R#)" + (res.collapsed ? " [collapsed]" : ""));
+          }
+        }
+        // Pruned-vs-unpruned slice agreement on member states (and empty
+        // slices on non-members).
+        sys.set_state_filter(absint::make_state_filter(res.region));
+        const TransitionGraph pruned = TransitionGraph::build(sys);
+        for (StateId s = 0; s < n; ++s) {
+          sys.space().decode_into(s, decoded);
+          const bool member = res.region.contains(decoded);
+          auto ps = pruned.successors(s);
+          if (member) {
+            auto fs = full.successors(s);
+            if (!std::equal(ps.begin(), ps.end(), fs.begin(), fs.end())) {
+              add("absint-soundness",
+                  std::string(side) + ": pruned slice of member state " +
+                      std::to_string(s) + " differs from the unpruned build");
+              break;
+            }
+          } else if (!ps.empty()) {
+            add("absint-soundness",
+                std::string(side) + ": non-member state " + std::to_string(s) +
+                    " kept " + std::to_string(ps.size()) + " edge(s) in the pruned build");
+            break;
+          }
+        }
+        if (sound) ++st.absint_checked;
+        // A static closure proof is a hard claim — cross-check it with
+        // the graph-level validator, which shares no absint code.
+        if (ast.init) {
+          if (auto cert = absint::make_closure_certificate(ast, *ast.init)) {
+            if (!absint::check_closure_certificate(ast, *ast.init, *cert)) {
+              add("absint-soundness",
+                  std::string(side) + ": closure certificate fails its own re-check");
+            }
+            ClosedRegionCertificate crc =
+                absint::to_closed_region_certificate(sys.space(), cert->region);
+            if (CheckResult r = validate_closed_region(full, crc); !r.holds) {
+              add("absint-soundness", std::string(side) +
+                                          ": static closure proof of init refuted "
+                                          "explicitly: " + r.reason);
+            } else {
+              ++st.closures_validated;
+            }
+          }
+        }
+      } catch (const std::exception& e) {
+        add("absint-soundness", std::string(side) + ": threw: " + e.what());
+      }
+    };
+    check_absint("A", fc.gcl_a);
+    check_absint("C", fc.gcl_c);
   }
 
   return fails;

@@ -26,6 +26,13 @@
 //   build-parallel-vs-serial  the parallel two-pass Sigma
 //                           materialization produces bit-identical CSR
 //                           arrays to the serial build (GCL cases)
+//   absint-soundness        the abstract reachable region R# covers
+//                           every explicitly reachable state, the
+//                           R#-pruned build agrees slice-for-slice with
+//                           the unpruned one on members, and a static
+//                           closure proof of init (when one exists) is
+//                           confirmed by the explicit edge-level
+//                           validator (GCL cases)
 //
 // For harness self-tests, an InjectedBug perturbs the inputs the ENGINE
 // sees (the reference always sees the true case) — simulating a defect
@@ -84,6 +91,8 @@ struct OracleStats {
   std::size_t gcl_roundtrips = 0;
   std::size_t meta_implications = 0;
   std::size_t builds_compared = 0;
+  std::size_t absint_checked = 0;      // programs with R# superset verified
+  std::size_t closures_validated = 0;  // static closure proofs confirmed explicitly
 };
 
 /// Runs the whole stack on one case. Empty result == all oracles green.

@@ -370,10 +370,39 @@ std::vector<Diagnostic> check_divisors(const SystemAst& ast, const AnalyzeOption
 
 // --- pass 4: variable liveness --------------------------------------
 
-std::vector<Diagnostic> check_liveness(const SystemAst& ast) {
+namespace {
+
+/// True when the action's guard is provably unsatisfiable (same
+/// decision procedure as check_guards' guard-always-false: exhaustive
+/// under the budget, interval bound above it).
+bool guard_provably_false(const ActionAst& a, const std::vector<int>& cards,
+                          const AnalyzeOptions& opts, StateVec& s) {
+  std::vector<char> used(cards.size(), 0);
+  collect_vars(a.guard, used);
+  std::vector<std::size_t> vars = used_list(used);
+  if (valuation_count(vars, cards, opts.exact_budget) <= opts.exact_budget) {
+    bool any_true = false;
+    for_each_valuation(vars, cards, s, [&](const StateVec& st) {
+      any_true = eval(a.guard, st) != 0;
+      return !any_true;
+    });
+    return !any_true;
+  }
+  return interval_eval(a.guard, cards).surely_false();
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_liveness(const SystemAst& ast, const AnalyzeOptions& opts) {
   std::vector<Diagnostic> out;
+  std::vector<int> cards = cards_of(ast);
+  StateVec scratch(cards.size(), 0);
   std::vector<char> read(ast.vars.size(), 0), written(ast.vars.size(), 0);
   for (const ActionAst& a : ast.actions) {
+    // A provably-dead action (guard-always-false, reported by
+    // check_guards) contributes no reads or writes: a variable
+    // referenced only there is as unused as if the action were deleted.
+    if (guard_provably_false(a, cards, opts, scratch)) continue;
     collect_vars(a.guard, read);
     for (const AssignmentAst& asg : a.assignments) {
       collect_vars(asg.value, read);
@@ -539,7 +568,7 @@ std::vector<Diagnostic> analyze(const SystemAst& ast, const AnalyzeOptions& opts
   };
   append(check_domain_flow(ast, opts));
   append(check_divisors(ast, opts));
-  append(check_liveness(ast));
+  append(check_liveness(ast, opts));
   append(check_actions(ast, opts));
   append(check_init(ast, opts));
   sort_diagnostics(out);

@@ -48,7 +48,8 @@ std::vector<Diagnostic> check_domain_flow(const SystemAst& ast,
                                           const AnalyzeOptions& opts = {});
 std::vector<Diagnostic> check_divisors(const SystemAst& ast,
                                        const AnalyzeOptions& opts = {});
-std::vector<Diagnostic> check_liveness(const SystemAst& ast);
+std::vector<Diagnostic> check_liveness(const SystemAst& ast,
+                                       const AnalyzeOptions& opts = {});
 std::vector<Diagnostic> check_actions(const SystemAst& ast, const AnalyzeOptions& opts = {});
 std::vector<Diagnostic> check_init(const SystemAst& ast, const AnalyzeOptions& opts = {});
 

@@ -24,6 +24,10 @@ const char* rule_id(Rule r) {
     case Rule::ActionNotSelfDisabling: return "action-not-self-disabling";
     case Rule::VarMultiWriter: return "var-multi-writer";
     case Rule::InitUnsatisfiable: return "init-unsatisfiable";
+    case Rule::AbsintUnreachableAction: return "absint-unreachable-action";
+    case Rule::AbsintGuardDead: return "absint-guard-dead";
+    case Rule::AbsintVarConstant: return "absint-var-constant";
+    case Rule::AbsintInitNotClosed: return "absint-init-not-closed";
   }
   return "unknown";
 }

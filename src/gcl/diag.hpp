@@ -39,6 +39,11 @@ enum class Rule {
   ActionNotSelfDisabling,  // guard can remain enabled after the action's own effect
   VarMultiWriter,       // variable written by actions of >= 2 distinct @processes
   InitUnsatisfiable,    // init predicate has no satisfying state
+  // Abstract-interpretation rules (opt-in via --absint; src/absint/lint.hpp).
+  AbsintUnreachableAction,  // guard unsatisfiable within R#: action never fires
+  AbsintGuardDead,          // guard (or a conjunct) is a tautology within R#
+  AbsintVarConstant,        // variable takes a single value across R#
+  AbsintInitNotClosed,      // init region is not (provably) closed under actions
 };
 
 /// The stable textual id of a rule, e.g. "guard-always-false".

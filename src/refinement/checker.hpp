@@ -131,6 +131,14 @@ class RefinementChecker {
   PhaseTimings phase_timings() const;
   void reset_phase_timings() const;
 
+  /// Accounts the wall-clock of an abstract-interpretation run whose
+  /// region pruned the graphs this checker was built from (the checker
+  /// never runs absint itself — the analysis happens on the GCL AST
+  /// before System construction; see absint::make_state_filter).
+  void record_absint_ms(double ms) const {
+    absint_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
+
   const TransitionGraph& c_graph() const { return c_; }
   const TransitionGraph& a_graph() const { return a_; }
   const std::vector<StateId>& c_initial() const { return c_init_; }
@@ -186,6 +194,7 @@ class RefinementChecker {
   mutable std::atomic<double> a_scc_ms_{0};
   mutable std::atomic<double> closure_ms_{0};
   mutable std::atomic<double> edge_scan_ms_{0};
+  mutable std::atomic<double> absint_ms_{0};
 };
 
 }  // namespace cref

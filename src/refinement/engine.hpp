@@ -19,6 +19,10 @@ struct PhaseTimings {
   double a_scc_ms = 0;        // SCC decomposition of A
   double closure_ms = 0;      // A-side condensation transitive closure
   double edge_scan_ms = 0;    // classify / verify scans over T_C
+  double absint_ms = 0;       // abstract-interpretation fixpoint feeding
+                              // the state filter (recorded by callers
+                              // that run absint pruning; see
+                              // RefinementChecker::record_absint_ms)
 };
 
 }  // namespace cref

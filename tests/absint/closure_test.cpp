@@ -1,0 +1,128 @@
+#include "absint/closure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "gcl/compile.hpp"
+#include "gcl/parser.hpp"
+
+// Closure certificates follow the repo's generator/validator pattern:
+// make_closure_certificate discharges the per-(box, action) obligations,
+// check_closure_certificate re-derives every one of them, and
+// cref::validate_closed_region re-checks the materialized region on the
+// explicit graph without touching absint code. Positive, negative, and
+// tampered certificates all get pinned here.
+
+namespace cref::absint {
+namespace {
+
+const char* kCounter = R"(
+system counter {
+  var c : 0..2;
+  var flag : 0..1;
+  action inc  : c < 2 && flag == 0 -> c := c + 1;
+  action wrap : c == 2             -> c := 0;
+  init : c == 0 && flag == 0;
+}
+)";
+
+gcl::Expr predicate(const gcl::SystemAst& ast, const std::string& text) {
+  std::string err;
+  auto p = parse_predicate(ast, text, &err);
+  EXPECT_TRUE(p.has_value()) << err;
+  return std::move(*p);
+}
+
+TEST(ClosureTest, ProvesClosedPredicates) {
+  gcl::SystemAst ast = gcl::parse(kCounter);
+  // The whole domain is trivially closed; so is `flag == 0`, which no
+  // action writes.
+  for (const char* text : {"c <= 2", "flag == 0", "c >= 0 && flag <= 1"}) {
+    SCOPED_TRACE(text);
+    gcl::Expr pred = predicate(ast, text);
+    auto cert = make_closure_certificate(ast, pred);
+    ASSERT_TRUE(cert.has_value());
+    EXPECT_FALSE(cert->obligations.empty());
+    EXPECT_TRUE(check_closure_certificate(ast, pred, *cert));
+  }
+}
+
+TEST(ClosureTest, RefusesNonClosedPredicates) {
+  gcl::SystemAst ast = gcl::parse(kCounter);
+  // `inc` leaves c == 0; `wrap` leaves c == 2.
+  for (const char* text : {"c == 0", "c == 2 && flag == 0", "c <= 1"}) {
+    SCOPED_TRACE(text);
+    EXPECT_FALSE(make_closure_certificate(ast, predicate(ast, text)).has_value());
+  }
+}
+
+TEST(ClosureTest, TamperedCertificatesAreRejected) {
+  gcl::SystemAst ast = gcl::parse(kCounter);
+  gcl::Expr pred = predicate(ast, "c <= 2");
+  auto cert = make_closure_certificate(ast, pred);
+  ASSERT_TRUE(cert.has_value());
+  ASSERT_TRUE(check_closure_certificate(ast, pred, *cert));
+
+  {  // dropped obligation: the (box, action) cover is incomplete
+    ClosureCertificate t = *cert;
+    t.obligations.pop_back();
+    EXPECT_FALSE(check_closure_certificate(ast, pred, t));
+  }
+  {  // extra region box: no longer the abstraction of the predicate
+    ClosureCertificate t = *cert;
+    AbsBox junk;
+    junk.vars = {AbsValue::constant(0), AbsValue::constant(1)};
+    t.region.boxes.push_back(junk);
+    EXPECT_FALSE(check_closure_certificate(ast, pred, t));
+  }
+  {  // certificate for a different predicate must not transfer
+    EXPECT_FALSE(check_closure_certificate(ast, predicate(ast, "c == 0"), *cert));
+  }
+}
+
+TEST(ClosureTest, ExplicitValidatorConfirmsAndRefutes) {
+  gcl::SystemAst ast = gcl::parse(kCounter);
+  System sys = gcl::compile(ast);
+  const TransitionGraph g = TransitionGraph::build(sys);
+
+  gcl::Expr pred = predicate(ast, "c <= 2");
+  auto cert = make_closure_certificate(ast, pred);
+  ASSERT_TRUE(cert.has_value());
+  const ClosedRegionCertificate crc =
+      to_closed_region_certificate(sys.space(), cert->region);
+  EXPECT_TRUE(validate_closed_region(g, crc).holds);
+
+  // Wrong member count: rejected outright.
+  ClosedRegionCertificate wrong_size = crc;
+  wrong_size.members.pop_back();
+  EXPECT_FALSE(validate_closed_region(g, wrong_size).holds);
+
+  // Punch a hole into the region: some transition now leaves it, and
+  // the refutation names a concrete witness edge.
+  ClosedRegionCertificate holed = crc;
+  StateVec decoded;
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    sys.space().decode_into(s, decoded);
+    if (holed.members[s] && decoded[0] == 1 && decoded[1] == 0) {
+      holed.members[s] = 0;  // drop c==1,flag==0 — inc's target
+      break;
+    }
+  }
+  const CheckResult r = validate_closed_region(g, holed);
+  EXPECT_FALSE(r.holds);
+  EXPECT_FALSE(r.witness.states.empty());
+}
+
+TEST(ClosureTest, ParsePredicateReportsErrors) {
+  gcl::SystemAst ast = gcl::parse(kCounter);
+  std::string err;
+  EXPECT_FALSE(parse_predicate(ast, "nosuchvar == 1", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse_predicate(ast, "c == ", &err).has_value());
+}
+
+}  // namespace
+}  // namespace cref::absint

@@ -1,0 +1,232 @@
+#include "absint/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "gcl/compile.hpp"
+
+// Lattice laws and arithmetic soundness, checked by brute force over a
+// small universe of integers: gamma(v) is materialized as the set of
+// members of v inside [-kU, kU], and every claimed inclusion is checked
+// pointwise. The pool of abstract values covers every reduced
+// interval x congruence combination over small bounds, including bottom
+// and negative ranges — the regimes where the Euclidean mod/div pair
+// and the congruence endpoints interact.
+
+namespace cref::absint {
+namespace {
+
+constexpr std::int64_t kU = 9;  // gamma universe: [-kU, kU]
+
+std::set<std::int64_t> gamma(const AbsValue& v) {
+  std::set<std::int64_t> g;
+  for (std::int64_t x = -kU; x <= kU; ++x) {
+    if (v.contains(x)) g.insert(x);
+  }
+  return g;
+}
+
+/// All reduced values from intervals over [lo_min, hi_max] crossed with
+/// congruences of modulus <= mod_max, plus bottom.
+std::vector<AbsValue> pool(std::int64_t lo_min, std::int64_t hi_max,
+                           std::int64_t mod_max) {
+  std::vector<AbsValue> out;
+  out.push_back(AbsValue::bottom());
+  for (std::int64_t lo = lo_min; lo <= hi_max; ++lo) {
+    for (std::int64_t hi = lo; hi <= hi_max; ++hi) {
+      for (std::int64_t mod = 1; mod <= mod_max; ++mod) {
+        for (std::int64_t rem = 0; rem < mod; ++rem) {
+          AbsValue v{Interval::range(lo, hi),
+                     mod == 1 ? Congruence::top() : Congruence::residue(mod, rem)};
+          out.push_back(v.reduced());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(AbsDomainTest, ReducedIsIdempotentAndNormalizesBottom) {
+  for (const AbsValue& v : pool(-3, 3, 4)) {
+    EXPECT_EQ(v.reduced(), v) << v.format();
+    if (gamma(v).empty() && v.iv.hi <= kU && v.iv.lo >= -kU) {
+      EXPECT_TRUE(v.is_bottom()) << "empty gamma but not bottom: " << v.format();
+    }
+  }
+  // An infeasible pair collapses: interval [1..1] meets congruence mod2=0.
+  AbsValue infeasible{Interval::point(1), Congruence::residue(2, 0)};
+  EXPECT_TRUE(infeasible.reduced().is_bottom());
+  // Endpoints advance to the nearest residue-class members.
+  AbsValue v{Interval::range(1, 8), Congruence::residue(3, 0)};
+  EXPECT_EQ(v.reduced().iv, Interval::range(3, 6));
+}
+
+TEST(AbsDomainTest, LeqIsReflexiveAndMatchesGamma) {
+  for (const AbsValue& a : pool(-3, 3, 4)) {
+    EXPECT_TRUE(a.leq(a)) << a.format();
+    for (const AbsValue& b : pool(-3, 3, 4)) {
+      if (a.leq(b)) {
+        const auto ga = gamma(a), gb = gamma(b);
+        EXPECT_TRUE(std::includes(gb.begin(), gb.end(), ga.begin(), ga.end()))
+            << a.format() << " leq " << b.format() << " but gamma not included";
+      }
+    }
+  }
+}
+
+TEST(AbsDomainTest, LeqIsTransitive) {
+  const auto p = pool(-2, 2, 3);
+  for (const AbsValue& a : p) {
+    for (const AbsValue& b : p) {
+      if (!a.leq(b)) continue;
+      for (const AbsValue& c : p) {
+        if (b.leq(c)) {
+          EXPECT_TRUE(a.leq(c)) << a.format() << " / " << b.format() << " / "
+                                << c.format();
+        }
+      }
+    }
+  }
+}
+
+TEST(AbsDomainTest, JoinIsCommutativeSoundAndUpperBound) {
+  const auto p = pool(-3, 3, 4);
+  for (const AbsValue& a : p) {
+    for (const AbsValue& b : p) {
+      const AbsValue j = AbsValue::join(a, b);
+      EXPECT_EQ(j, AbsValue::join(b, a)) << a.format() << " | " << b.format();
+      EXPECT_TRUE(a.leq(j)) << a.format() << " | " << b.format();
+      EXPECT_TRUE(b.leq(j)) << a.format() << " | " << b.format();
+      const auto gj = gamma(j);
+      for (std::int64_t x : gamma(a)) EXPECT_TRUE(gj.count(x)) << j.format();
+      for (std::int64_t x : gamma(b)) EXPECT_TRUE(gj.count(x)) << j.format();
+    }
+  }
+}
+
+TEST(AbsDomainTest, MeetIsCommutativeSoundAndLowerBound) {
+  const auto p = pool(-3, 3, 4);
+  for (const AbsValue& a : p) {
+    for (const AbsValue& b : p) {
+      const AbsValue m = AbsValue::meet(a, b);
+      EXPECT_EQ(m, AbsValue::meet(b, a)) << a.format() << " & " << b.format();
+      // Small moduli keep the CRT exact, so the meet is below both.
+      EXPECT_TRUE(m.leq(a)) << a.format() << " & " << b.format();
+      EXPECT_TRUE(m.leq(b)) << a.format() << " & " << b.format();
+      const auto gm = gamma(m);
+      for (std::int64_t x = -kU; x <= kU; ++x) {
+        if (a.contains(x) && b.contains(x)) {
+          EXPECT_TRUE(gm.count(x))
+              << a.format() << " & " << b.format() << " lost " << x;
+        }
+      }
+    }
+  }
+}
+
+TEST(AbsDomainTest, AbsorptionLaws) {
+  const auto p = pool(-3, 3, 4);
+  for (const AbsValue& a : p) {
+    for (const AbsValue& b : p) {
+      EXPECT_EQ(AbsValue::join(a, AbsValue::meet(a, b)), a)
+          << a.format() << " / " << b.format();
+      EXPECT_EQ(AbsValue::meet(a, AbsValue::join(a, b)), a)
+          << a.format() << " / " << b.format();
+    }
+  }
+}
+
+// Arithmetic transformers: for every pair of abstract operands and
+// every pair of concrete members, the concrete result (under gcl::eval
+// semantics — this cross-checks the domain layer's private duplicate of
+// the Euclidean pair) must be a member of the abstract result.
+TEST(AbsDomainTest, ArithmeticIsSound) {
+  const auto p = pool(-3, 4, 3);
+  for (const AbsValue& a : p) {
+    const auto ga = gamma(a);
+    for (const AbsValue& b : p) {
+      const auto gb = gamma(b);
+      const AbsValue add = abs_add(a, b), sub = abs_sub(a, b), mul = abs_mul(a, b);
+      const AbsValue mod = abs_mod(a, b), div = abs_div(a, b);
+      const AbsValue neg = abs_neg(a);
+      for (std::int64_t x : ga) {
+        EXPECT_TRUE(neg.contains(-x)) << "-(" << x << ") from " << a.format();
+        for (std::int64_t y : gb) {
+          EXPECT_TRUE(add.contains(x + y))
+              << x << "+" << y << " from " << a.format() << ", " << b.format();
+          EXPECT_TRUE(sub.contains(x - y))
+              << x << "-" << y << " from " << a.format() << ", " << b.format();
+          EXPECT_TRUE(mul.contains(x * y))
+              << x << "*" << y << " from " << a.format() << ", " << b.format();
+          EXPECT_TRUE(mod.contains(gcl::eval_mod(x, y)))
+              << x << "%" << y << " from " << a.format() << ", " << b.format();
+          EXPECT_TRUE(div.contains(gcl::eval_div(x, y)))
+              << x << "/" << y << " from " << a.format() << ", " << b.format();
+        }
+      }
+    }
+  }
+}
+
+// Regression shape for the division hazard pinned in
+// tests/fuzzing/corpus/absdiv.repro: the divisor's congruence excludes
+// the interval endpoints and +/-1, yet those are exactly the hull
+// candidates the quotient range must be computed from.
+TEST(AbsDomainTest, DivisionIgnoresDivisorCongruence) {
+  AbsValue a = AbsValue::constant(12);
+  AbsValue b{Interval::range(1, 7), Congruence::residue(2, 0)};  // {2, 4, 6}
+  const AbsValue q = abs_div(a, b.reduced());
+  for (std::int64_t d : {2, 4, 6}) {
+    EXPECT_TRUE(q.contains(gcl::eval_div(12, d))) << "12/" << d;
+  }
+}
+
+TEST(AbsDomainTest, CountInDomainMatchesGamma) {
+  for (const AbsValue& v : pool(-2, 5, 4)) {
+    for (int card : {1, 3, 6}) {
+      int expect = 0;
+      for (std::int64_t x = 0; x < card; ++x) expect += v.contains(x);
+      EXPECT_EQ(v.count_in_domain(card), expect) << v.format() << " card=" << card;
+    }
+  }
+}
+
+TEST(AbsDomainTest, SaturatingArithmeticClampsAtInf) {
+  EXPECT_EQ(sat_add(kInf, kInf), kInf);
+  EXPECT_EQ(sat_sub(-kInf, kInf), -kInf);
+  EXPECT_EQ(sat_mul(kInf, kInf), kInf);
+  EXPECT_EQ(sat_mul(kInf, -kInf), -kInf);
+  EXPECT_EQ(sat_mul(kInf, 0), 0);
+  // Top-operand arithmetic stays within the clamped representation.
+  const AbsValue t{Interval::top(), Congruence::top()};
+  EXPECT_FALSE(abs_mul(t, t).is_bottom());
+  EXPECT_LE(abs_mul(t, t).iv.hi, kInf);
+}
+
+TEST(AbsDomainTest, BoxAndRegionMembership) {
+  AbsBox box;
+  box.vars = {AbsValue::range(0, 2), AbsValue::constant(1)};
+  EXPECT_TRUE(box.contains(StateVec{0, 1}));
+  EXPECT_FALSE(box.contains(StateVec{0, 2}));
+  EXPECT_FALSE(box.contains(StateVec{3, 1}));
+  EXPECT_EQ(box.gamma_size(std::vector<int>{3, 3}), 3.0);
+
+  AbsRegion r;
+  EXPECT_TRUE(r.is_bottom());
+  EXPECT_TRUE(r.add(box));
+  // A subsumed box is not added; a subsuming box replaces it.
+  AbsBox sub = box;
+  sub.vars[0] = AbsValue::constant(0);
+  EXPECT_FALSE(r.add(sub));
+  AbsBox super = box;
+  super.vars[1] = AbsValue::range(0, 2);
+  EXPECT_TRUE(r.add(super));
+  EXPECT_EQ(r.boxes.size(), 1u);
+  EXPECT_TRUE(r.contains(StateVec{2, 0}));
+}
+
+}  // namespace
+}  // namespace cref::absint

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cref {
@@ -119,6 +120,56 @@ TEST(GraphTest, BuildRespectsStateLimit) {
   System sys("big", space, {}, std::nullopt);
   EXPECT_THROW(TransitionGraph::build(sys, /*max_states=*/1000), std::length_error);
   EXPECT_NO_THROW(TransitionGraph::build(sys, /*max_states=*/70000));
+}
+
+TEST(GraphTest, StateFilterPrunesSourceSlicesOnly) {
+  auto space = make_uniform_space(2, 3, "v");
+  System sys("rotate", space,
+             {{"rot0", 0, [](const StateVec& s) { return s[0] != s[1]; },
+               [](StateVec& s) { s[0] = static_cast<Value>((s[0] + 1) % 3); }},
+              {"rot1", 1, [](const StateVec&) { return true; },
+               [](StateVec& s) { s[1] = static_cast<Value>((s[1] + 2) % 3); }}},
+             std::nullopt);
+  const TransitionGraph full = TransitionGraph::build(sys);
+
+  EXPECT_FALSE(sys.has_state_filter());
+  sys.set_state_filter([](const StateVec& s) { return s[0] == 0; });
+  EXPECT_TRUE(sys.has_state_filter());
+
+  const TransitionGraph pruned =
+      TransitionGraph::build(sys, EngineOptions{/*num_threads=*/1, /*chunk_size=*/0});
+  // The parallel two-pass build honors the filter bit-identically.
+  EngineOptions eo;
+  eo.num_threads = 3;
+  eo.chunk_size = 2;
+  EXPECT_EQ(TransitionGraph::build(sys, eo), pruned);
+
+  StateVec decoded;
+  for (StateId s = 0; s < full.num_states(); ++s) {
+    space->decode_into(s, decoded);
+    auto ps = pruned.successors(s);
+    if (decoded[0] == 0) {
+      auto fs = full.successors(s);
+      EXPECT_TRUE(std::equal(ps.begin(), ps.end(), fs.begin(), fs.end()))
+          << "passing source " << s << " lost or gained edges";
+    } else {
+      EXPECT_TRUE(ps.empty()) << "filtered source " << s << " kept edges";
+    }
+  }
+
+  // Target states are never filtered: edges may point outside the set.
+  bool edge_leaves = false;
+  for (StateId s = 0; s < pruned.num_states() && !edge_leaves; ++s) {
+    for (StateId t : pruned.successors(s)) {
+      space->decode_into(t, decoded);
+      edge_leaves |= decoded[0] != 0;
+    }
+  }
+  EXPECT_TRUE(edge_leaves);
+
+  sys.clear_state_filter();
+  EXPECT_FALSE(sys.has_state_filter());
+  EXPECT_EQ(TransitionGraph::build(sys), full);
 }
 
 TEST(GraphTest, SelfLoopsNeverAppearFromSystems) {

@@ -269,6 +269,39 @@ TEST(AnalyzeLiveness, InitReadsCount) {
   EXPECT_TRUE(diags.empty());
 }
 
+TEST(AnalyzeLiveness, ReadsUnderUnsatisfiableGuardsAreNotUses) {
+  // `ghost` is only ever read inside a guard that is statically
+  // unsatisfiable (live > 2 over 0..2), so the read can never execute.
+  // Regression: the pass used to credit it and miss the dead variable.
+  const std::string src =
+      "system p {\n"
+      "  var ghost : 0..2;\n"
+      "  var live : 0..2;\n"
+      "  action a @0 : live > 2 && ghost == 1 -> live := 0;\n"
+      "  action b @0 : live < 2 -> live := live + 1;\n"
+      "}\n";
+  auto diags = check_liveness(parse(src));
+  const Diagnostic* d = find_rule(diags, Rule::VarUnused);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->loc.line, 2);
+}
+
+TEST(AnalyzeLiveness, WritesUnderUnsatisfiableGuardsAreNotWrites) {
+  // x's only writer can never fire, so reading it elsewhere must still
+  // report the missing (reachable) writer.
+  const std::string src =
+      "system p {\n"
+      "  var x : 0..2;\n"
+      "  var y : 0..2;\n"
+      "  action deadwr @0 : y > 2  -> x := 1;\n"
+      "  action use    @0 : x == 1 -> y := 1;\n"
+      "}\n";
+  auto diags = check_liveness(parse(src));
+  const Diagnostic* d = find_rule(diags, Rule::VarNeverWritten);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->loc.line, 2);
+}
+
 // --- pass 5: action hygiene ------------------------------------------
 
 TEST(AnalyzeActions, DuplicateNamesWarnAtTheSecondDeclaration) {

@@ -300,5 +300,16 @@ TEST(EngineOptionsTest, PhaseTimingsAccumulateAndReset) {
   EXPECT_EQ(z.edge_scan_ms, 0.0);
 }
 
+TEST(EngineOptionsTest, AbsintTimingAccumulatesAndResets) {
+  Instance inst = draw(5);
+  RefinementChecker rc(inst.c, inst.a, inst.init, inst.init);
+  EXPECT_EQ(rc.phase_timings().absint_ms, 0.0);
+  rc.record_absint_ms(1.5);
+  rc.record_absint_ms(0.25);
+  EXPECT_DOUBLE_EQ(rc.phase_timings().absint_ms, 1.75);
+  rc.reset_phase_timings();
+  EXPECT_EQ(rc.phase_timings().absint_ms, 0.0);
+}
+
 }  // namespace
 }  // namespace cref

@@ -201,6 +201,8 @@ int main(int argc, char** argv) {
             << "  simulation:   " << st.walks_checked << " walks\n"
             << "  gcl:          " << st.gcl_roundtrips << " roundtrips\n"
             << "  builds:       " << st.builds_compared << " parallel-vs-serial compared\n"
+            << "  absint:       " << st.absint_checked << " regions sound, "
+            << st.closures_validated << " closure proofs confirmed\n"
             << "  meta:         " << st.meta_implications << " implications\n";
   if (drv.failures)
     std::cout << "rerun a failing case with --strategy NAME --seed N "

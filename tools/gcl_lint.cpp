@@ -12,6 +12,13 @@
 // diagnostics through the same renderers. See README "gcl_lint" for
 // the rule catalog and the JSON schema.
 //
+// --absint additionally runs the abstract-interpretation rules
+// (src/absint/lint.hpp): statically-unreachable actions, guard
+// conjuncts dead under the reachable region, variables constant under
+// R#, and init regions not provably closed. Opt-in because the rules
+// reason from an over-approximation of reachability — see the header
+// for the per-rule caveats.
+//
 // Exit codes: 0 clean (notes allowed), 1 findings at failure level
 // (any error; any warning under --werror), 2 usage error.
 
@@ -21,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "absint/lint.hpp"
 #include "gcl/analyze.hpp"
 #include "gcl/diag.hpp"
 #include "gcl/parser.hpp"
@@ -41,15 +49,18 @@ std::string read_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Cli cli(argc, argv, {"werror", "sets"});
+  util::Cli cli(argc, argv, {"werror", "sets", "absint"});
   if (cli.positional().empty()) {
     std::fprintf(stderr,
                  "usage: gcl_lint [--format=text|json] [--werror] [--sets] "
-                 "[--budget N] FILE.gcl...\n"
+                 "[--absint] [--budget N] FILE.gcl...\n"
                  "  --format=json  machine-readable output (one document per file)\n"
                  "  --werror       treat warnings as errors (notes never fail)\n"
                  "  --sets         also print per-action read/write sets and the\n"
                  "                 cross-process interference summary\n"
+                 "  --absint       also run the abstract-interpretation rules\n"
+                 "                 (absint-unreachable-action, absint-guard-dead,\n"
+                 "                 absint-var-constant, absint-init-not-closed)\n"
                  "  --budget N     max valuations per exact check (default 2^20)\n");
     return 2;
   }
@@ -75,6 +86,13 @@ int main(int argc, char** argv) {
       diags.push_back(gcl::parse_error_diagnostic(e.what()));
     }
     if (parsed) diags = gcl::analyze(ast, opts);
+    if (parsed && cli.has("absint")) {
+      absint::AbsintLintOptions aopts;
+      aopts.exact_budget = opts.exact_budget;
+      auto extra = absint::check_absint(ast, aopts);
+      diags.insert(diags.end(), extra.begin(), extra.end());
+      gcl::sort_diagnostics(diags);
+    }
     failed |= gcl::should_fail(diags, werror);
     if (format == "json") {
       std::fputs(gcl::render_json(diags, path).c_str(), stdout);
