@@ -1,0 +1,247 @@
+// E20: on-the-fly SCC-quotient refinement checking for huge Sigma.
+//
+// The derived instance is the work ring (src/ring/work_ring.hpp):
+// Dijkstra's K-state counters plus a per-process work quota, related to
+// K-state by the forget-work abstraction and to UTR by the composed
+// privilege-image abstraction. Three legs:
+//
+//   parity    configs small enough for the explicit engine: both
+//             engines run [WorkRing curlypreceq KState] and
+//             stabilizing-to-UTR, and must agree on the FULL
+//             CheckResult (verdict, reason, witness).
+//   control   the looping-work variant: a reachable pure-stutter
+//             cycle, so convergence must FAIL with a divergence
+//             witness — identically in both engines.
+//   headline  (full mode) WorkRing(n=4, K=5, m=8): 40^5 = 1.024e8
+//             states, far past a materializable CSR. The on-the-fly
+//             engine alone verifies the Theorem 1 chain (convergence
+//             to K-state, stabilization to UTR through the composed
+//             alpha) and the Theorem 3 leg (box with the work-skip
+//             wrapper still converges), never holding more than a few
+//             bytes per state.
+//
+//   ./bench_onthefly [--smoke] [--threads N] [--chunk N]
+//
+// Results go to BENCH_onthefly.json. Exit 1 if any parity pair
+// disagrees or a headline/control check decides the wrong way.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "refinement/checker.hpp"
+#include "refinement/onthefly.hpp"
+#include "ring/work_ring.hpp"
+
+using namespace cref;
+using namespace cref::ring;
+
+namespace {
+
+struct Row {
+  std::string family;    // parity / control / headline
+  std::string config;    // "n=4 K=5 m=8"
+  std::string relation;  // "conv-to-kstate" / "stab-to-utr" / ...
+  unsigned long long states = 0;
+  std::string fly;       // on-the-fly verdict
+  std::string expl;      // explicit verdict ("-" when not run)
+  bool match = true;     // full CheckResult equality (parity rows)
+  bool expected = true;  // verdict is the theoretically required one
+  double fly_ms = 0;
+  double expl_ms = 0;
+  std::size_t peak_frames = 0;
+  std::size_t closure_bytes = 0;
+};
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", ms);
+  return buf;
+}
+
+bool identical(const CheckResult& a, const CheckResult& b) {
+  return a.holds == b.holds && a.reason == b.reason && a.witness.states == b.witness.states;
+}
+
+struct ParityJob {
+  const char* relation;
+  bool expect_holds;
+  System c;
+  System a;
+  Abstraction alpha;
+};
+
+/// Runs one relation through both engines and scores the row.
+Row run_parity(const std::string& family, const std::string& config, const ParityJob& job,
+               const EngineOptions& eo) {
+  Row row;
+  row.family = family;
+  row.config = config;
+  row.relation = job.relation;
+  row.states = job.c.space().size();
+
+  OnTheFlyChecker fly(job.c, job.a, job.alpha, eo);
+  bench::Timer tf;
+  const CheckResult fr = std::string(job.relation) == "stab-to-utr"
+                             ? fly.stabilizing_to()
+                             : fly.convergence_refinement();
+  row.fly_ms = tf.ms();
+  row.fly = bench::verdict(fr);
+  row.peak_frames = fly.stats().peak_dfs_frames;
+  row.closure_bytes = fly.stats().closure_bytes;
+
+  RefinementChecker ex(job.c, job.a, job.alpha, eo);
+  bench::Timer te;
+  const CheckResult er = std::string(job.relation) == "stab-to-utr"
+                             ? ex.stabilizing_to()
+                             : ex.convergence_refinement();
+  row.expl_ms = te.ms();
+  row.expl = bench::verdict(er);
+  row.match = identical(fr, er);
+  row.expected = fr.holds == job.expect_holds;
+  return row;
+}
+
+/// Runs one relation through the on-the-fly engine only (headline).
+Row run_headline(const std::string& config, const char* relation, bool expect_holds,
+                 const System& c, const System& a, Abstraction alpha,
+                 const EngineOptions& eo) {
+  Row row;
+  row.family = "headline";
+  row.config = config;
+  row.relation = relation;
+  row.states = c.space().size();
+  row.expl = "-";
+
+  OnTheFlyChecker fly(c, a, std::move(alpha), eo);
+  bench::Timer tf;
+  const CheckResult r = std::string(relation) == "stab-to-utr" ? fly.stabilizing_to()
+                                                               : fly.convergence_refinement();
+  row.fly_ms = tf.ms();
+  row.fly = bench::verdict(r);
+  row.match = true;
+  row.expected = r.holds == expect_holds;
+  const OnTheFlyStats st = fly.stats();
+  row.peak_frames = st.peak_dfs_frames;
+  row.closure_bytes = st.closure_bytes;
+  std::printf(
+      "  %-14s %-46s %s in %.1f ms  (init %.1f, reach %.1f, c-scc %.1f, edge %.1f, "
+      "stutter %.1f; peak DFS %zu frames, closure %zu B)\n",
+      relation, (config + ", " + std::to_string(row.states) + " states:").c_str(),
+      row.fly.c_str(), row.fly_ms, st.init_scan_ms, st.reach_ms, st.c_scc_ms,
+      st.edge_scan_ms, st.stutter_ms, st.peak_dfs_frames, st.closure_bytes);
+  if (!r.holds && !expect_holds)
+    std::printf("    divergence witness: %s\n", r.witness.format_ids().c_str());
+  return row;
+}
+
+void write_json(const char* path, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  out << "{\n  \"experiment\": \"E20 onthefly-scc-quotient\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"family\": \"" << r.family << "\", \"config\": \"" << r.config
+        << "\", \"relation\": \"" << r.relation << "\", \"states\": " << r.states
+        << ", \"onthefly\": \"" << r.fly << "\", \"explicit\": \"" << r.expl
+        << "\", \"match\": " << (r.match ? "true" : "false")
+        << ", \"expected\": " << (r.expected ? "true" : "false")
+        << ", \"onthefly_ms\": " << r.fly_ms << ", \"explicit_ms\": " << r.expl_ms
+        << ", \"peak_dfs_frames\": " << r.peak_frames
+        << ", \"closure_bytes\": " << r.closure_bytes << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+struct Config {
+  int n, k, m;
+  std::string label() const {
+    return "n=" + std::to_string(n) + " K=" + std::to_string(k) + " m=" + std::to_string(m);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv, {"smoke"});
+  const bool smoke = cli.has("smoke");
+  bench::header("E20", "on-the-fly SCC-quotient checking for huge Sigma (work ring)");
+  const EngineOptions eo = bench::engine_options_from_cli(cli);
+
+  std::vector<Row> rows;
+
+  // ---- parity + control: explicit engine as the oracle ------------
+  const std::vector<Config> parity_configs =
+      smoke ? std::vector<Config>{{2, 3, 2}, {3, 4, 2}}
+            : std::vector<Config>{{2, 3, 2}, {3, 4, 2}, {3, 4, 4}, {4, 5, 2}};
+  for (const Config& cfg : parity_configs) {
+    WorkRingLayout l(cfg.n, cfg.k, cfg.m);
+    KStateLayout lk(cfg.n, cfg.k);
+    UtrLayout lu(cfg.n);
+    rows.push_back(run_parity("parity", cfg.label(),
+                              {"conv-to-kstate", true, make_work_ring(l), make_kstate(lk),
+                               make_alpha_forget_work(l, lk)},
+                              eo));
+    rows.push_back(run_parity("parity", cfg.label(),
+                              {"stab-to-utr", true, make_work_ring(l), make_utr(lu),
+                               make_alpha_work_to_utr(l, lu)},
+                              eo));
+    rows.push_back(run_parity("control", cfg.label(),
+                              {"conv-to-kstate", false, make_work_ring_looping(l),
+                               make_kstate(lk), make_alpha_forget_work(l, lk)},
+                              eo));
+    rows.push_back(run_parity("parity", cfg.label(),
+                              {"wrapped-conv", true,
+                               box(make_work_ring(l), make_work_skip(l)), make_kstate(lk),
+                               make_alpha_forget_work(l, lk)},
+                              eo));
+  }
+
+  util::Table t({"family", "config", "relation", "states", "on-the-fly", "explicit",
+                 "identical", "fly ms", "explicit ms"});
+  for (const Row& r : rows)
+    t.add_row({r.family, r.config, r.relation, std::to_string(r.states), r.fly, r.expl,
+               r.match ? "yes" : "NO", fmt_ms(r.fly_ms), fmt_ms(r.expl_ms)});
+  std::printf("%s\n", t.to_string().c_str());
+
+  // ---- headline: 10^8 states, on-the-fly only ---------------------
+  if (!smoke) {
+    const Config big{4, 5, 8};  // 40^5 = 102,400,000 states
+    WorkRingLayout l(big.n, big.k, big.m);
+    KStateLayout lk(big.n, big.k);
+    UtrLayout lu(big.n);
+    std::printf("headline: WorkRing(%s) — no CSR is ever materialized\n",
+                big.label().c_str());
+    rows.push_back(run_headline(big.label(), "conv-to-kstate", true, make_work_ring(l),
+                                make_kstate(lk), make_alpha_forget_work(l, lk), eo));
+    rows.push_back(run_headline(big.label(), "stab-to-utr", true, make_work_ring(l),
+                                make_utr(lu), make_alpha_work_to_utr(l, lu), eo));
+    rows.push_back(run_headline(big.label(), "wrapped-conv", true,
+                                box(make_work_ring(l), make_work_skip(l)), make_kstate(lk),
+                                make_alpha_forget_work(l, lk), eo));
+  }
+
+  bool ok = true;
+  for (const Row& r : rows) ok = ok && r.match && r.expected;
+  if (!smoke) {
+    unsigned long long headline_states = 0;
+    for (const Row& r : rows)
+      if (r.family == "headline") headline_states = r.states;
+    std::printf("acceptance: %llu states (>= 1e8: %s), all verdicts as required: %s\n",
+                headline_states, headline_states >= 100000000ull ? "yes" : "NO",
+                ok ? "PASS" : "FAIL");
+    ok = ok && headline_states >= 100000000ull;
+  }
+
+  write_json("BENCH_onthefly.json", rows);
+  std::printf("wrote BENCH_onthefly.json\n");
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: an engine pair disagreed or a check decided against the theory "
+                 "(see table)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -4,8 +4,7 @@
 
 namespace cref {
 
-Abstraction::Abstraction(std::string name, SpacePtr from, SpacePtr to,
-                         std::function<void(const StateVec&, StateVec&)> map)
+Abstraction::Abstraction(std::string name, SpacePtr from, SpacePtr to, MapFn map)
     : name_(std::move(name)), from_(std::move(from)), to_(std::move(to)) {
   if (!from_ || !to_) throw std::invalid_argument("Abstraction: null space");
   table_.resize(from_->size());
@@ -26,10 +25,48 @@ Abstraction Abstraction::identity(SpacePtr space) {
   return a;
 }
 
+Abstraction Abstraction::lazy(std::string name, SpacePtr from, SpacePtr to, MapFn map) {
+  if (!from || !to) throw std::invalid_argument("Abstraction: null space");
+  if (!map) throw std::invalid_argument("Abstraction::lazy: null map");
+  Abstraction a;
+  a.name_ = std::move(name);
+  a.from_ = std::move(from);
+  a.to_ = std::move(to);
+  a.map_ = std::move(map);
+  return a;
+}
+
+StateId Abstraction::apply(StateId s) const {
+  if (map_) {
+    StateVec c, a;
+    return apply_into(s, c, a);
+  }
+  return table_.empty() ? s : table_[s];
+}
+
+StateId Abstraction::apply_into(StateId s, StateVec& concrete, StateVec& abstract) const {
+  if (map_) {
+    from_->decode_into(s, concrete);
+    abstract.assign(to_->var_count(), 0);
+    map_(concrete, abstract);
+    return to_->encode(abstract);
+  }
+  return table_.empty() ? s : table_[s];
+}
+
+void Abstraction::mark_hits(std::vector<char>& hit) const {
+  if (map_) {
+    StateVec c, a;
+    for (StateId s = 0; s < from_->size(); ++s) hit[apply_into(s, c, a)] = 1;
+  } else {
+    for (StateId img : table_) hit[img] = 1;
+  }
+}
+
 bool Abstraction::is_onto() const {
   if (is_identity()) return true;
   std::vector<char> hit(to_->size(), 0);
-  for (StateId img : table_) hit[img] = 1;
+  mark_hits(hit);
   for (char h : hit)
     if (!h) return false;
   return true;
@@ -39,7 +76,7 @@ std::vector<StateId> Abstraction::missed_states() const {
   std::vector<StateId> out;
   if (is_identity()) return out;
   std::vector<char> hit(to_->size(), 0);
-  for (StateId img : table_) hit[img] = 1;
+  mark_hits(hit);
   for (StateId s = 0; s < to_->size(); ++s)
     if (!hit[s]) out.push_back(s);
   return out;

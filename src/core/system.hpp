@@ -57,6 +57,17 @@ class System {
   /// has_initial().
   bool is_initial(const StateVec& s) const { return (*initial_)(s); }
 
+  /// Evaluates the initial predicate on a packed state, decoding into
+  /// `scratch.decoded` (allocation-free after warm-up). This is how the
+  /// on-the-fly engine materializes its initial-region bitset: a scan of
+  /// Sigma through this overload, never through the initial_states()
+  /// vector (which would be huge and is not thread-safe to first-call
+  /// concurrently). Precondition: has_initial().
+  bool is_initial(StateId s, SuccessorScratch& scratch) const {
+    space_->decode_into(s, scratch.decoded);
+    return (*initial_)(scratch.decoded);
+  }
+
   /// Materializes the initial-state set by scanning Sigma (cached).
   /// Returns an empty vector if has_initial() is false.
   const std::vector<StateId>& initial_states() const;
@@ -77,6 +88,13 @@ class System {
   /// True if no action leads out of `s` (final state of a finite
   /// computation).
   bool is_deadlock(StateId s) const { return successors(s).empty(); }
+
+  /// Allocation-free deadlock probe: clears `scratch.out` and enumerates
+  /// into it (the successor list is still there for the caller afterward).
+  bool is_deadlock(StateId s, SuccessorScratch& scratch) const {
+    scratch.out.clear();
+    return successors_into(s, scratch) == 0;
+  }
 
   /// Names of the actions enabled (guard true) in `s`, whether or not
   /// their execution would change the state. Used by diagnostics.

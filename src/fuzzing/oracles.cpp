@@ -14,6 +14,7 @@
 #include "refinement/certificate.hpp"
 #include "refinement/checker.hpp"
 #include "refinement/equivalence.hpp"
+#include "refinement/onthefly.hpp"
 #include "refinement/reachability.hpp"
 #include "refinement/random_systems.hpp"
 #include "sim/fault.hpp"
@@ -125,6 +126,36 @@ std::vector<OracleFailure> run_oracles(const FuzzCase& fc, const OracleOptions& 
     if (se.exact != pe.exact || se.stutter != pe.stutter || se.compressed != pe.compressed ||
         se.invalid != pe.invalid)
       add("serial-parallel", "EdgeStats differ between serial and parallel engines");
+  }
+
+  // ---- onthefly-vs-explicit ---------------------------------------
+  {
+    ++st.onthefly_compared;
+    OnTheFlyChecker fly(ev.c, fc.a, ev.c_init, fc.a_init, fc.alpha);
+    const RelationResult fr[5] = {{"refinement_init", fly.refinement_init()},
+                                  {"everywhere", fly.everywhere_refinement()},
+                                  {"convergence", fly.convergence_refinement()},
+                                  {"eventually", fly.everywhere_eventually_refinement()},
+                                  {"stabilizing", fly.stabilizing_to()}};
+    for (std::size_t i = 0; i < sr.size(); ++i) {
+      if (sr[i].r.holds != fr[i].r.holds)
+        add("onthefly-vs-explicit", std::string(sr[i].name) + ": explicit " +
+                                        yn(sr[i].r.holds) + " but on-the-fly " +
+                                        yn(fr[i].r.holds));
+      else if (sr[i].r.reason != fr[i].r.reason)
+        add("onthefly-vs-explicit",
+            std::string(sr[i].name) + ": reasons differ (explicit \"" + sr[i].r.reason +
+                "\" vs on-the-fly \"" + fr[i].r.reason + "\")");
+      else if (sr[i].r.witness.states != fr[i].r.witness.states)
+        add("onthefly-vs-explicit",
+            std::string(sr[i].name) + ": witnesses differ (explicit " +
+                sr[i].r.witness.format_ids() + " vs on-the-fly " +
+                fr[i].r.witness.format_ids() + ")");
+    }
+    const EdgeStats se = serial.edge_stats(), fe = fly.edge_stats();
+    if (se.exact != fe.exact || se.stutter != fe.stutter || se.compressed != fe.compressed ||
+        se.invalid != fe.invalid)
+      add("onthefly-vs-explicit", "EdgeStats differ between explicit and on-the-fly engines");
   }
 
   // ---- witness-path -----------------------------------------------

@@ -8,6 +8,11 @@
 //   serial-parallel         multi-threaded engine bit-identical to the
 //                           serial one (verdict, reason, witness,
 //                           EdgeStats)
+//   onthefly-vs-explicit    the on-the-fly SCC-quotient engine
+//                           (OnTheFlyChecker) bit-identical to the
+//                           explicit serial engine on all five
+//                           relations (verdict, reason, witness,
+//                           EdgeStats)
 //   witness-path            every failing verdict's witness is a real
 //                           path/cycle of C
 //   certificate             stabilizing => make_certificate validates;
@@ -85,6 +90,7 @@ struct OracleStats {
   std::size_t reference_checked = 0;
   std::size_t reference_skipped = 0;   // over max_reference_states
   std::size_t parallel_compared = 0;
+  std::size_t onthefly_compared = 0;
   std::size_t certificates_validated = 0;
   std::size_t mutations_rejected = 0;
   std::size_t walks_checked = 0;

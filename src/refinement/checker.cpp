@@ -7,77 +7,24 @@
 #include <stdexcept>
 
 #include "refinement/reachability.hpp"
+#include "refinement/scan.hpp"
 
 namespace cref {
+
+using detail::PhaseTimer;
 
 namespace {
 
 std::vector<StateId> build_alpha_table(const Abstraction& alpha) {
   if (alpha.is_identity()) return {};
+  // apply_into with shared buffers: lazy abstractions stay allocation-free
+  // here too (the explicit engine materializes its table regardless — at
+  // explicit scale that is the right trade, and it is what parity tests
+  // against the on-the-fly engine exercise).
   std::vector<StateId> table(alpha.from().size());
-  for (StateId s = 0; s < alpha.from().size(); ++s) table[s] = alpha.apply(s);
+  StateVec c, a;
+  for (StateId s = 0; s < alpha.from().size(); ++s) table[s] = alpha.apply_into(s, c, a);
   return table;
-}
-
-// CAS loop instead of fetch_add: atomic<double>::fetch_add is C++20 but
-// patchily available across standard libraries.
-void add_ms(std::atomic<double>& sink, double ms) {
-  double cur = sink.load(std::memory_order_relaxed);
-  while (!sink.compare_exchange_weak(cur, cur + ms, std::memory_order_relaxed)) {
-  }
-}
-
-/// Accumulates elapsed wall-clock milliseconds into `sink` on destruction.
-class PhaseTimer {
- public:
-  explicit PhaseTimer(std::atomic<double>& sink)
-      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
-  ~PhaseTimer() {
-    add_ms(sink_, std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - start_)
-                      .count());
-  }
-
- private:
-  std::atomic<double>& sink_;
-  std::chrono::steady_clock::time_point start_;
-};
-
-constexpr StateId kNoState = std::numeric_limits<StateId>::max();
-
-/// Parallel "first violation" scan: runs `per_state(s)` (an
-/// optional<V>-returning detector) over all states and returns the
-/// violation of the LOWEST state id, exactly as a serial ascending loop
-/// would. Each worker visits its states in ascending order, so its first
-/// hit is its minimum; the shared `bound` only prunes states that can no
-/// longer beat the current minimum, never the minimum itself. The result
-/// is therefore independent of thread count and scheduling.
-template <typename V, typename F>
-std::optional<V> min_state_scan(StateId n, const EngineOptions& opts, F&& per_state) {
-  const std::size_t threads = opts.resolved_threads(n);
-  std::vector<std::optional<V>> best(threads);
-  std::vector<StateId> best_s(threads, kNoState);
-  std::atomic<StateId> bound{kNoState};
-  parallel_chunks(n, opts, [&](std::size_t tid, std::size_t begin, std::size_t end) {
-    if (best_s[tid] != kNoState) return;  // this worker's minimum is already fixed
-    for (StateId s = static_cast<StateId>(begin); s < end; ++s) {
-      if (s >= bound.load(std::memory_order_relaxed)) return;
-      if (auto v = per_state(s)) {
-        best[tid] = std::move(v);
-        best_s[tid] = s;
-        StateId cur = bound.load(std::memory_order_relaxed);
-        while (s < cur &&
-               !bound.compare_exchange_weak(cur, s, std::memory_order_relaxed)) {
-        }
-        return;
-      }
-    }
-  });
-  std::size_t winner = threads;
-  for (std::size_t i = 0; i < threads; ++i)
-    if (best_s[i] != kNoState && (winner == threads || best_s[i] < best_s[winner])) winner = i;
-  if (winner == threads) return std::nullopt;
-  return best[winner];
 }
 
 }  // namespace
@@ -149,43 +96,19 @@ void RefinementChecker::ensure_a_closure() const {
     }
     const Scc& scc = *a_scc_;
     if (scc.count() > opts_.max_comps_for_closure) {
-      comp_reach_too_big_ = true;
+      a_closure_.emplace(AClosure{{}, /*too_big=*/true});
       return;
     }
     PhaseTimer timer(closure_ms_);
-    // Condensation transitive closure. Tarjan ids are in reverse
-    // topological order (cross edges go from higher to lower id), so a
-    // single pass in increasing id order sees every successor
-    // component's closure completed. Rows are DenseBitsets, so the
-    // closure union is a word-parallel |=.
-    comp_reach_.assign(scc.count(), util::DenseBitset(scc.count()));
-    // Bucket states by component.
-    std::vector<std::vector<StateId>> members(scc.count());
-    for (StateId s = 0; s < a_.num_states(); ++s) members[scc.component(s)].push_back(s);
-    for (std::size_t comp = 0; comp < scc.count(); ++comp) {
-      auto& row = comp_reach_[comp];
-      if (scc.size_of(comp) >= 2) row.set(comp);
-      for (StateId s : members[comp]) {
-        for (StateId t : a_.successors(s)) {
-          std::size_t ct = scc.component(t);
-          // Setting the bit unconditionally also marks a singleton
-          // component self-reachable when its state has a self-loop,
-          // matching the BFS fallback's path-of-length->=1 semantics.
-          row.set(ct);
-          if (ct == comp) continue;
-          row |= comp_reach_[ct];
-        }
-      }
-    }
-    comp_reach_built_ = true;
+    a_closure_.emplace(AClosure{condensation_closure(a_, scc), /*too_big=*/false});
   });
 }
 
 bool RefinementChecker::reachable_in_a(StateId src, StateId dst) const {
   ensure_a_closure();
-  if (comp_reach_built_) {
+  if (!a_closure_->too_big) {
     const Scc& scc = *a_scc_;
-    return comp_reach_[scc.component(src)].test(scc.component(dst));
+    return a_closure_->reach.test(scc.component(src), scc.component(dst));
   }
   // Fallback: plain BFS (rare: only for very large A graphs). Purely
   // local state, so concurrent queries are safe.
@@ -316,7 +239,7 @@ CheckResult RefinementChecker::check_region(const util::DenseBitset* filter,
     bool on_cycle;
     bool deadlock;
   };
-  auto per_state = [&](StateId s) -> std::optional<Violation> {
+  auto per_state = [&](std::size_t, StateId s) -> std::optional<Violation> {
     if (filter && !filter->test(s)) return std::nullopt;
     for (StateId t : c_.successors(s)) {
       EdgeClass cls = classify_edge(s, t);
@@ -338,7 +261,7 @@ CheckResult RefinementChecker::check_region(const util::DenseBitset* filter,
   std::optional<Violation> viol;
   {
     PhaseTimer timer(edge_scan_ms_);
-    viol = min_state_scan<Violation>(c_.num_states(), opts_, per_state);
+    viol = detail::min_state_scan<Violation>(c_.num_states(), opts_, per_state);
   }
 
   if (viol) {
@@ -415,7 +338,7 @@ CheckResult RefinementChecker::stabilizing_to() const {
     StateId s, t;
     bool deadlock;
   };
-  auto per_state = [&](StateId s) -> std::optional<Violation> {
+  auto per_state = [&](std::size_t, StateId s) -> std::optional<Violation> {
     for (StateId t : c_.successors(s)) {
       if (!scc.edge_on_cycle(s, t)) continue;
       StateId is = image(s), it = image(t);
@@ -432,7 +355,7 @@ CheckResult RefinementChecker::stabilizing_to() const {
   std::optional<Violation> viol;
   {
     PhaseTimer timer(edge_scan_ms_);
-    viol = min_state_scan<Violation>(c_.num_states(), opts_, per_state);
+    viol = detail::min_state_scan<Violation>(c_.num_states(), opts_, per_state);
   }
   if (viol) {
     if (viol->deadlock)

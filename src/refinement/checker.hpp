@@ -13,6 +13,7 @@
 #include "refinement/check_result.hpp"
 #include "refinement/engine.hpp"
 #include "refinement/scc.hpp"
+#include "util/bitmatrix.hpp"
 #include "util/bitset.hpp"
 
 namespace cref {
@@ -175,6 +176,16 @@ class RefinementChecker {
   std::string a_name_ = "A";
   EngineOptions opts_;
 
+  /// A-side condensation closure, or the decision not to build one.
+  /// Everything a reachable_in_a query reads lives in this one struct so
+  /// its publication is a single optional engage under the once_flag —
+  /// the previous shape (bitset rows + two plain `built`/`too_big` bools
+  /// set piecewise) let a concurrent caller observe half-built state.
+  struct AClosure {
+    util::BitMatrix reach;  // rows/cols = A components; empty if too_big
+    bool too_big = false;   // comps > max_comps_for_closure: BFS fallback
+  };
+
   // Lazily-built shared structures. Each is built exactly once under its
   // once_flag, so concurrent checks never race on them.
   mutable std::once_flag a_reach_once_;
@@ -185,9 +196,7 @@ class RefinementChecker {
   mutable std::optional<TransitionGraph> c_rev_;
   mutable std::once_flag a_closure_once_;
   mutable std::optional<Scc> a_scc_;
-  mutable std::vector<util::DenseBitset> comp_reach_;  // condensation closure
-  mutable bool comp_reach_built_ = false;
-  mutable bool comp_reach_too_big_ = false;
+  mutable std::optional<AClosure> a_closure_;
 
   mutable std::atomic<double> graph_build_ms_{0};
   mutable std::atomic<double> c_scc_ms_{0};

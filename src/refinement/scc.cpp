@@ -1,23 +1,26 @@
 #include "refinement/scc.hpp"
 
 #include <limits>
+#include <stdexcept>
 
 #include "util/bitset.hpp"
 
 namespace cref {
 
 namespace {
-constexpr std::size_t kUndef = std::numeric_limits<std::size_t>::max();
+constexpr Scc::CompId kUndef = std::numeric_limits<Scc::CompId>::max();
 }
 
 Scc::Scc(const TransitionGraph& g) {
   const StateId n = g.num_states();
+  if (n >= kUndef)
+    throw std::length_error("Scc: graph exceeds the 2^32 - 1 state CompId budget");
   comp_.assign(n, kUndef);
-  std::vector<std::size_t> index(n, kUndef);
-  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<CompId> index(n, kUndef);
+  std::vector<CompId> lowlink(n, 0);
   util::DenseBitset on_stack(n);
   std::vector<StateId> stack;
-  std::size_t next_index = 0;
+  CompId next_index = 0;
 
   // Explicit DFS frame: state + position within its successor list.
   struct Frame {
@@ -48,7 +51,7 @@ Scc::Scc(const TransitionGraph& g) {
         }
       } else {
         if (lowlink[f.s] == index[f.s]) {
-          std::size_t c = count_++;
+          CompId c = static_cast<CompId>(count_++);
           std::size_t members = 0;
           StateId w;
           do {
@@ -67,6 +70,27 @@ Scc::Scc(const TransitionGraph& g) {
       }
     }
   }
+}
+
+util::BitMatrix condensation_closure(const TransitionGraph& g, const Scc& scc) {
+  util::BitMatrix reach(scc.count(), scc.count());
+  // Bucket states by component so each row is closed in one visit.
+  std::vector<std::vector<StateId>> members(scc.count());
+  for (StateId s = 0; s < g.num_states(); ++s) members[scc.component(s)].push_back(s);
+  for (std::size_t comp = 0; comp < scc.count(); ++comp) {
+    if (scc.size_of(comp) >= 2) reach.set(comp, comp);
+    for (StateId s : members[comp]) {
+      for (StateId t : g.successors(s)) {
+        std::size_t ct = scc.component(t);
+        // Setting the bit unconditionally also marks a singleton
+        // component self-reachable when its state has a self-loop.
+        reach.set(comp, ct);
+        if (ct == comp) continue;
+        reach.or_row(comp, ct);
+      }
+    }
+  }
+  return reach;
 }
 
 }  // namespace cref

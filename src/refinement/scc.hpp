@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/graph.hpp"
+#include "util/bitmatrix.hpp"
 
 namespace cref {
 
@@ -17,6 +19,16 @@ namespace cref {
 /// conditions on intra-SCC edges.
 class Scc {
  public:
+  /// Width of the per-state Tarjan bookkeeping (component id, DFS index,
+  /// lowlink). 4-byte ids cut the decomposition from 24 to 12 bytes per
+  /// state — the difference between ~2.4 GB and ~1.2 GB at 10^8 states.
+  /// The top value is reserved as the "unvisited" sentinel, so graphs
+  /// must have fewer than 2^32 - 1 states; the constructor throws
+  /// std::length_error beyond that (well past what a materialized CSR
+  /// fits in memory anyway — larger spaces go through the on-the-fly
+  /// engine, which enforces the same bound).
+  using CompId = std::uint32_t;
+
   explicit Scc(const TransitionGraph& g);
 
   /// Component id of state `s` (ids are in reverse topological order of
@@ -38,9 +50,23 @@ class Scc {
   }
 
  private:
-  std::vector<std::size_t> comp_;
+  std::vector<CompId> comp_;
   std::vector<std::size_t> sizes_;
   std::size_t count_ = 0;
 };
+
+/// Transitive closure of the condensation of `g` under `scc` (which must
+/// be `Scc(g)`): bit `(c, d)` is set iff some state of component c has a
+/// path of length >= 1 to some state of component d. In particular the
+/// diagonal bit (c, c) is set exactly for components that contain a cycle
+/// — size >= 2, or a singleton whose state has a self-loop — matching the
+/// per-query BFS fallback's path-of-length->=1 semantics.
+///
+/// Tarjan ids are in reverse topological order (cross edges go from
+/// higher to lower id), so a single pass in increasing id order sees
+/// every successor component's row already closed; each union is a
+/// word-parallel or_row. Shared by the explicit checker's A-side cache
+/// and the on-the-fly engine's quotient decisions.
+util::BitMatrix condensation_closure(const TransitionGraph& g, const Scc& scc);
 
 }  // namespace cref

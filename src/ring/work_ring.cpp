@@ -1,0 +1,155 @@
+#include "ring/work_ring.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cref::ring {
+
+WorkRingLayout::WorkRingLayout(int n, int k, int m) : n_(n), k_(k), m_(m) {
+  if (n < 1) throw std::invalid_argument("WorkRingLayout: need n >= 1");
+  if (k < 2 || k > 255) throw std::invalid_argument("WorkRingLayout: need 2 <= K <= 255");
+  if (m < 2 || m > 255) throw std::invalid_argument("WorkRingLayout: need 2 <= m <= 255");
+  std::vector<VarSpec> vars;
+  for (int j = 0; j <= n; ++j)
+    vars.push_back({"c" + std::to_string(j), static_cast<Value>(k)});
+  for (int j = 0; j <= n; ++j)
+    vars.push_back({"w" + std::to_string(j), static_cast<Value>(m)});
+  space_ = std::make_shared<Space>(std::move(vars));
+}
+
+std::size_t WorkRingLayout::c(int j) const {
+  assert(j >= 0 && j <= n_);
+  return static_cast<std::size_t>(j);
+}
+
+std::size_t WorkRingLayout::w(int j) const {
+  assert(j >= 0 && j <= n_);
+  return static_cast<std::size_t>(n_ + 1 + j);
+}
+
+bool WorkRingLayout::token_image(const StateVec& s, int j) const {
+  if (j == 0) return s[c(0)] == s[c(n_)];
+  return s[c(j)] != s[c(j - 1)];
+}
+
+int WorkRingLayout::image_token_count(const StateVec& s) const {
+  int count = 0;
+  for (int j = 0; j <= n_; ++j) count += token_image(s, j);
+  return count;
+}
+
+StatePredicate WorkRingLayout::initial_predicate() const {
+  WorkRingLayout self = *this;
+  return [self](const StateVec& s) {
+    if (self.image_token_count(s) != 1) return false;
+    for (int j = 0; j <= self.n(); ++j)
+      if (s[self.w(j)] != 0) return false;
+    return true;
+  };
+}
+
+System make_work_ring(const WorkRingLayout& l) {
+  std::vector<Action> actions;
+  const int n = l.n();
+  const int k = l.k();
+  const Value quota = static_cast<Value>(l.m() - 1);
+  actions.push_back({"bottom", 0,
+                     [l, n, quota](const StateVec& s) {
+                       return s[l.c(0)] == s[l.c(n)] && s[l.w(0)] == quota;
+                     },
+                     [l, k](StateVec& s) {
+                       s[l.c(0)] = static_cast<Value>((s[l.c(0)] + 1) % k);
+                       s[l.w(0)] = 0;
+                     }});
+  for (int j = 1; j <= n; ++j) {
+    actions.push_back({"copy" + std::to_string(j), j,
+                       [l, j, quota](const StateVec& s) {
+                         return s[l.c(j)] != s[l.c(j - 1)] && s[l.w(j)] == quota;
+                       },
+                       [l, j](StateVec& s) {
+                         s[l.c(j)] = s[l.c(j - 1)];
+                         s[l.w(j)] = 0;
+                       }});
+  }
+  for (int j = 0; j <= n; ++j) {
+    actions.push_back({"work" + std::to_string(j), j,
+                       [l, j, quota](const StateVec& s) {
+                         return l.token_image(s, j) && s[l.w(j)] < quota;
+                       },
+                       [l, j](StateVec& s) {
+                         s[l.w(j)] = static_cast<Value>(s[l.w(j)] + 1);
+                       }});
+  }
+  return System("WorkRing(n=" + std::to_string(n) + ",K=" + std::to_string(k) +
+                    ",m=" + std::to_string(l.m()) + ")",
+                l.space(), std::move(actions), l.initial_predicate());
+}
+
+System make_work_ring_looping(const WorkRingLayout& l) {
+  std::vector<Action> actions;
+  const int n = l.n();
+  const int k = l.k();
+  const int m = l.m();
+  const Value quota = static_cast<Value>(m - 1);
+  actions.push_back({"bottom", 0,
+                     [l, n, quota](const StateVec& s) {
+                       return s[l.c(0)] == s[l.c(n)] && s[l.w(0)] == quota;
+                     },
+                     [l, k](StateVec& s) {
+                       s[l.c(0)] = static_cast<Value>((s[l.c(0)] + 1) % k);
+                       s[l.w(0)] = 0;
+                     }});
+  for (int j = 1; j <= n; ++j) {
+    actions.push_back({"copy" + std::to_string(j), j,
+                       [l, j, quota](const StateVec& s) {
+                         return s[l.c(j)] != s[l.c(j - 1)] && s[l.w(j)] == quota;
+                       },
+                       [l, j](StateVec& s) {
+                         s[l.c(j)] = s[l.c(j - 1)];
+                         s[l.w(j)] = 0;
+                       }});
+  }
+  for (int j = 0; j <= n; ++j) {
+    // The broken work step: no quota guard, wrap-around effect.
+    actions.push_back({"workloop" + std::to_string(j), j,
+                       [l, j](const StateVec& s) { return l.token_image(s, j); },
+                       [l, j, m](StateVec& s) {
+                         s[l.w(j)] = static_cast<Value>((s[l.w(j)] + 1) % m);
+                       }});
+  }
+  return System("WorkRingLoop(n=" + std::to_string(n) + ",K=" + std::to_string(k) +
+                    ",m=" + std::to_string(m) + ")",
+                l.space(), std::move(actions), l.initial_predicate());
+}
+
+System make_work_skip(const WorkRingLayout& l) {
+  std::vector<Action> actions;
+  const Value quota = static_cast<Value>(l.m() - 1);
+  for (int j = 0; j <= l.n(); ++j) {
+    actions.push_back({"skip" + std::to_string(j), j,
+                       [l, j, quota](const StateVec& s) {
+                         return l.token_image(s, j) && s[l.w(j)] < quota;
+                       },
+                       [l, j, quota](StateVec& s) { s[l.w(j)] = quota; }});
+  }
+  return System("WorkSkip", l.space(), std::move(actions), std::nullopt);
+}
+
+Abstraction make_alpha_forget_work(const WorkRingLayout& l, const KStateLayout& ks) {
+  assert(l.n() == ks.n() && l.k() == ks.k());
+  return Abstraction::lazy("forgetWork", l.space(), ks.space(),
+                           [l, ks](const StateVec& cs, StateVec& as) {
+                             for (int j = 0; j <= l.n(); ++j) as[ks.c(j)] = cs[l.c(j)];
+                           });
+}
+
+Abstraction make_alpha_work_to_utr(const WorkRingLayout& l, const UtrLayout& utr) {
+  assert(l.n() == utr.n());
+  return Abstraction::lazy("workToUtr", l.space(), utr.space(),
+                           [l, utr](const StateVec& cs, StateVec& as) {
+                             for (int j = 0; j <= l.n(); ++j)
+                               as[utr.t(j)] = l.token_image(cs, j) ? 1 : 0;
+                           });
+}
+
+}  // namespace cref::ring

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cref::util {
+
+/// Packed bit matrix: `rows()` rows of `cols()` bits, all in ONE
+/// contiguous uint64 allocation with a fixed word stride per row. This is
+/// the reachability-closure container of the condensation quotient: row r
+/// holds the set of components reachable from component r, and closing a
+/// row against a successor component's row is a word-parallel or_row.
+///
+/// Compared to vector<DenseBitset> (one heap block + ~40 bytes of header
+/// per row) the single slab halves small-closure memory, keeps rows
+/// cache-adjacent for the increasing-id closure sweep, and makes the
+/// total footprint exactly rows * stride * 8 bytes — the number the
+/// engine checks against max_comps_for_closure before committing.
+///
+/// Invariant: bits at column positions >= cols() are always zero (set()
+/// asserts the bounds), so row_count() is exact.
+class BitMatrix {
+ public:
+  static constexpr std::size_t kWordBits = 64;
+
+  BitMatrix() = default;
+  BitMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), stride_((cols + kWordBits - 1) / kWordBits),
+        words_(rows * stride_, 0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  bool test(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return (words_[r * stride_ + c / kWordBits] >> (c % kWordBits)) & 1u;
+  }
+
+  void set(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    words_[r * stride_ + c / kWordBits] |= std::uint64_t{1} << (c % kWordBits);
+  }
+
+  /// row[dst] |= row[src], word-parallel. The closure sweep calls this
+  /// with src a successor component of dst (src < dst under Tarjan's
+  /// reverse-topological numbering), so src's row is already closed.
+  void or_row(std::size_t dst, std::size_t src) {
+    assert(dst < rows_ && src < rows_);
+    std::uint64_t* d = words_.data() + dst * stride_;
+    const std::uint64_t* s = words_.data() + src * stride_;
+    for (std::size_t w = 0; w < stride_; ++w) d[w] |= s[w];
+  }
+
+  /// Number of set bits in row `r`.
+  std::size_t row_count(std::size_t r) const {
+    assert(r < rows_);
+    const std::uint64_t* p = words_.data() + r * stride_;
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < stride_; ++w)
+      n += static_cast<std::size_t>(std::popcount(p[w]));
+    return n;
+  }
+
+  /// Calls `f(c)` for every set column of row `r` in ascending order.
+  template <typename F>
+  void for_each_set_in_row(std::size_t r, F&& f) const {
+    assert(r < rows_);
+    const std::uint64_t* p = words_.data() + r * stride_;
+    for (std::size_t w = 0; w < stride_; ++w) {
+      std::uint64_t bits = p[w];
+      while (bits) {
+        f(w * kWordBits + static_cast<std::size_t>(std::countr_zero(bits)));
+        bits &= bits - 1;  // drop lowest set bit
+      }
+    }
+  }
+
+  /// Heap footprint of the slab, the number compared against the closure
+  /// budget before a build commits.
+  std::size_t slab_bytes() const { return words_.size() * sizeof(std::uint64_t); }
+
+  friend bool operator==(const BitMatrix&, const BitMatrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;  // words per row
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace cref::util

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -60,8 +61,12 @@ class DenseBitset {
     return n;
   }
 
-  /// Word-parallel union. Precondition: other.size() == size().
+  /// Word-parallel union. Precondition: other.size() == size() — a
+  /// smaller `other` would be indexed past its word array below
+  /// (assert-checked; the word loop is deliberately unguarded so the
+  /// hot-path codegen stays a straight or-sweep).
   DenseBitset& operator|=(const DenseBitset& other) {
+    assert(other.size_ == size_ && "DenseBitset::operator|= requires equal sizes");
     for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
     return *this;
   }
@@ -79,6 +84,10 @@ class DenseBitset {
     }
   }
 
+  // Safe on mismatched sizes, unlike |=: for_each_set only reads its own
+  // words, and the defaulted == compares size_ first, so equal-sized sets
+  // are decided word-by-word (exact, by the tail-bits invariant) and
+  // different-sized sets are simply unequal.
   friend bool operator==(const DenseBitset&, const DenseBitset&) = default;
 
  private:

@@ -180,17 +180,23 @@ TEST(ParallelEngineConcurrencyTest, ConcurrentEdgeStatsAndChecksAgree) {
   const EdgeStats expect_stats = ref.edge_stats();
   const CheckResult expect_conv = ref.convergence_refinement();
   const CheckResult expect_stab = ref.stabilizing_to();
+  const bool expect_reach = ref.reachable_in_a(0, 1);
 
   constexpr int kCallers = 4;
   std::vector<EdgeStats> stats(kCallers);
   std::vector<CheckResult> conv(kCallers);
   std::vector<CheckResult> stab(kCallers);
+  std::vector<int> reach(kCallers);
   {
     std::vector<std::thread> callers;
     for (int i = 0; i < kCallers; ++i)
       callers.emplace_back([&, i] {
         // Cold lazy caches on the first round: all callers race to build
-        // them through the once_flags.
+        // them through the once_flags. The direct closure-path query
+        // races the A-side SCC + closure build with the checks
+        // (regression for the plain-bool publication the once_flag
+        // replaced — TSan flags the old version here).
+        reach[i] = rc.reachable_in_a(0, 1) ? 1 : 0;
         stats[i] = rc.edge_stats();
         conv[i] = rc.convergence_refinement();
         stab[i] = rc.stabilizing_to();
@@ -208,6 +214,7 @@ TEST(ParallelEngineConcurrencyTest, ConcurrentEdgeStatsAndChecksAgree) {
     EXPECT_EQ(stab[i].holds, expect_stab.holds);
     EXPECT_EQ(stab[i].reason, expect_stab.reason);
     EXPECT_EQ(stab[i].witness.states, expect_stab.witness.states);
+    EXPECT_EQ(reach[i], expect_reach ? 1 : 0);
   }
 }
 

@@ -49,8 +49,24 @@ TEST(SccTest, ReverseTopologicalIdOrder) {
   Scc scc(g);
   for (StateId s = 0; s < 4; ++s)
     for (StateId t : g.successors(s))
-      if (scc.component(s) != scc.component(t))
+      if (scc.component(s) != scc.component(t)) {
         EXPECT_GT(scc.component(s), scc.component(t));
+      }
+}
+
+TEST(SccTest, NumberingIsPinnedAfterCompIdNarrowing) {
+  // Regression for the 8-byte -> 4-byte CompId rewrite: the traversal
+  // (roots ascending, successors in CSR order) and hence the EXACT
+  // component numbering must not change — the condensation-closure
+  // sweep and the on-the-fly engine's parity both depend on it.
+  static_assert(sizeof(Scc::CompId) == 4, "CompId is the 4-byte budget");
+  // 0 -> 1 <-> 2, 2 -> 3: DFS pops {3} first, then {1, 2}, then {0}.
+  TransitionGraph g = TransitionGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 1}, {2, 3}});
+  Scc scc(g);
+  EXPECT_EQ(scc.component(3), 0u);
+  EXPECT_EQ(scc.component(1), 1u);
+  EXPECT_EQ(scc.component(2), 1u);
+  EXPECT_EQ(scc.component(0), 2u);
 }
 
 TEST(SccTest, DeepChainDoesNotOverflowStack) {

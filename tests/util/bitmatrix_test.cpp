@@ -1,0 +1,98 @@
+#include "util/bitmatrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace cref::util {
+namespace {
+
+TEST(BitMatrixTest, StartsAllClear) {
+  BitMatrix m(3, 130);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 130u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(m.row_count(r), 0u);
+    for (std::size_t c = 0; c < 130; ++c) EXPECT_FALSE(m.test(r, c));
+  }
+}
+
+TEST(BitMatrixTest, SetTestAcrossWordBoundary) {
+  BitMatrix m(2, 130);
+  m.set(0, 0);
+  m.set(0, 63);
+  m.set(0, 64);
+  m.set(1, 129);
+  EXPECT_TRUE(m.test(0, 63));
+  EXPECT_TRUE(m.test(0, 64));
+  EXPECT_TRUE(m.test(1, 129));
+  EXPECT_FALSE(m.test(1, 64));  // rows are independent despite one slab
+  EXPECT_EQ(m.row_count(0), 3u);
+  EXPECT_EQ(m.row_count(1), 1u);
+}
+
+TEST(BitMatrixTest, OrRowIsUnion) {
+  BitMatrix m(3, 129);
+  m.set(0, 1);
+  m.set(0, 128);
+  m.set(1, 1);
+  m.set(1, 64);
+  m.or_row(0, 1);
+  EXPECT_EQ(m.row_count(0), 3u);
+  EXPECT_TRUE(m.test(0, 1));
+  EXPECT_TRUE(m.test(0, 64));
+  EXPECT_TRUE(m.test(0, 128));
+  EXPECT_EQ(m.row_count(1), 2u);  // source row unchanged
+  EXPECT_EQ(m.row_count(2), 0u);  // neighbour row untouched
+}
+
+TEST(BitMatrixTest, ForEachSetInRowAscending) {
+  BitMatrix m(2, 200);
+  const std::vector<std::size_t> want{0, 63, 64, 65, 127, 128, 199};
+  for (std::size_t c : want) m.set(1, c);
+  m.set(0, 5);  // other row must not leak into the enumeration
+  std::vector<std::size_t> got;
+  m.for_each_set_in_row(1, [&](std::size_t c) { got.push_back(c); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitMatrixTest, TransitiveClosureSweep) {
+  // The engine's usage pattern: components numbered in reverse
+  // topological order (edges go high -> low), closed in increasing id
+  // order by or_row against already-closed successor rows.
+  // Condensation DAG: 3 -> 2 -> 0, 3 -> 1.
+  const std::size_t n = 4;
+  BitMatrix reach(n, n);
+  const std::vector<std::pair<std::size_t, std::size_t>> dag{{2, 0}, {3, 2}, {3, 1}};
+  for (std::size_t comp = 0; comp < n; ++comp) {
+    for (const auto& [from, to] : dag) {
+      if (from != comp) continue;
+      reach.set(comp, to);
+      reach.or_row(comp, to);
+    }
+  }
+  EXPECT_TRUE(reach.test(3, 2));
+  EXPECT_TRUE(reach.test(3, 1));
+  EXPECT_TRUE(reach.test(3, 0));  // transitively via 2
+  EXPECT_TRUE(reach.test(2, 0));
+  EXPECT_FALSE(reach.test(2, 1));
+  EXPECT_FALSE(reach.test(0, 3));
+  EXPECT_EQ(reach.row_count(3), 3u);
+}
+
+TEST(BitMatrixTest, SlabBytesAndEquality) {
+  BitMatrix a(10, 100), b(10, 100);
+  // 100 cols -> 2 words per row -> 10 * 2 * 8 bytes.
+  EXPECT_EQ(a.slab_bytes(), 160u);
+  EXPECT_EQ(a, b);
+  a.set(9, 99);
+  EXPECT_NE(a, b);
+  b.set(9, 99);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, BitMatrix(10, 101));
+  EXPECT_EQ(BitMatrix().slab_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace cref::util

@@ -86,6 +86,17 @@ TEST(DenseBitsetTest, EqualityIsExact) {
   EXPECT_NE(DenseBitset(64), DenseBitset(65));
 }
 
+#ifndef NDEBUG
+TEST(DenseBitsetDeathTest, UnionOfMismatchedSizesAsserts) {
+  // The documented precondition of |= is equal sizes; a smaller operand
+  // would be read past its word array. Debug builds must trap instead of
+  // silently reading out of bounds. (Release builds keep the unguarded
+  // word loop, so the death test only exists where the assert does.)
+  DenseBitset a(129), b(64);
+  EXPECT_DEATH(a |= b, "equal sizes");
+}
+#endif
+
 TEST(DenseBitsetTest, EmptyBitset) {
   DenseBitset b;
   EXPECT_EQ(b.size(), 0u);

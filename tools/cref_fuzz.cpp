@@ -196,6 +196,7 @@ int main(int argc, char** argv) {
             << "  reference:    " << st.reference_checked << " checked, "
             << st.reference_skipped << " skipped (too large)\n"
             << "  parallel:     " << st.parallel_compared << " compared\n"
+            << "  onthefly:     " << st.onthefly_compared << " compared\n"
             << "  certificates: " << st.certificates_validated << " validated, "
             << st.mutations_rejected << " mutations rejected\n"
             << "  simulation:   " << st.walks_checked << " walks\n"
