@@ -11,6 +11,8 @@
 #include "gcl/diag.hpp"
 #include "gcl/parser.hpp"
 #include "gcl/pretty.hpp"
+#include "prover/ground_truth.hpp"
+#include "prover/prove.hpp"
 #include "refinement/certificate.hpp"
 #include "refinement/checker.hpp"
 #include "refinement/equivalence.hpp"
@@ -483,6 +485,79 @@ std::vector<OracleFailure> run_oracles(const FuzzCase& fc, const OracleOptions& 
     };
     check_absint("A", fc.gcl_a);
     check_absint("C", fc.gcl_c);
+  }
+
+  // ---- prover-soundness -------------------------------------------
+  // The static stabilization prover's verdicts are claims about EVERY
+  // state of Sigma, so on generated programs (always small) they can be
+  // held against the materialized transition relation directly. Both
+  // goals run on both programs: termination, and convergence to the
+  // unique-privilege predicate. A proof that fails its own independent
+  // validator, or that the ground truth refutes, is a soundness bug in
+  // the ranking synthesis — never tolerated. The prover FAILING to
+  // prove a true property is mere incompleteness and is not flagged.
+  if (fc.from_gcl()) {
+    auto check_prover = [&](const char* side, const std::string& src) {
+      try {
+        const gcl::SystemAst ast = gcl::parse(src);
+        prover::ProveOptions popts;
+        popts.budget = 4096;  // generated programs are tiny; keep it cheap
+
+        ++st.prover_attempts;
+        const prover::ProveResult term = prover::prove_termination(ast, popts);
+        if (term.proved) {
+          ++st.prover_proofs;
+          std::string why;
+          if (!prover::validate_certificate(ast, nullptr, *term.certificate, &why)) {
+            add("prover-soundness", std::string(side) +
+                                        ": termination certificate rejected by its "
+                                        "own validator: " + why);
+          }
+          bool applicable = false;
+          const bool truth = prover::explicit_terminates(ast, &applicable);
+          if (applicable && !truth) {
+            add("prover-soundness",
+                std::string(side) +
+                    ": prover claims termination but the transition graph has a cycle");
+          } else if (applicable) {
+            ++st.prover_confirmed;
+          }
+        }
+
+        ++st.prover_attempts;
+        const gcl::Expr target = prover::enabled_one_predicate(ast);
+        const prover::ProveResult conv = prover::prove_convergence(ast, target, popts);
+        if (conv.proved) {
+          ++st.prover_proofs;
+          std::string why;
+          if (!prover::validate_certificate(ast, &target, *conv.certificate, &why)) {
+            add("prover-soundness", std::string(side) +
+                                        ": convergence certificate rejected by its "
+                                        "own validator: " + why);
+          }
+          const prover::GroundTruth gt = prover::explicit_check(ast, target);
+          if (gt.applicable) {
+            if (!gt.converges()) {
+              add("prover-soundness",
+                  std::string(side) +
+                      ": prover claims convergence to the unique-privilege "
+                      "predicate but the explicit check refutes it");
+            } else if (conv.certificate->closure_proved && !gt.closed) {
+              add("prover-soundness",
+                  std::string(side) +
+                      ": prover claims closure of the unique-privilege "
+                      "predicate but some transition leaves it");
+            } else {
+              ++st.prover_confirmed;
+            }
+          }
+        }
+      } catch (const std::exception& e) {
+        add("prover-soundness", std::string(side) + ": threw: " + e.what());
+      }
+    };
+    check_prover("A", fc.gcl_a);
+    check_prover("C", fc.gcl_c);
   }
 
   return fails;

@@ -38,6 +38,12 @@
 //                           closure proof of init (when one exists) is
 //                           confirmed by the explicit edge-level
 //                           validator (GCL cases)
+//   prover-soundness        every termination / convergence
+//                           certificate the static prover emits passes
+//                           the independent validator AND agrees with
+//                           the explicit-state ground truth; a "proved"
+//                           verdict that the materialized graph refutes
+//                           is an unsound ranking synthesis (GCL cases)
 //
 // For harness self-tests, an InjectedBug perturbs the inputs the ENGINE
 // sees (the reference always sees the true case) — simulating a defect
@@ -99,6 +105,9 @@ struct OracleStats {
   std::size_t builds_compared = 0;
   std::size_t absint_checked = 0;      // programs with R# superset verified
   std::size_t closures_validated = 0;  // static closure proofs confirmed explicitly
+  std::size_t prover_attempts = 0;     // prover goals tried (2 per GCL program)
+  std::size_t prover_proofs = 0;       // goals the static prover certified
+  std::size_t prover_confirmed = 0;    // proofs confirmed by explicit ground truth
 };
 
 /// Runs the whole stack on one case. Empty result == all oracles green.

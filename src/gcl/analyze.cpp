@@ -643,4 +643,42 @@ std::string format_read_write_report(const SystemAst& ast) {
   return out.str();
 }
 
+std::string render_read_write_report_json(const SystemAst& ast) {
+  ReadWriteReport report = read_write_report(ast);
+  std::ostringstream out;
+  auto names = [&](const std::vector<std::size_t>& vars) {
+    std::ostringstream ss;
+    for (std::size_t i = 0; i < vars.size(); ++i)
+      ss << (i ? ", " : "") << '"' << json_escape(ast.vars[vars[i]].name) << '"';
+    return ss.str();
+  };
+  auto procs = [](const std::vector<int>& ps) {
+    std::ostringstream ss;
+    for (std::size_t i = 0; i < ps.size(); ++i) ss << (i ? ", " : "") << ps[i];
+    return ss.str();
+  };
+  out << "\"sets\": {\"actions\": [";
+  for (std::size_t i = 0; i < report.actions.size(); ++i) {
+    const ActionRW& rw = report.actions[i];
+    if (i) out << ", ";
+    out << "{\"action\": \"" << json_escape(rw.action)
+        << "\", \"process\": " << rw.process << ", \"line\": " << rw.loc.line
+        << ", \"column\": " << rw.loc.column << ", \"reads\": [" << names(rw.reads)
+        << "], \"writes\": [" << names(rw.writes) << "]}";
+  }
+  out << "], \"vars\": [";
+  bool interference = false;
+  for (std::size_t i = 0; i < report.vars.size(); ++i) {
+    const VarInterference& vi = report.vars[i];
+    if (i) out << ", ";
+    out << "{\"var\": \"" << json_escape(ast.vars[vi.var_index].name)
+        << "\", \"writer_processes\": [" << procs(vi.writer_processes)
+        << "], \"reader_processes\": [" << procs(vi.reader_processes) << "]}";
+    interference |= vi.writer_processes.size() >= 2;
+  }
+  out << "], \"cross_process_write_interference\": " << (interference ? "true" : "false")
+      << "}";
+  return out.str();
+}
+
 }  // namespace cref::gcl

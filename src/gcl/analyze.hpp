@@ -88,4 +88,15 @@ ReadWriteReport read_write_report(const SystemAst& ast);
 /// Human-readable rendering of the report (the `gcl_lint --sets` output).
 std::string format_read_write_report(const SystemAst& ast);
 
+/// Machine-readable rendering, as a `"sets": {...}` JSON object member
+/// for splicing into diag.hpp's render_json document:
+///   "sets": {"actions": [{"action", "process", "line", "column",
+///            "reads", "writes"}, ...],
+///            "vars": [{"var", "writer_processes",
+///            "reader_processes"}, ...],
+///            "cross_process_write_interference": bool}
+/// reads/writes hold variable NAMES (declaration order); process is -1
+/// for unannotated actions.
+std::string render_read_write_report_json(const SystemAst& ast);
+
 }  // namespace cref::gcl

@@ -28,6 +28,8 @@ const char* rule_id(Rule r) {
     case Rule::AbsintGuardDead: return "absint-guard-dead";
     case Rule::AbsintVarConstant: return "absint-var-constant";
     case Rule::AbsintInitNotClosed: return "absint-init-not-closed";
+    case Rule::WrapperWritesForeignVar: return "wrapper-writes-foreign-var";
+    case Rule::WrapperNonterminating: return "wrapper-nonterminating";
   }
   return "unknown";
 }
@@ -115,8 +117,15 @@ std::string json_escape(const std::string& s) {
 }
 
 std::string render_json(const std::vector<Diagnostic>& diags, const std::string& file) {
+  return render_json(diags, file, std::string());
+}
+
+std::string render_json(const std::vector<Diagnostic>& diags, const std::string& file,
+                        const std::string& extra_members) {
   std::ostringstream out;
-  out << "{\"file\": \"" << json_escape(file) << "\", \"diagnostics\": [";
+  out << "{\"file\": \"" << json_escape(file) << "\", ";
+  if (!extra_members.empty()) out << extra_members << ", ";
+  out << "\"diagnostics\": [";
   for (std::size_t i = 0; i < diags.size(); ++i) {
     const Diagnostic& d = diags[i];
     if (i) out << ", ";

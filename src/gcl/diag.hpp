@@ -44,6 +44,12 @@ enum class Rule {
   AbsintGuardDead,          // guard (or a conjunct) is a tautology within R#
   AbsintVarConstant,        // variable takes a single value across R#
   AbsintInitNotClosed,      // init region is not (provably) closed under actions
+  // Superposition rules (opt-in via --prove; src/prover/superposition.hpp).
+  WrapperWritesForeignVar,  // wrapper action writes a base variable owned
+                            // by a different process (breaks Theorem 3/5
+                            // graybox superposition)
+  WrapperNonterminating,    // wrapper's own computation is not provably
+                            // finite (Theorem 3 side condition)
 };
 
 /// The stable textual id of a rule, e.g. "guard-always-false".
@@ -92,6 +98,12 @@ std::string render_text(const std::vector<Diagnostic>& diags, const std::string&
 ///    "counts": {"errors", "warnings", "notes"}}
 /// Strings are JSON-escaped; the document ends with a newline.
 std::string render_json(const std::vector<Diagnostic>& diags, const std::string& file);
+
+/// As above, with `extra_members` (pre-rendered `"key": value` JSON
+/// object members, e.g. analyze.hpp's read/write-set report) spliced
+/// into the top-level document after "file". Empty adds nothing.
+std::string render_json(const std::vector<Diagnostic>& diags, const std::string& file,
+                        const std::string& extra_members);
 
 /// Escapes a string for embedding in a JSON string literal (no quotes
 /// added). Exposed for tests and other JSON-emitting tools.

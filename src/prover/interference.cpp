@@ -1,0 +1,160 @@
+#include "prover/interference.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace cref::prover {
+namespace {
+
+/// Iterative Tarjan SCC over the (tiny) variable dependency graph,
+/// self-edges excluded. Returns the component id of each variable;
+/// components are numbered in reverse topological order (a component's
+/// successors have smaller ids), the usual Tarjan property.
+std::vector<std::size_t> scc_of(const std::vector<std::vector<std::size_t>>& out,
+                                std::size_t* num_comps, std::vector<bool>* nontrivial) {
+  const std::size_t n = out.size();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> index(n, kUnvisited), low(n, 0), comp(n, kUnvisited);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::size_t next_index = 0, next_comp = 0;
+  nontrivial->assign(n, false);
+
+  struct Frame {
+    std::size_t v;
+    std::size_t edge;
+  };
+  std::vector<Frame> frames;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < out[f.v].size()) {
+        const std::size_t w = out[f.v][f.edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        const std::size_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        if (low[v] == index[v]) {
+          std::size_t members = 0;
+          std::size_t w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = next_comp;
+            ++members;
+          } while (w != v);
+          if (members > 1) {
+            for (std::size_t u = 0; u < n; ++u)
+              if (comp[u] == next_comp) (*nontrivial)[u] = true;
+          }
+          ++next_comp;
+        }
+      }
+    }
+  }
+  *num_comps = next_comp;
+  return comp;
+}
+
+}  // namespace
+
+InterferenceGraph build_interference(const gcl::SystemAst& ast) {
+  InterferenceGraph g;
+  g.rw = gcl::read_write_report(ast);
+  const std::size_t n = ast.vars.size();
+
+  std::vector<std::set<std::size_t>> out(n);
+  g.self_dep.assign(n, false);
+  for (const gcl::ActionRW& rw : g.rw.actions) {
+    for (std::size_t u : rw.reads) {
+      for (std::size_t v : rw.writes) {
+        if (u == v)
+          g.self_dep[u] = true;
+        else
+          out[u].insert(v);
+      }
+    }
+  }
+  g.dep_out.resize(n);
+  for (std::size_t u = 0; u < n; ++u) g.dep_out[u].assign(out[u].begin(), out[u].end());
+
+  // SCC condensation + longest-path layering.
+  std::size_t num_comps = 0;
+  std::vector<bool> nontrivial;
+  const std::vector<std::size_t> comp = scc_of(g.dep_out, &num_comps, &nontrivial);
+  g.acyclic = std::none_of(nontrivial.begin(), nontrivial.end(), [](bool b) { return b; });
+
+  // Components are numbered in reverse topological order, so iterating
+  // comp ids DESCENDING visits sources before sinks; a component's layer
+  // is 1 + max over its predecessors' layers.
+  std::vector<std::size_t> comp_layer(num_comps, 0);
+  for (std::size_t c = num_comps; c-- > 0;) {
+    for (std::size_t u = 0; u < n; ++u) {
+      if (comp[u] != c) continue;
+      for (std::size_t v : g.dep_out[u]) {
+        if (comp[v] != c)
+          comp_layer[comp[v]] = std::max(comp_layer[comp[v]], comp_layer[c] + 1);
+      }
+    }
+  }
+  g.layer.resize(n);
+  for (std::size_t u = 0; u < n; ++u) g.layer[u] = comp_layer[comp[u]];
+  g.num_layers = n ? 1 + *std::max_element(g.layer.begin(), g.layer.end()) : 0;
+
+  // Cross-action write conflicts.
+  for (std::size_t a = 0; a < g.rw.actions.size(); ++a) {
+    for (std::size_t b = a + 1; b < g.rw.actions.size(); ++b) {
+      std::vector<std::size_t> shared;
+      std::set_intersection(g.rw.actions[a].writes.begin(), g.rw.actions[a].writes.end(),
+                            g.rw.actions[b].writes.begin(), g.rw.actions[b].writes.end(),
+                            std::back_inserter(shared));
+      for (std::size_t v : shared) g.write_conflicts.push_back({a, b, v});
+    }
+  }
+
+  g.action_layer.assign(g.rw.actions.size(), 0);
+  for (std::size_t a = 0; a < g.rw.actions.size(); ++a)
+    for (std::size_t v : g.rw.actions[a].writes)
+      g.action_layer[a] = std::max(g.action_layer[a], g.layer[v]);
+  return g;
+}
+
+std::string format_interference(const gcl::SystemAst& ast, const InterferenceGraph& g) {
+  std::ostringstream out;
+  out << "variable dependency graph (" << (g.acyclic ? "acyclic" : "CYCLIC") << ", "
+      << g.num_layers << " layer(s)):\n";
+  for (std::size_t u = 0; u < ast.vars.size(); ++u) {
+    out << "  " << ast.vars[u].name << " [layer " << g.layer[u] << "]";
+    if (g.self_dep[u]) out << " (self)";
+    if (!g.dep_out[u].empty()) {
+      out << " ->";
+      for (std::size_t v : g.dep_out[u]) out << " " << ast.vars[v].name;
+    }
+    out << "\n";
+  }
+  if (g.write_conflicts.empty()) {
+    out << "  write conflicts: none\n";
+  } else {
+    for (const WriteConflict& c : g.write_conflicts)
+      out << "  write conflict: " << g.rw.actions[c.action_a].action << " / "
+          << g.rw.actions[c.action_b].action << " on " << ast.vars[c.var].name << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cref::prover

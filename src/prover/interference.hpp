@@ -1,0 +1,73 @@
+#pragma once
+
+// Action/variable interference analysis for the static stabilization
+// prover (see prove.hpp and DESIGN.md Section 12), layered on the
+// read/write sets of gcl::read_write_report:
+//
+//   dependency graph   u -> v when some action reads u (guard or RHS)
+//                      and writes v. Self-edges (u == v) are recorded
+//                      but ignored for layering: `x := x - 1` guarded
+//                      by `x` is an ordinary self-dependent counter,
+//                      not cross-variable feedback.
+//   layering           variables grouped into topological layers of the
+//                      dependency graph's SCC condensation (layer 0 =
+//                      no cross-variable inputs). `acyclic` iff every
+//                      SCC is a single variable — then information only
+//                      flows root-to-leaf and per-action guard
+//                      indicators, ordered by layer, are lexicographic
+//                      ranking candidates whose proof obligations have
+//                      layer-local footprints (cost independent of
+//                      |Sigma|).
+//   write conflicts    pairs of distinct actions writing the same
+//                      variable — the states the superposition rules
+//                      and template ordering must treat as contended.
+//
+// Everything here is purely syntactic (AST only): it never enumerates
+// states, so it is safe to run on programs of any size.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gcl/analyze.hpp"
+#include "gcl/ast.hpp"
+
+namespace cref::prover {
+
+/// Two distinct actions writing the same variable.
+struct WriteConflict {
+  std::size_t action_a = 0;  // index into ast.actions, a < b
+  std::size_t action_b = 0;
+  std::size_t var = 0;  // the contended variable
+};
+
+struct InterferenceGraph {
+  gcl::ReadWriteReport rw;  // per-action read/write sets (analyze.hpp)
+
+  /// dep_out[u] = sorted distinct v != u with a read-u-write-v action.
+  std::vector<std::vector<std::size_t>> dep_out;
+  /// Variables with a read-v-write-v action (ignored for layering).
+  std::vector<bool> self_dep;
+
+  /// Topological layer per variable: 0 for variables whose writers read
+  /// nothing else, and 1 + max over cross-variable inputs otherwise.
+  /// Variables in a dependency cycle share their SCC's layer.
+  std::vector<std::size_t> layer;
+  std::size_t num_layers = 0;
+
+  /// True iff the cross-variable dependency graph is a DAG (every SCC
+  /// is a singleton).
+  bool acyclic = true;
+
+  std::vector<WriteConflict> write_conflicts;
+
+  /// Per action: max layer over the variables it writes (0 if none).
+  std::vector<std::size_t> action_layer;
+};
+
+InterferenceGraph build_interference(const gcl::SystemAst& ast);
+
+/// Human-readable rendering: dependency edges, layers, conflicts.
+std::string format_interference(const gcl::SystemAst& ast, const InterferenceGraph& g);
+
+}  // namespace cref::prover

@@ -1,0 +1,859 @@
+#include "prover/prove.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "absint/closure.hpp"
+#include "absint/transfer.hpp"
+#include "gcl/compile.hpp"
+#include "gcl/diag.hpp"
+#include "gcl/pretty.hpp"
+
+namespace cref::prover {
+
+using gcl::Expr;
+using gcl::Op;
+
+namespace {
+
+bool truthy(const Expr& e, const StateVec& s) { return gcl::eval(e, s) != 0; }
+
+std::vector<std::size_t> all_vars(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+/// Mixed-radix packing matching core::Space (variable 0 least
+/// significant) — the index space of table components.
+struct Packing {
+  std::vector<std::size_t> strides;
+  std::size_t total = 1;
+
+  explicit Packing(const std::vector<int>& cards) {
+    strides.resize(cards.size());
+    for (std::size_t i = 0; i < cards.size(); ++i) {
+      strides[i] = total;
+      total *= static_cast<std::size_t>(cards[i]);
+    }
+  }
+  std::size_t encode(const StateVec& s) const {
+    std::size_t id = 0;
+    for (std::size_t i = 0; i < strides.size(); ++i)
+      id += static_cast<std::size_t>(s[i]) * strides[i];
+    return id;
+  }
+};
+
+/// One ranking candidate from the template pool.
+struct Candidate {
+  std::string pretty;
+  Expr expr;
+};
+
+void push_candidate(std::vector<Candidate>& pool, std::string pretty, Expr e,
+                    std::size_t max_pool) {
+  if (pool.size() >= max_pool) return;
+  for (const Candidate& c : pool)
+    if (expr_equal(c.expr, e)) return;
+  pool.push_back({std::move(pretty), std::move(e)});
+}
+
+/// The ordered template pool (see the header comment): guard indicators
+/// by dependency layer (DAG programs only), the enabled count, linear
+/// sums, per-variable terms (layer order), mod-k differences along
+/// dependency edges.
+std::vector<Candidate> template_pool(const gcl::SystemAst& ast,
+                                     const InterferenceGraph& ig,
+                                     std::size_t max_pool) {
+  std::vector<Candidate> pool;
+  const std::size_t n = ast.vars.size();
+
+  auto indicator = [&](const gcl::ActionAst& a) {
+    return make_binary(Op::Ne, a.guard, make_const(0));
+  };
+
+  if (ig.acyclic) {
+    std::vector<std::size_t> order(ast.actions.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return ig.action_layer[a] < ig.action_layer[b];
+    });
+    for (std::size_t i : order)
+      push_candidate(pool, "enabled(" + ast.actions[i].name + ")",
+                     indicator(ast.actions[i]), max_pool);
+  }
+
+  if (ast.actions.size() >= 2) {
+    std::vector<Expr> ind;
+    for (const gcl::ActionAst& a : ast.actions) ind.push_back(indicator(a));
+    push_candidate(pool, "enabled-count", make_sum(std::move(ind)), max_pool);
+  }
+
+  std::vector<char> written(n, 0);
+  for (const gcl::ActionAst& a : ast.actions)
+    for (const gcl::AssignmentAst& asg : a.assignments)
+      if (asg.var_index < n) written[asg.var_index] = 1;
+
+  std::vector<std::size_t> wvars;
+  for (std::size_t v = 0; v < n; ++v)
+    if (written[v]) wvars.push_back(v);
+  std::stable_sort(wvars.begin(), wvars.end(), [&](std::size_t a, std::size_t b) {
+    return ig.layer[a] < ig.layer[b];
+  });
+
+  if (wvars.size() >= 2) {
+    std::vector<Expr> up, down;
+    for (std::size_t v : wvars) {
+      up.push_back(make_var(ast, v));
+      down.push_back(make_binary(Op::Sub, make_const(ast.vars[v].cardinality - 1),
+                                 make_var(ast, v)));
+    }
+    push_candidate(pool, "sum-vars", make_sum(std::move(up)), max_pool);
+    push_candidate(pool, "sum-complements", make_sum(std::move(down)), max_pool);
+  }
+  for (std::size_t v : wvars) {
+    push_candidate(pool, ast.vars[v].name, make_var(ast, v), max_pool);
+    push_candidate(pool, "complement(" + ast.vars[v].name + ")",
+                   make_binary(Op::Sub, make_const(ast.vars[v].cardinality - 1),
+                               make_var(ast, v)),
+                   max_pool);
+  }
+
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v : ig.dep_out[u]) {
+      const int k = ast.vars[u].cardinality;
+      if (k < 2 || ast.vars[v].cardinality != k) continue;
+      push_candidate(pool,
+                     "(" + ast.vars[u].name + " - " + ast.vars[v].name + ") mod " +
+                         std::to_string(k),
+                     make_binary(Op::Mod,
+                                 make_binary(Op::Sub, make_var(ast, u), make_var(ast, v)),
+                                 make_const(k)),
+                     max_pool);
+      push_candidate(pool,
+                     "(" + ast.vars[v].name + " - " + ast.vars[u].name + ") mod " +
+                         std::to_string(k),
+                     make_binary(Op::Mod,
+                                 make_binary(Op::Sub, make_var(ast, v), make_var(ast, u)),
+                                 make_const(k)),
+                     max_pool);
+    }
+  }
+  return pool;
+}
+
+/// Per-action synthesis state.
+struct ActionState {
+  Expr guard;
+  Expr changed;
+  Expr not_p;       // Const 1 for Termination
+  Expr not_p_post;  // Const 1 for Termination
+  bool vacuous = false;
+  bool ranked = false;
+  std::vector<Expr> ties;  // Delta rho_j == 0 for accepted components
+};
+
+/// Obligation context for one action: {guard, changed, !P, !P', ties}.
+/// guard/changed are mandatory; the rest may be dropped (sound
+/// strengthening: prove the decrease on MORE states).
+void action_context(const ActionState& st, std::vector<const Expr*>& ctx,
+                    std::vector<bool>& droppable) {
+  ctx = {&st.guard, &st.changed, &st.not_p, &st.not_p_post};
+  droppable = {false, false, true, true};
+  for (const Expr& t : st.ties) {
+    ctx.push_back(&t);
+    droppable.push_back(true);
+  }
+}
+
+std::string short_detail(const gcl::ActionAst& a, const std::string& comp_pretty) {
+  return a.name + " vs " + comp_pretty;
+}
+
+/// Closure discharge ladder for one action; appends obligations on
+/// success. `absint_ok` caches the global absint fallback verdict
+/// (-1 unknown, 0 invalid, 1 valid).
+bool discharge_closure_action(const gcl::SystemAst& ast, const gcl::Expr& target,
+                              const std::vector<const Expr*>& p_conjuncts,
+                              std::size_t action_index, const ActionState& st,
+                              const DecideOptions& dopts, int* absint_ok,
+                              std::vector<Obligation>& obligations) {
+  const gcl::ActionAst& a = ast.actions[action_index];
+  const std::vector<int> cards = prover_cards(ast);
+
+  // (a) Vacuity: guard && changed && P unsatisfiable (an action that
+  // cannot fire inside P preserves it trivially). P conjuncts are
+  // droppable: an unsatisfiable subset witnesses the whole.
+  {
+    std::vector<const Expr*> ctx = {&st.guard, &st.changed};
+    std::vector<bool> drop = {false, false};
+    for (const Expr* p : p_conjuncts) {
+      ctx.push_back(p);
+      drop.push_back(true);
+    }
+    const DecideOutcome r = decide_unsat(ast, ctx, drop, dopts);
+    if (r.proved) {
+      obligations.push_back({Obligation::Kind::Closure, a.name, 0, Discharge::Vacuous,
+                             r.valuations, "never fires inside target"});
+      return true;
+    }
+  }
+
+  // (b) Per-conjunct preservation: P && guard && changed => P_i(post),
+  // with the P conjuncts droppable so footprints stay local.
+  {
+    bool all = true;
+    std::size_t valuations = 0;
+    Discharge worst = Discharge::Vacuous;
+    for (const Expr* pi : p_conjuncts) {
+      const Expr post = post_expr(*pi, a, cards);
+      std::vector<const Expr*> ctx = {&st.guard, &st.changed};
+      std::vector<bool> drop = {false, false};
+      for (const Expr* p : p_conjuncts) {
+        ctx.push_back(p);
+        drop.push_back(true);
+      }
+      const DecideOutcome r = decide_always(ast, post, ctx, drop, dopts);
+      if (!r.proved) {
+        all = false;
+        break;
+      }
+      valuations += r.valuations;
+      if (r.method != Discharge::Vacuous) worst = r.method;
+    }
+    if (all) {
+      obligations.push_back({Obligation::Kind::Closure, a.name, 0, worst, valuations,
+                             std::to_string(p_conjuncts.size()) +
+                                 " conjunct(s) preserved"});
+      return true;
+    }
+  }
+
+  // (c) Global absint fallback — sound for P ONLY when the abstraction
+  // is exact: every region box must surely satisfy P, so gamma(region)
+  // equals P and closure of the region is closure of P. (Without the
+  // equality check the certificate proves closure of a SUPERSET, which
+  // is what engine pruning wants but not what stabilization needs.)
+  if (*absint_ok < 0) {
+    *absint_ok = 0;
+    if (auto cert = absint::make_closure_certificate(ast, target)) {
+      bool exact = !cert->region.is_bottom();
+      for (const absint::AbsBox& b : cert->region.boxes)
+        exact = exact && absint::abs_eval(target, b).surely_true();
+      if (exact) *absint_ok = 1;
+    }
+  }
+  if (*absint_ok == 1) {
+    obligations.push_back({Obligation::Kind::Closure, a.name, 0,
+                           Discharge::AbstractInterpretation, 0,
+                           "exact absint region closed"});
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* obligation_kind_name(Obligation::Kind k) {
+  switch (k) {
+    case Obligation::Kind::StrictDecrease:
+      return "strict-decrease";
+    case Obligation::Kind::NonIncrease:
+      return "non-increase";
+    case Obligation::Kind::Vacuous:
+      return "vacuous";
+    case Obligation::Kind::TableDecrease:
+      return "table-decrease";
+    case Obligation::Kind::Progress:
+      return "progress";
+    case Obligation::Kind::Closure:
+      return "closure";
+  }
+  return "?";
+}
+
+gcl::Expr enabled_one_predicate(const gcl::SystemAst& ast) {
+  std::vector<Expr> ind;
+  ind.reserve(ast.actions.size());
+  for (const gcl::ActionAst& a : ast.actions)
+    ind.push_back(make_binary(Op::Ne, a.guard, make_const(0)));
+  return make_binary(Op::Eq, make_sum(std::move(ind)), make_const(1));
+}
+
+namespace {
+
+ProveResult prove_impl(const gcl::SystemAst& ast, const Expr* target,
+                       const ProveOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ProveResult result;
+  ConvergenceCertificate cert;
+  cert.goal = target ? Goal::Convergence : Goal::Termination;
+  cert.system = ast.name;
+  cert.predicate = target ? gcl::print_expr(*target) : "";
+  cert.budget = opts.budget;
+  cert.ranked_at.assign(ast.actions.size(), kUnranked);
+
+  const std::vector<int> cards = prover_cards(ast);
+  const std::size_t n = ast.vars.size();
+  const DecideOptions dopts{opts.budget};
+  const InterferenceGraph ig = build_interference(ast);
+
+  const Expr not_p = target ? make_unary(Op::Not, *target) : make_const(1);
+
+  // Per-action contexts + vacuity (no transition with both ends in !P).
+  std::vector<ActionState> st(ast.actions.size());
+  std::vector<std::size_t> unranked;
+  for (std::size_t i = 0; i < ast.actions.size(); ++i) {
+    const gcl::ActionAst& a = ast.actions[i];
+    st[i].guard = a.guard;
+    st[i].changed = changed_expr(a, cards);
+    st[i].not_p = not_p;
+    st[i].not_p_post = target ? post_expr(not_p, a, cards) : make_const(1);
+    std::vector<const Expr*> ctx;
+    std::vector<bool> drop;
+    action_context(st[i], ctx, drop);
+    const DecideOutcome r = decide_unsat(ast, ctx, drop, dopts);
+    if (r.proved) {
+      st[i].vacuous = true;
+      cert.obligations.push_back({Obligation::Kind::Vacuous, a.name, 0, r.method,
+                                  r.valuations,
+                                  target ? "no transition outside target"
+                                         : "no state-changing execution"});
+    } else {
+      unranked.push_back(i);
+    }
+  }
+
+  // Greedy lexicographic synthesis over the template pool.
+  const std::vector<Candidate> pool = template_pool(ast, ig, opts.max_pool);
+  for (const Candidate& cand : pool) {
+    if (unranked.empty() || cert.components.size() >= opts.max_components) break;
+
+    struct Eval {
+      std::size_t action;
+      Expr delta;
+      bool strict;
+      DecideOutcome outcome;
+    };
+    std::vector<Eval> evals;
+    bool rejected = false;
+    bool any_strict = false;
+    for (std::size_t i : unranked) {
+      Expr delta = delta_expr(cand.expr, ast.actions[i], cards);
+      std::vector<const Expr*> ctx;
+      std::vector<bool> drop;
+      action_context(st[i], ctx, drop);
+      const Expr strict_prop = make_binary(Op::Lt, delta, make_const(0));
+      DecideOutcome r = decide_always(ast, strict_prop, ctx, drop, dopts);
+      bool strict = r.proved;
+      if (!strict) {
+        const Expr noninc_prop = make_binary(Op::Le, delta, make_const(0));
+        r = decide_always(ast, noninc_prop, ctx, drop, dopts);
+        if (!r.proved) {
+          rejected = true;
+          break;
+        }
+      }
+      any_strict |= strict;
+      evals.push_back({i, std::move(delta), strict, r});
+    }
+    if (rejected) continue;
+    if (!any_strict) {
+      // A component that provably never moves for anyone adds no
+      // information — require a possible decrease for someone.
+      bool useful = false;
+      for (const Eval& e : evals) {
+        std::vector<const Expr*> ctx;
+        std::vector<bool> drop;
+        action_context(st[e.action], ctx, drop);
+        const Expr still = make_binary(Op::Eq, e.delta, make_const(0));
+        if (!decide_always(ast, still, ctx, drop, dopts).proved) {
+          useful = true;
+          break;
+        }
+      }
+      if (!useful) continue;
+    }
+
+    const std::size_t comp = cert.components.size();
+    cert.components.push_back({RankComponent::Kind::Template, cand.pretty, cand.expr, {}});
+    std::vector<std::size_t> still_unranked;
+    for (Eval& e : evals) {
+      const gcl::ActionAst& a = ast.actions[e.action];
+      if (e.strict) {
+        cert.ranked_at[e.action] = comp;
+        st[e.action].ranked = true;
+        cert.obligations.push_back({Obligation::Kind::StrictDecrease, a.name, comp,
+                                    e.outcome.method, e.outcome.valuations,
+                                    short_detail(a, cand.pretty)});
+      } else {
+        cert.obligations.push_back({Obligation::Kind::NonIncrease, a.name, comp,
+                                    e.outcome.method, e.outcome.valuations,
+                                    short_detail(a, cand.pretty)});
+        st[e.action].ties.push_back(make_binary(Op::Eq, std::move(e.delta), make_const(0)));
+        still_unranked.push_back(e.action);
+      }
+    }
+    unranked = std::move(still_unranked);
+  }
+
+  // Enumerated-table final component for whatever the templates missed.
+  if (!unranked.empty()) {
+    const Packing pack(cards);
+    const std::size_t total = valuation_count(all_vars(n), cards, opts.budget);
+    if (total > opts.budget) {
+      std::string names;
+      for (std::size_t i : unranked) names += (names.empty() ? "" : ", ") + ast.actions[i].name;
+      result.failures.push_back("no template ranks {" + names +
+                                "} and |Sigma| exceeds the budget for a table (" +
+                                std::to_string(opts.budget) + ")");
+    } else {
+      // Residual relation: unranked-action transitions with both ends
+      // outside P on which every template component ties.
+      auto residual_succ = [&](const StateVec& s, StateVec& scratch,
+                               const std::function<void(std::size_t)>& emit) {
+        if (target && !truthy(not_p, s)) return;
+        for (std::size_t i : unranked) {
+          const gcl::ActionAst& a = ast.actions[i];
+          if (!truthy(a.guard, s)) continue;
+          apply_action_state(a, cards, s, scratch);
+          if (scratch == s) continue;
+          if (target && !truthy(not_p, scratch)) continue;
+          bool tied = true;
+          for (const RankComponent& c : cert.components)
+            tied = tied && gcl::eval(c.expr, s) == gcl::eval(c.expr, scratch);
+          if (tied) emit(pack.encode(scratch));
+        }
+      };
+
+      std::vector<std::uint32_t> indeg(total, 0);
+      StateVec s, post;
+      for_each_valuation(all_vars(n), cards, s, [&](const StateVec& sv) {
+        residual_succ(sv, post, [&](std::size_t t) { ++indeg[t]; });
+        return true;
+      });
+      // Kahn topological order, then longest path in reverse order.
+      std::vector<std::uint32_t> order;
+      order.reserve(total);
+      for (std::size_t id = 0; id < total; ++id)
+        if (indeg[id] == 0) order.push_back(static_cast<std::uint32_t>(id));
+      StateVec decoded(n);
+      auto decode = [&](std::size_t id, StateVec& out) {
+        for (std::size_t i = 0; i < n; ++i)
+          out[i] = static_cast<Value>(id / pack.strides[i] %
+                                      static_cast<std::size_t>(cards[i]));
+      };
+      for (std::size_t head = 0; head < order.size(); ++head) {
+        decode(order[head], decoded);
+        residual_succ(decoded, post, [&](std::size_t t) {
+          if (--indeg[t] == 0) order.push_back(static_cast<std::uint32_t>(t));
+        });
+      }
+      if (order.size() != total) {
+        result.failures.push_back(
+            "residual relation has a cycle outside the target: no ranking extends the "
+            "templates");
+      } else {
+        std::vector<std::uint32_t> table(total, 0);
+        for (std::size_t idx = order.size(); idx-- > 0;) {
+          const std::size_t id = order[idx];
+          decode(id, decoded);
+          std::uint32_t best = 0;
+          residual_succ(decoded, post, [&](std::size_t t) {
+            best = std::max(best, table[t] + 1);
+          });
+          table[id] = best;
+        }
+        const std::size_t comp = cert.components.size();
+        cert.components.push_back({RankComponent::Kind::Table,
+                                   "residual-table[" + std::to_string(total) + "]",
+                                   make_const(0), std::move(table)});
+        for (std::size_t i : unranked) {
+          cert.ranked_at[i] = comp;
+          cert.obligations.push_back({Obligation::Kind::TableDecrease,
+                                      ast.actions[i].name, comp, Discharge::Table, total,
+                                      "longest-path rank over residual DAG"});
+        }
+        unranked.clear();
+      }
+    }
+  }
+
+  // Progress: no deadlock outside P.
+  bool progress_ok = true;
+  if (target && result.failures.empty()) {
+    const std::vector<const Expr*> p_conjuncts = conjuncts_of(*target);
+    std::vector<Obligation> progress_obs;
+    bool local_ok = true;
+    for (std::size_t ci = 0; ci < p_conjuncts.size(); ++ci) {
+      const Expr neg = make_unary(Op::Not, *p_conjuncts[ci]);
+      const std::vector<const Expr*> ctx = {&neg};
+      const std::vector<bool> drop = {false};
+      bool found = false;
+      for (std::size_t i = 0; i < ast.actions.size() && !found; ++i) {
+        const Expr witness = make_binary(Op::And, st[i].guard, st[i].changed);
+        const DecideOutcome r = decide_always(ast, witness, ctx, drop, dopts);
+        if (r.proved) {
+          progress_obs.push_back({Obligation::Kind::Progress, ast.actions[i].name, 0,
+                                  r.method, r.valuations,
+                                  "witness for violated conjunct " + std::to_string(ci)});
+          found = true;
+        }
+      }
+      local_ok = local_ok && found;
+      if (!local_ok) break;
+    }
+    if (local_ok) {
+      cert.obligations.insert(cert.obligations.end(), progress_obs.begin(),
+                              progress_obs.end());
+    } else {
+      const std::size_t total = valuation_count(all_vars(n), cards, opts.budget);
+      if (total > opts.budget) {
+        progress_ok = false;
+        result.failures.push_back(
+            "no per-conjunct progress witness and |Sigma| exceeds the budget");
+      } else {
+        StateVec s, post;
+        bool deadlock = false;
+        for_each_valuation(all_vars(n), cards, s, [&](const StateVec& sv) {
+          if (!truthy(not_p, sv)) return true;
+          for (const gcl::ActionAst& a : ast.actions) {
+            if (!truthy(a.guard, sv)) continue;
+            apply_action_state(a, cards, sv, post);
+            if (post != sv) return true;
+          }
+          deadlock = true;
+          return false;
+        });
+        if (deadlock) {
+          progress_ok = false;
+          result.failures.push_back("a state outside the target is a deadlock");
+        } else {
+          cert.obligations.push_back({Obligation::Kind::Progress, "", 0,
+                                      Discharge::Enumeration, total,
+                                      "exhaustive deadlock scan outside target"});
+        }
+      }
+    }
+  }
+
+  // Closure (stabilization = convergence + closure); failure here keeps
+  // the convergence proof, it only clears closure_proved.
+  if (target && result.failures.empty() && progress_ok) {
+    const std::vector<const Expr*> p_conjuncts = conjuncts_of(*target);
+    int absint_ok = -1;
+    bool all = true;
+    std::vector<Obligation> closure_obs;
+    for (std::size_t i = 0; i < ast.actions.size() && all; ++i)
+      all = discharge_closure_action(ast, *target, p_conjuncts, i, st[i], dopts,
+                                     &absint_ok, closure_obs);
+    if (all) {
+      cert.closure_proved = true;
+      cert.obligations.insert(cert.obligations.end(), closure_obs.begin(),
+                              closure_obs.end());
+    }
+  }
+
+  result.proved = unranked.empty() && progress_ok && result.failures.empty();
+  if (result.proved) result.certificate = std::move(cert);
+  result.prove_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  return result;
+}
+
+}  // namespace
+
+ProveResult prove_convergence(const gcl::SystemAst& ast, const gcl::Expr& target,
+                              const ProveOptions& opts) {
+  return prove_impl(ast, &target, opts);
+}
+
+ProveResult prove_termination(const gcl::SystemAst& ast, const ProveOptions& opts) {
+  return prove_impl(ast, nullptr, opts);
+}
+
+// --- independent validation -------------------------------------------
+
+namespace {
+
+bool reject(std::string* why, std::string msg) {
+  if (why) *why = std::move(msg);
+  return false;
+}
+
+/// Complete edge-level re-check: enumerate Sigma and verify the
+/// SEMANTIC claims directly — every transition with both ends outside P
+/// lexicographically decreases the tuple, no state outside P deadlocks,
+/// and (when claimed) P is closed. ranked_at is not trusted at all.
+bool validate_mode_a(const gcl::SystemAst& ast, const Expr* target,
+                     const ConvergenceCertificate& cert, std::string* why) {
+  const std::vector<int> cards = prover_cards(ast);
+  const std::size_t n = ast.vars.size();
+  const Packing pack(cards);
+
+  for (const RankComponent& c : cert.components)
+    if (c.kind == RankComponent::Kind::Table && c.table.size() != pack.total)
+      return reject(why, "table component size does not match |Sigma|");
+
+  StateVec s, post;
+  bool ok = true;
+  std::string reason;
+  for_each_valuation(all_vars(n), cards, s, [&](const StateVec& sv) {
+    const bool in_p = target && truthy(*target, sv);
+    bool has_move = false;
+    for (const gcl::ActionAst& a : ast.actions) {
+      if (!truthy(a.guard, sv)) continue;
+      apply_action_state(a, cards, sv, post);
+      if (post == sv) continue;
+      has_move = true;
+      if (in_p) {
+        if (cert.closure_proved && !truthy(*target, post)) {
+          ok = false;
+          reason = "closure violated by " + a.name;
+          return false;
+        }
+        continue;
+      }
+      if (target && truthy(*target, post)) continue;  // escaped into P
+      // Lexicographic strict decrease on a !P -> !P transition.
+      bool decreased = false;
+      for (const RankComponent& c : cert.components) {
+        std::int64_t v, v2;
+        if (c.kind == RankComponent::Kind::Table) {
+          v = static_cast<std::int64_t>(c.table[pack.encode(sv)]);
+          v2 = static_cast<std::int64_t>(c.table[pack.encode(post)]);
+        } else {
+          v = gcl::eval(c.expr, sv);
+          v2 = gcl::eval(c.expr, post);
+        }
+        if (v2 < v) {
+          decreased = true;
+          break;
+        }
+        if (v2 > v) break;  // increase before any decrease: not lex
+      }
+      if (!decreased) {
+        ok = false;
+        reason = "transition by " + a.name + " does not decrease the ranking";
+        return false;
+      }
+    }
+    // Termination tolerates stuck states (the computation is finite);
+    // convergence does not, outside P.
+    if (target && !in_p && !has_move) {
+      ok = false;
+      reason = "deadlock outside the target";
+      return false;
+    }
+    return true;
+  });
+  if (!ok) return reject(why, reason);
+  return true;
+}
+
+/// Symbolic re-derivation for state spaces beyond the enumeration
+/// budget: every template obligation implied by ranked_at is
+/// re-discharged from validator-recomputed contexts (guard, changed,
+/// !P, !P', earlier-component ties); progress and closure re-run their
+/// local ladders. Table components cannot be audited without the very
+/// enumeration that is out of budget, so they are rejected here.
+bool validate_mode_b(const gcl::SystemAst& ast, const Expr* target,
+                     const ConvergenceCertificate& cert, std::string* why) {
+  const std::vector<int> cards = prover_cards(ast);
+  const DecideOptions dopts{cert.budget};
+
+  for (const RankComponent& c : cert.components)
+    if (c.kind == RankComponent::Kind::Table)
+      return reject(why, "table component is not auditable beyond the budget");
+
+  const Expr not_p = target ? make_unary(Op::Not, *target) : make_const(1);
+  for (std::size_t i = 0; i < ast.actions.size(); ++i) {
+    const gcl::ActionAst& a = ast.actions[i];
+    const Expr guard = a.guard;
+    const Expr changed = changed_expr(a, cards);
+    const Expr not_p_post = target ? post_expr(not_p, a, cards) : make_const(1);
+
+    if (cert.ranked_at[i] == kUnranked) {
+      const std::vector<const Expr*> ctx = {&guard, &changed, &not_p, &not_p_post};
+      const std::vector<bool> drop = {false, false, true, true};
+      if (!decide_unsat(ast, ctx, drop, dopts).proved)
+        return reject(why, "vacuity of " + a.name + " cannot be re-established");
+      continue;
+    }
+    const std::size_t rank_site = cert.ranked_at[i];
+    if (rank_site >= cert.components.size())
+      return reject(why, "rank site of " + a.name + " is out of range");
+
+    std::vector<Expr> deltas, ties;
+    for (std::size_t j = 0; j <= rank_site; ++j)
+      deltas.push_back(delta_expr(cert.components[j].expr, a, cards));
+    for (std::size_t j = 0; j <= rank_site; ++j) {
+      std::vector<const Expr*> ctx = {&guard, &changed, &not_p, &not_p_post};
+      std::vector<bool> drop = {false, false, true, true};
+      for (const Expr& t : ties) {
+        ctx.push_back(&t);
+        drop.push_back(true);
+      }
+      const bool strict = j == rank_site;
+      const Expr prop =
+          make_binary(strict ? Op::Lt : Op::Le, deltas[j], make_const(0));
+      if (!decide_always(ast, prop, ctx, drop, dopts).proved)
+        return reject(why, (strict ? std::string("strict decrease of ")
+                                   : std::string("non-increase of ")) +
+                               a.name + " at component " + std::to_string(j) +
+                               " cannot be re-established");
+      ties.push_back(make_binary(Op::Eq, deltas[j], make_const(0)));
+    }
+  }
+
+  if (target) {
+    for (const Expr* pi : conjuncts_of(*target)) {
+      const Expr neg = make_unary(Op::Not, *pi);
+      const std::vector<const Expr*> ctx = {&neg};
+      const std::vector<bool> drop = {false};
+      bool found = false;
+      for (const gcl::ActionAst& a : ast.actions) {
+        const Expr witness =
+            make_binary(Op::And, a.guard, changed_expr(a, cards));
+        if (decide_always(ast, witness, ctx, drop, dopts).proved) {
+          found = true;
+          break;
+        }
+      }
+      if (!found)
+        return reject(why, "no progress witness for a violated conjunct");
+    }
+    if (cert.closure_proved) {
+      const std::vector<const Expr*> p_conjuncts = conjuncts_of(*target);
+      int absint_ok = -1;
+      std::vector<Obligation> scratch;
+      for (std::size_t i = 0; i < ast.actions.size(); ++i) {
+        ActionState st;
+        st.guard = ast.actions[i].guard;
+        st.changed = changed_expr(ast.actions[i], cards);
+        if (!discharge_closure_action(ast, *target, p_conjuncts, i, st, dopts,
+                                      &absint_ok, scratch))
+          return reject(why, "closure under " + ast.actions[i].name +
+                                 " cannot be re-established");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_certificate(const gcl::SystemAst& ast, const gcl::Expr* target,
+                          const ConvergenceCertificate& cert, std::string* why) {
+  if (target) {
+    if (cert.goal != Goal::Convergence)
+      return reject(why, "certificate goal is not convergence");
+    if (cert.predicate != gcl::print_expr(*target))
+      return reject(why, "certificate predicate does not match the requested target");
+  } else {
+    if (cert.goal != Goal::Termination)
+      return reject(why, "certificate goal is not termination");
+    if (!cert.predicate.empty())
+      return reject(why, "termination certificate carries a predicate");
+  }
+  if (cert.budget == 0) return reject(why, "certificate has no budget");
+  if (cert.ranked_at.size() != ast.actions.size())
+    return reject(why, "certificate action count does not match the system");
+  for (std::size_t i = 0; i < cert.components.size(); ++i)
+    if (cert.components[i].kind == RankComponent::Kind::Table &&
+        i + 1 != cert.components.size())
+      return reject(why, "table component must be the least significant");
+  for (std::size_t r : cert.ranked_at)
+    if (r != kUnranked && r >= cert.components.size())
+      return reject(why, "rank site out of range");
+
+  const std::vector<int> cards = prover_cards(ast);
+  const std::size_t total =
+      valuation_count(all_vars(ast.vars.size()), cards, cert.budget);
+  if (total <= cert.budget) return validate_mode_a(ast, target, cert, why);
+  return validate_mode_b(ast, target, cert, why);
+}
+
+// --- rendering --------------------------------------------------------
+
+std::string format_certificate(const gcl::SystemAst& ast,
+                               const ConvergenceCertificate& cert) {
+  std::ostringstream out;
+  out << "certificate for " << cert.system << ":\n";
+  if (cert.goal == Goal::Convergence) {
+    out << "  goal: " << (cert.closure_proved ? "stabilization" : "convergence")
+        << " to " << cert.predicate << "\n";
+  } else {
+    out << "  goal: termination\n";
+  }
+  out << "  ranking (" << cert.components.size() << " component(s), most significant first):\n";
+  for (std::size_t i = 0; i < cert.components.size(); ++i)
+    out << "    [" << i << "] " << cert.components[i].pretty << "\n";
+  for (std::size_t i = 0; i < ast.actions.size(); ++i) {
+    out << "  action " << ast.actions[i].name << ": ";
+    if (cert.ranked_at[i] == kUnranked)
+      out << "vacuous\n";
+    else
+      out << "strict at [" << cert.ranked_at[i] << "]\n";
+  }
+  out << "  obligations (" << cert.obligations.size() << "):\n";
+  for (const Obligation& o : cert.obligations) {
+    out << "    " << obligation_kind_name(o.kind);
+    if (!o.action.empty()) out << " " << o.action;
+    if (o.kind == Obligation::Kind::StrictDecrease ||
+        o.kind == Obligation::Kind::NonIncrease ||
+        o.kind == Obligation::Kind::TableDecrease)
+      out << " [" << o.component << "]";
+    out << " via " << discharge_name(o.method);
+    if (o.valuations > 0) out << " (" << o.valuations << " valuation(s))";
+    if (!o.detail.empty()) out << " -- " << o.detail;
+    out << "\n";
+  }
+  if (cert.goal == Goal::Convergence)
+    out << "  closure: " << (cert.closure_proved ? "proved" : "NOT proved") << "\n";
+  out << "  budget: " << cert.budget << "\n";
+  return out.str();
+}
+
+std::string render_certificate_json(const ConvergenceCertificate& cert) {
+  std::ostringstream out;
+  out << "{\"type\": \"convergence_certificate\", \"goal\": \""
+      << (cert.goal == Goal::Convergence ? "convergence" : "termination")
+      << "\", \"system\": \"" << gcl::json_escape(cert.system)
+      << "\", \"predicate\": \"" << gcl::json_escape(cert.predicate)
+      << "\", \"components\": [";
+  for (std::size_t i = 0; i < cert.components.size(); ++i) {
+    const RankComponent& c = cert.components[i];
+    if (i) out << ", ";
+    out << "{\"kind\": \""
+        << (c.kind == RankComponent::Kind::Table ? "table" : "template")
+        << "\", \"pretty\": \"" << gcl::json_escape(c.pretty)
+        << "\", \"table_states\": " << c.table.size() << "}";
+  }
+  out << "], \"ranked_at\": [";
+  for (std::size_t i = 0; i < cert.ranked_at.size(); ++i) {
+    if (i) out << ", ";
+    if (cert.ranked_at[i] == kUnranked)
+      out << "null";
+    else
+      out << cert.ranked_at[i];
+  }
+  out << "], \"obligations\": [";
+  for (std::size_t i = 0; i < cert.obligations.size(); ++i) {
+    const Obligation& o = cert.obligations[i];
+    if (i) out << ", ";
+    out << "{\"kind\": \"" << obligation_kind_name(o.kind) << "\", \"action\": \""
+        << gcl::json_escape(o.action) << "\", \"component\": " << o.component
+        << ", \"method\": \"" << discharge_name(o.method)
+        << "\", \"valuations\": " << o.valuations << ", \"detail\": \""
+        << gcl::json_escape(o.detail) << "\"}";
+  }
+  out << "], \"closure_proved\": " << (cert.closure_proved ? "true" : "false")
+      << ", \"budget\": " << cert.budget << "}\n";
+  return out.str();
+}
+
+}  // namespace cref::prover

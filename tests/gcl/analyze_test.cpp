@@ -492,6 +492,29 @@ TEST(ReadWriteSets, PerActionSetsAndInterferenceKeyOnProcesses) {
   EXPECT_EQ(rw.vars[0].reader_processes, (std::vector<int>{0}));
 }
 
+TEST(ReadWriteSets, JsonRenderingIsWellFormedAndSpliceable) {
+  SystemAst ast = parse(
+      "system p { var x : 0..2; var y : 0..2;"
+      "  action a @0 : x == 0 -> y := x + 1;"
+      "  action b : y == 1 -> y := 0; }");
+  const std::string sets = render_read_write_report_json(ast);
+  // The member itself embeds in a document and the spliced document
+  // (the gcl_lint --format=json --sets output) stays valid JSON.
+  EXPECT_TRUE(valid_json("{" + sets + "}")) << sets;
+  const std::string doc = render_json(analyze(ast), "p.gcl", sets);
+  EXPECT_TRUE(valid_json(doc)) << doc;
+  EXPECT_NE(doc.find("\"sets\": {"), std::string::npos);
+  EXPECT_NE(doc.find("\"diagnostics\": ["), std::string::npos);
+  // Names, not indices; unannotated process is -1.
+  EXPECT_NE(sets.find("\"writes\": [\"y\"]"), std::string::npos) << sets;
+  EXPECT_NE(sets.find("\"process\": -1"), std::string::npos) << sets;
+  EXPECT_NE(sets.find("\"cross_process_write_interference\": false"),
+            std::string::npos)
+      << sets;
+  // An empty extra member degrades to the plain two-argument document.
+  EXPECT_EQ(render_json(analyze(ast), "p.gcl", ""), render_json(analyze(ast), "p.gcl"));
+}
+
 // --- golden: every shipped example is lint-clean ---------------------
 
 TEST(AnalyzeGolden, ShippedExamplesAreLintClean) {

@@ -1,0 +1,99 @@
+#include "prover/interference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gcl/parser.hpp"
+
+// The interference graph is the prover's cheapest artifact: a purely
+// syntactic variable-dependency DAG (read -> write edges), its SCC
+// condensation layering, and the cross-action write-conflict list. The
+// template pool's ordering and the layer-local footprint story both
+// hang off it, so its invariants get pinned here.
+
+namespace cref::prover {
+namespace {
+
+const char* kChain = R"(
+system chain {
+  var x1 : 0..3;
+  var x2 : 0..3;
+  var x3 : 0..3;
+  action a1 : x1 != 0  -> x1 := 0;
+  action a2 : x2 != x1 -> x2 := x1;
+  action a3 : x3 != x2 -> x3 := x2;
+  init : x1 == 0 && x2 == 0 && x3 == 0;
+}
+)";
+
+const char* kRing = R"(
+system ring {
+  var c0 : 0..2;
+  var c1 : 0..2;
+  var c2 : 0..2;
+  action s0 : c0 != c2 -> c0 := c2;
+  action s1 : c1 != c0 -> c1 := c0;
+  action s2 : c2 != c1 -> c2 := c1;
+  init : c0 == 0 && c1 == 0 && c2 == 0;
+}
+)";
+
+TEST(InterferenceTest, ChainIsAcyclicAndLayered) {
+  const gcl::SystemAst ast = gcl::parse(kChain);
+  const InterferenceGraph g = build_interference(ast);
+  EXPECT_TRUE(g.acyclic);
+  ASSERT_EQ(g.layer.size(), 3u);
+  EXPECT_EQ(g.layer[0], 0u);  // x1 depends on nothing
+  EXPECT_EQ(g.layer[1], 1u);  // x2 copies x1
+  EXPECT_EQ(g.layer[2], 2u);  // x3 copies x2
+  EXPECT_EQ(g.num_layers, 3u);
+  // Dependency edges follow the copy direction.
+  ASSERT_EQ(g.dep_out.size(), 3u);
+  EXPECT_EQ(g.dep_out[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(g.dep_out[1], (std::vector<std::size_t>{2}));
+  EXPECT_TRUE(g.dep_out[2].empty());
+  // Every action reads its own target: self-dependency, not a cycle.
+  EXPECT_TRUE(g.self_dep[0] && g.self_dep[1] && g.self_dep[2]);
+  // Action layers mirror their written variables'.
+  EXPECT_EQ(g.action_layer, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_TRUE(g.write_conflicts.empty());
+}
+
+TEST(InterferenceTest, RingIsCyclic) {
+  const gcl::SystemAst ast = gcl::parse(kRing);
+  const InterferenceGraph g = build_interference(ast);
+  EXPECT_FALSE(g.acyclic);
+  // The whole ring collapses into one SCC: a single layer.
+  EXPECT_EQ(g.num_layers, 1u);
+  EXPECT_EQ(g.layer, (std::vector<std::size_t>{0, 0, 0}));
+}
+
+TEST(InterferenceTest, WriteConflictsAreCrossActionOnly) {
+  const gcl::SystemAst ast = gcl::parse(R"(
+system conflict {
+  var t : 0..1;
+  var u : 0..1;
+  action set   : t == 0 && u == 1 -> t := 1;
+  action clear : t == 1 && u == 0 -> t := 0;
+  action other : u != t           -> u := t;
+  init : t == 0 && u == 0;
+}
+)");
+  const InterferenceGraph g = build_interference(ast);
+  ASSERT_EQ(g.write_conflicts.size(), 1u);
+  EXPECT_EQ(g.write_conflicts[0].action_a, 0u);
+  EXPECT_EQ(g.write_conflicts[0].action_b, 1u);
+  EXPECT_EQ(g.write_conflicts[0].var, 0u);
+}
+
+TEST(InterferenceTest, FormatMentionsLayersAndConflicts) {
+  const gcl::SystemAst ast = gcl::parse(kChain);
+  const std::string text = format_interference(ast, build_interference(ast));
+  EXPECT_NE(text.find("acyclic"), std::string::npos);
+  EXPECT_NE(text.find("x1 [layer 0]"), std::string::npos);
+  EXPECT_NE(text.find("write conflicts: none"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cref::prover

@@ -204,6 +204,9 @@ int main(int argc, char** argv) {
             << "  builds:       " << st.builds_compared << " parallel-vs-serial compared\n"
             << "  absint:       " << st.absint_checked << " regions sound, "
             << st.closures_validated << " closure proofs confirmed\n"
+            << "  prover:       " << st.prover_attempts << " goals tried, "
+            << st.prover_proofs << " proved, " << st.prover_confirmed
+            << " confirmed explicitly\n"
             << "  meta:         " << st.meta_implications << " implications\n";
   if (drv.failures)
     std::cout << "rerun a failing case with --strategy NAME --seed N "

@@ -19,12 +19,21 @@
 // reason from an over-approximation of reachability — see the header
 // for the per-rule caveats.
 //
+// --prove runs the superposition side-condition rules
+// (src/prover/superposition.hpp) on every init-free file (the repo's
+// wrapper convention): wrapper-nonterminating when the wrapper's own
+// computation is not provably finite (a proof is reported as a Note
+// naming the ranking), and — with `--base FILE` — wrapper-writes-
+// foreign-var for wrapper actions writing base variables owned by a
+// different @process. Files WITH an init get no --prove findings.
+//
 // Exit codes: 0 clean (notes allowed), 1 findings at failure level
 // (any error; any warning under --werror), 2 usage error.
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -32,6 +41,7 @@
 #include "gcl/analyze.hpp"
 #include "gcl/diag.hpp"
 #include "gcl/parser.hpp"
+#include "prover/superposition.hpp"
 #include "util/cli.hpp"
 
 using namespace cref;
@@ -49,18 +59,22 @@ std::string read_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Cli cli(argc, argv, {"werror", "sets", "absint"});
+  util::Cli cli(argc, argv, {"werror", "sets", "absint", "prove"});
   if (cli.positional().empty()) {
     std::fprintf(stderr,
                  "usage: gcl_lint [--format=text|json] [--werror] [--sets] "
-                 "[--absint] [--budget N] FILE.gcl...\n"
+                 "[--absint] [--prove [--base FILE]] [--budget N] FILE.gcl...\n"
                  "  --format=json  machine-readable output (one document per file)\n"
                  "  --werror       treat warnings as errors (notes never fail)\n"
-                 "  --sets         also print per-action read/write sets and the\n"
+                 "  --sets         also report per-action read/write sets and the\n"
                  "                 cross-process interference summary\n"
                  "  --absint       also run the abstract-interpretation rules\n"
                  "                 (absint-unreachable-action, absint-guard-dead,\n"
                  "                 absint-var-constant, absint-init-not-closed)\n"
+                 "  --prove        also run the superposition rules on init-free\n"
+                 "                 files (wrapper-nonterminating, and with --base\n"
+                 "                 the wrapper-writes-foreign-var check)\n"
+                 "  --base FILE    the base system the wrappers superpose on\n"
                  "  --budget N     max valuations per exact check (default 2^20)\n");
     return 2;
   }
@@ -73,6 +87,19 @@ int main(int argc, char** argv) {
   const bool werror = cli.has("werror");
   gcl::AnalyzeOptions opts;
   opts.exact_budget = cli.get_size("budget", opts.exact_budget);
+
+  gcl::SystemAst base_ast;
+  bool have_base = false;
+  const std::string base_path = cli.get("base", "");
+  if (!base_path.empty()) {
+    try {
+      base_ast = gcl::parse(read_file(base_path));
+      have_base = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gcl_lint: --base %s: %s\n", base_path.c_str(), e.what());
+      return 2;
+    }
+  }
 
   bool failed = false;
   for (const std::string& path : cli.positional()) {
@@ -93,9 +120,24 @@ int main(int argc, char** argv) {
       diags.insert(diags.end(), extra.begin(), extra.end());
       gcl::sort_diagnostics(diags);
     }
+    if (parsed && cli.has("prove") && !ast.init) {
+      prover::SuperpositionOptions sopts;
+      sopts.prove.budget = opts.exact_budget;
+      try {
+        auto extra =
+            prover::check_superposition(ast, have_base ? &base_ast : nullptr, sopts);
+        diags.insert(diags.end(), extra.begin(), extra.end());
+        gcl::sort_diagnostics(diags);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "gcl_lint: %s: %s\n", path.c_str(), e.what());
+        return 2;
+      }
+    }
     failed |= gcl::should_fail(diags, werror);
     if (format == "json") {
-      std::fputs(gcl::render_json(diags, path).c_str(), stdout);
+      const std::string extra =
+          parsed && cli.has("sets") ? gcl::render_read_write_report_json(ast) : "";
+      std::fputs(gcl::render_json(diags, path, extra).c_str(), stdout);
     } else {
       std::fputs(gcl::render_text(diags, path).c_str(), stdout);
       if (parsed && cli.has("sets"))
