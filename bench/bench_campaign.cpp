@@ -1,0 +1,240 @@
+// E22: batched fault-environment campaigns at the million-run scale.
+//
+// Two legs:
+//
+//  1. Full sweep — {kstate, btr+w1w2, workring} x {scramble, burst:2,
+//     corrupt low/high, crash+restart} x {random, round-robin,
+//     adversary} x runs_per_cell seeds, > 1e6 runs in full mode. The
+//     whole sweep executes twice, at --threads 8 and --threads 1, and
+//     the bench exits 1 unless every cell aggregate is byte-identical —
+//     the campaign determinism contract, end to end.
+//
+//  2. Corruption-rate threshold — the K-state ring swept across
+//     per-step corruption rates {0, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+//     1e-1} under a fixed round budget, reproducing Dolev & Herman's
+//     unsupportive-environment finding: convergence tolerates faults up
+//     to a rate comparable to 1/T_conv, then collapses — below the
+//     threshold the rate stays ~100% with mildly inflated step counts,
+//     above it runs exhaust the budget without stabilizing.
+//
+// Alongside the printed tables the results are written machine-readably
+// to BENCH_campaign.json in the working directory.
+//
+//   ./bench_campaign [--smoke] [--seed N] [--threads T]
+//
+// --smoke shrinks runs_per_cell to a few dozen (CI); the identity check
+// then compares --threads 2 against --threads 1.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "ring/btr.hpp"
+#include "ring/kstate.hpp"
+#include "ring/work_ring.hpp"
+#include "sim/campaign.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace cref;
+
+namespace {
+
+/// Owns the layouts/systems the sweep references (CampaignSystem
+/// borrows raw pointers, so lifetimes must cover both driver passes).
+struct Fleet {
+  std::vector<std::unique_ptr<System>> owned;
+  std::vector<sim::CampaignSystem> entries;
+
+  void add(std::string name, System sys, StatePredicate legit,
+           std::function<double(const StateVec&)> score, StateVec base) {
+    owned.push_back(std::make_unique<System>(std::move(sys)));
+    entries.push_back({std::move(name), owned.back().get(), std::move(legit),
+                       std::move(score), std::move(base)});
+  }
+};
+
+void add_kstate(Fleet& fleet, int n) {
+  auto l = std::make_shared<ring::KStateLayout>(n, n + 1);
+  StateVec base(l->space()->var_count(), 0);  // all-equal counters: one token
+  fleet.add("kstate", ring::make_kstate(*l), l->single_token_image(),
+            [l](const StateVec& s) { return static_cast<double>(l->image_token_count(s)); },
+            std::move(base));
+}
+
+void add_btr(Fleet& fleet, int n) {
+  auto l = std::make_shared<ring::BtrLayout>(n);
+  // BTR alone is fault-intolerant; the W2-over-W1 wrapped composition
+  // (the Thm 6 semantics) is the stabilizing family member.
+  System wrapped =
+      box_priority(box(ring::make_btr(*l), ring::make_w1(*l)), ring::make_w2(*l));
+  StateVec base(l->space()->var_count(), 0);
+  base[l->ut(1)] = 1;  // canonical single-token state
+  fleet.add("btr+w1w2", std::move(wrapped), l->single_token(),
+            [l](const StateVec& s) { return static_cast<double>(l->token_count(s)); },
+            std::move(base));
+}
+
+void add_workring(Fleet& fleet, int n, int k, int m) {
+  auto l = std::make_shared<ring::WorkRingLayout>(n, k, m);
+  StateVec base(l->space()->var_count(), 0);
+  fleet.add("workring", ring::make_work_ring(*l),
+            [l](const StateVec& s) { return l->image_token_count(s) == 1; },
+            [l](const StateVec& s) { return static_cast<double>(l->image_token_count(s)); },
+            std::move(base));
+}
+
+struct CellRow {
+  std::string system, environment, daemon;
+  const sim::CampaignAggregate* agg;
+};
+
+struct ThresholdRow {
+  double rate;
+  std::uint64_t runs, converged, capped, faults;
+  double conv_rate, mean_steps;
+  std::uint64_t p99;
+};
+
+void write_json(const char* path, std::uint64_t seed, std::uint64_t total_runs,
+                std::size_t par_threads, bool identical, double par_ms, double serial_ms,
+                const std::vector<CellRow>& cells, const std::vector<ThresholdRow>& curve) {
+  std::ofstream out(path);
+  out << "{\n  \"experiment\": \"E22 fault-environment campaigns\",\n  \"seed\": " << seed
+      << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n  \"sweep_total_runs\": " << total_runs
+      << ",\n  \"sweep_threads\": " << par_threads
+      << ",\n  \"sweep_identical\": " << (identical ? "true" : "false")
+      << ",\n  \"sweep_parallel_ms\": " << par_ms
+      << ",\n  \"sweep_serial_ms\": " << serial_ms << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const sim::CampaignAggregate& a = *cells[i].agg;
+    out << "    {\"system\": \"" << cells[i].system << "\", \"environment\": \""
+        << cells[i].environment << "\", \"daemon\": \"" << cells[i].daemon
+        << "\", \"runs\": " << a.runs << ", \"converged\": " << a.converged
+        << ", \"deadlocked\": " << a.deadlocked << ", \"capped\": " << a.capped
+        << ", \"mean_steps\": " << a.mean_steps() << ", \"p50\": " << a.quantile_steps(0.5)
+        << ", \"p99\": " << a.quantile_steps(0.99) << ", \"faults\": " << a.faults
+        << ", \"crashes\": " << a.crashes << ", \"restarts\": " << a.restarts << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"threshold_curve\": [\n";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const ThresholdRow& r = curve[i];
+    out << "    {\"rate\": " << r.rate << ", \"runs\": " << r.runs
+        << ", \"converged\": " << r.converged << ", \"capped\": " << r.capped
+        << ", \"conv_rate\": " << r.conv_rate << ", \"mean_steps\": " << r.mean_steps
+        << ", \"p99\": " << r.p99 << ", \"faults\": " << r.faults << "}"
+        << (i + 1 < curve.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv, {"smoke"});
+  const bool smoke = cli.has("smoke");
+  bench::header("E22", "batched fault-environment campaigns (sweep + corruption threshold)");
+  const std::uint64_t seed = bench::seed_from_cli(cli);
+
+  // ---- Leg 1: the full sweep, parallel vs serial ----
+  const int n = 6;
+  Fleet fleet;
+  add_kstate(fleet, n);
+  add_btr(fleet, n);
+  add_workring(fleet, n, n + 1, 4);
+
+  sim::CampaignSpec spec;
+  spec.systems = fleet.entries;
+  spec.environments = {sim::EnvironmentSpec::scramble(), sim::EnvironmentSpec::burst_of(2),
+                       sim::EnvironmentSpec::corruption(0.003),
+                       sim::EnvironmentSpec::corruption(0.03),
+                       sim::EnvironmentSpec::crash_restart(0.02, 0.1)};
+  spec.daemons = {sim::DaemonSpec::random(), sim::DaemonSpec::round_robin(),
+                  sim::DaemonSpec::greedy_adversary()};
+  // 45 cells x 22300 runs = 1,003,500 runs in full mode.
+  spec.runs_per_cell = smoke ? 40 : 22300;
+  spec.base_seed = seed;
+  spec.max_steps = 2000;
+
+  const std::size_t par_threads = cli.get_size("threads", smoke ? 2 : 8);
+  std::printf("sweep: %zu cells x %zu runs = %zu runs, threads %zu vs 1\n", spec.cells(),
+              spec.runs_per_cell, spec.total_runs(), par_threads);
+
+  bench::Timer tp;
+  const sim::CampaignResult par =
+      sim::CampaignDriver(EngineOptions{par_threads, /*chunk_size=*/0}).run(spec);
+  const double par_ms = tp.ms();
+  bench::Timer ts;
+  const sim::CampaignResult serial =
+      sim::CampaignDriver(EngineOptions{/*num_threads=*/1, /*chunk_size=*/0}).run(spec);
+  const double serial_ms = ts.ms();
+  const bool identical = par == serial;
+
+  std::printf("%s", sim::format_campaign(spec, par).c_str());
+  std::printf("sweep timing: %.0f ms at %zu threads, %.0f ms serial (%.2fx); identical: %s\n\n",
+              par_ms, par_threads, serial_ms, par_ms > 0 ? serial_ms / par_ms : 0.0,
+              identical ? "yes" : "NO");
+
+  std::vector<CellRow> cell_rows;
+  for (const sim::CampaignCell& c : par.cells)
+    cell_rows.push_back({spec.systems[c.system].name, spec.environments[c.environment].name,
+                         spec.daemons[c.daemon].name(), &c.agg});
+
+  // ---- Leg 2: corruption-rate threshold for the K-state ring ----
+  // One fault environment per per-round corruption rate, fixed round
+  // budget, on a larger ring (fault-free T_conv ~ 25 steps at n=12).
+  // The knee where convergence collapses sits where rate x T_conv ~ 1:
+  // through rate 0.1 the ring absorbs faults with mildly inflated step
+  // counts; past 0.3 repair can no longer outrun injection and the
+  // convergence rate falls off a cliff.
+  const int curve_n = 12;
+  const std::vector<double> rates = smoke ? std::vector<double>{0.0, 1e-1, 1.0}
+                                          : std::vector<double>{0.0, 3e-4, 1e-3, 3e-3, 1e-2,
+                                                                3e-2, 1e-1, 3e-1, 6e-1, 1.0};
+  Fleet kfleet;
+  add_kstate(kfleet, curve_n);
+  sim::CampaignSpec curve_spec;
+  curve_spec.systems = kfleet.entries;
+  for (double r : rates)
+    curve_spec.environments.push_back(r == 0.0 ? sim::EnvironmentSpec::scramble()
+                                               : sim::EnvironmentSpec::corruption(r));
+  curve_spec.daemons = {sim::DaemonSpec::random()};
+  curve_spec.runs_per_cell = smoke ? 100 : 20000;
+  curve_spec.base_seed = seed;
+  curve_spec.max_steps = 150;  // budget ~ 6x fault-free T_conv: exposes the knee
+
+  const sim::CampaignResult curve_res =
+      sim::CampaignDriver(EngineOptions{par_threads, /*chunk_size=*/0}).run(curve_spec);
+
+  std::vector<ThresholdRow> curve;
+  util::Table ct({"rate/step", "runs", "conv%", "mean steps", "p99", "capped", "faults"});
+  for (std::size_t i = 0; i < curve_res.cells.size(); ++i) {
+    const sim::CampaignAggregate& a = curve_res.cells[i].agg;
+    curve.push_back({rates[i], a.runs, a.converged, a.capped, a.faults,
+                     a.convergence_rate(), a.mean_steps(), a.quantile_steps(0.99)});
+    char rate[24];
+    std::snprintf(rate, sizeof(rate), "%g", rates[i]);
+    ct.add_row({rate, std::to_string(a.runs),
+                util::format_double(100.0 * a.convergence_rate(), 1),
+                util::format_double(a.mean_steps(), 1), std::to_string(a.quantile_steps(0.99)),
+                std::to_string(a.capped), std::to_string(a.faults)});
+  }
+  std::printf("corruption-rate threshold, kstate n=%d, budget %zu rounds:\n%s\n", curve_n,
+              curve_spec.max_steps, ct.to_string().c_str());
+
+  write_json("BENCH_campaign.json", seed, spec.total_runs(), par_threads, identical, par_ms,
+             serial_ms, cell_rows, curve);
+  std::printf("wrote BENCH_campaign.json\n");
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel and serial sweeps produced different aggregates\n");
+    return 1;
+  }
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include "refinement/onthefly.hpp"
 #include "refinement/reachability.hpp"
 #include "refinement/random_systems.hpp"
+#include "sim/campaign.hpp"
 #include "sim/fault.hpp"
 #include "sim/runner.hpp"
 #include "sim/scheduler.hpp"
@@ -364,6 +365,48 @@ std::vector<OracleFailure> run_oracles(const FuzzCase& fc, const OracleOptions& 
     };
     compare_builds("A", fc.gcl_a);
     compare_builds("C", fc.gcl_c);
+  }
+
+  // ---- campaign-determinism ---------------------------------------
+  // A miniature fault-environment campaign over the compiled C program:
+  // aggregates must be byte-identical single-threaded, multi-threaded
+  // with a pathological 1-run chunk size (maximum interleaving), and on
+  // a straight replay. Any divergence means a run's RNG streams leaked
+  // across workers or an aggregate merge lost commutativity.
+  if (fc.from_gcl()) {
+    try {
+      System csys = gcl::load_system(fc.gcl_c);
+      sim::CampaignSpec cspec;
+      cspec.systems.push_back(
+          {"C", &csys, [](const StateVec& s) { return s[0] == 0; },
+           [](const StateVec& s) {
+             double sum = 0;
+             for (Value v : s) sum += static_cast<double>(v);
+             return sum;
+           },
+           StateVec(csys.space().var_count(), 0)});
+      cspec.environments = {sim::EnvironmentSpec::scramble(),
+                            sim::EnvironmentSpec::corruption(0.05),
+                            sim::EnvironmentSpec::crash_restart(0.1, 0.2)};
+      cspec.daemons = {sim::DaemonSpec::random(), sim::DaemonSpec::round_robin(),
+                       sim::DaemonSpec::greedy_adversary()};
+      cspec.runs_per_cell = 8;
+      cspec.base_seed = fc.seed;
+      cspec.max_steps = 64;
+
+      const sim::CampaignResult ser =
+          sim::CampaignDriver(EngineOptions{/*num_threads=*/1, /*chunk_size=*/0}).run(cspec);
+      const sim::CampaignDriver par_driver(EngineOptions{/*num_threads=*/3, /*chunk_size=*/1});
+      if (!(par_driver.run(cspec) == ser))
+        add("campaign-determinism",
+            "parallel campaign aggregates differ from the serial sweep");
+      else if (!(par_driver.run(cspec) == ser))
+        add("campaign-determinism", "campaign replay produced different aggregates");
+      else
+        ++st.campaigns_compared;
+    } catch (const std::exception& e) {
+      add("campaign-determinism", std::string("threw: ") + e.what());
+    }
   }
 
   // ---- gcl-roundtrip ----------------------------------------------

@@ -31,6 +31,13 @@
 //   build-parallel-vs-serial  the parallel two-pass Sigma
 //                           materialization produces bit-identical CSR
 //                           arrays to the serial build (GCL cases)
+//   campaign-determinism    a small fault-environment campaign sweep
+//                           ({scramble, corruption, crash+restart} x
+//                           {random, round-robin, adversary}) over the
+//                           compiled C program produces byte-identical
+//                           cell aggregates single-threaded, multi-
+//                           threaded with adversarial chunking, and on
+//                           a replay (GCL cases)
 //   absint-soundness        the abstract reachable region R# covers
 //                           every explicitly reachable state, the
 //                           R#-pruned build agrees slice-for-slice with
@@ -103,6 +110,7 @@ struct OracleStats {
   std::size_t gcl_roundtrips = 0;
   std::size_t meta_implications = 0;
   std::size_t builds_compared = 0;
+  std::size_t campaigns_compared = 0;  // sweeps checked serial == parallel == replay
   std::size_t absint_checked = 0;      // programs with R# superset verified
   std::size_t closures_validated = 0;  // static closure proofs confirmed explicitly
   std::size_t prover_attempts = 0;     // prover goals tried (2 per GCL program)

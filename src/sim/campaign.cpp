@@ -1,0 +1,208 @@
+#include "sim/campaign.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace cref::sim {
+
+void CampaignAggregate::add(const RunResult& r) {
+  ++runs;
+  total_rounds += r.rounds;
+  faults += r.faults;
+  crashes += r.crashes;
+  restarts += r.restarts;
+  if (r.converged) {
+    ++converged;
+    const std::uint64_t s = r.steps;
+    total_steps += s;
+    if (s < min_steps) min_steps = s;
+    if (s > max_steps) max_steps = s;
+    std::size_t bucket = 0;
+    for (std::uint64_t v = s + 1; v > 1; v >>= 1) ++bucket;
+    if (bucket >= kCampaignHistogramBuckets) bucket = kCampaignHistogramBuckets - 1;
+    ++histogram[bucket];
+  } else if (r.deadlocked) {
+    ++deadlocked;
+    if (r.blocked) ++blocked;
+  } else {
+    ++capped;
+  }
+}
+
+void CampaignAggregate::merge(const CampaignAggregate& o) {
+  runs += o.runs;
+  converged += o.converged;
+  deadlocked += o.deadlocked;
+  blocked += o.blocked;
+  capped += o.capped;
+  total_steps += o.total_steps;
+  total_rounds += o.total_rounds;
+  if (o.min_steps < min_steps) min_steps = o.min_steps;
+  if (o.max_steps > max_steps) max_steps = o.max_steps;
+  faults += o.faults;
+  crashes += o.crashes;
+  restarts += o.restarts;
+  for (std::size_t b = 0; b < kCampaignHistogramBuckets; ++b) histogram[b] += o.histogram[b];
+}
+
+std::uint64_t CampaignAggregate::quantile_steps(double q) const {
+  if (converged == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(converged)));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kCampaignHistogramBuckets; ++b) {
+    cum += histogram[b];
+    if (cum >= target && histogram[b] > 0) {
+      // Upper edge of bucket b: steps s with floor(log2(s+1)) == b are
+      // s in [2^b - 1, 2^(b+1) - 2].
+      return (std::uint64_t{2} << b) - 2;
+    }
+  }
+  return max_steps;
+}
+
+std::uint64_t CampaignResult::total_runs() const {
+  std::uint64_t n = 0;
+  for (const CampaignCell& c : cells) n += c.agg.runs;
+  return n;
+}
+
+std::uint64_t derive_run_seed(std::uint64_t base, std::size_t system,
+                              std::size_t environment, std::size_t daemon,
+                              std::size_t run) {
+  // splitmix64 finalizer over a linear combination of the coordinates;
+  // the odd multipliers keep distinct cells off each other's streams.
+  std::uint64_t z = base;
+  z += 0x9E3779B97F4A7C15ull * (1 + static_cast<std::uint64_t>(system));
+  z += 0xBF58476D1CE4E5B9ull * (1 + static_cast<std::uint64_t>(environment));
+  z += 0x94D049BB133111EBull * (1 + static_cast<std::uint64_t>(daemon));
+  z += 0xD6E8FEB86659FD93ull * (1 + static_cast<std::uint64_t>(run));
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z;
+}
+
+namespace {
+
+void validate(const CampaignSpec& spec) {
+  if (spec.systems.empty() || spec.environments.empty() || spec.daemons.empty())
+    throw std::invalid_argument("CampaignSpec: every axis needs at least one entry");
+  if (spec.runs_per_cell == 0)
+    throw std::invalid_argument("CampaignSpec: runs_per_cell must be positive");
+  bool greedy = false;
+  for (const DaemonSpec& d : spec.daemons)
+    greedy = greedy || d.kind == DaemonSpec::Kind::kGreedyAdversary;
+  for (const CampaignSystem& cs : spec.systems) {
+    if (!cs.system)
+      throw std::invalid_argument("CampaignSpec: system '" + cs.name + "' has no System");
+    if (!cs.legitimate)
+      throw std::invalid_argument("CampaignSpec: system '" + cs.name +
+                                  "' has no legitimacy predicate");
+    if (greedy && !cs.adversary_score)
+      throw std::invalid_argument("CampaignSpec: system '" + cs.name +
+                                  "' needs an adversary_score for the greedy daemon");
+  }
+}
+
+/// Executes one (cell, run) work item. Everything seeded from the
+/// derived run seed; no state shared with other runs.
+RunResult one_run(const CampaignSpec& spec, std::size_t si, std::size_t ei,
+                  std::size_t di, std::size_t run) {
+  const CampaignSystem& cs = spec.systems[si];
+  const std::uint64_t seed = derive_run_seed(spec.base_seed, si, ei, di, run);
+  Environment env(spec.environments[ei], *cs.system, seed);
+  // The daemon draws from its own stream, decoupled from the fault
+  // stream (one more finalizer round keeps them independent).
+  const std::uint64_t daemon_seed = derive_run_seed(seed, si, ei, di, run + 1);
+  StateVec start = cs.base_state;
+
+  RunOptions ro;
+  ro.max_steps = spec.max_steps;
+  switch (spec.daemons[di].kind) {
+    case DaemonSpec::Kind::kRandom: {
+      RandomDaemon d(daemon_seed);
+      return run_until(*cs.system, std::move(start), d, cs.legitimate, env, ro);
+    }
+    case DaemonSpec::Kind::kRoundRobin: {
+      RoundRobinDaemon d;
+      return run_until(*cs.system, std::move(start), d, cs.legitimate, env, ro);
+    }
+    case DaemonSpec::Kind::kGreedyAdversary: {
+      GreedyAdversaryDaemon d(cs.adversary_score);
+      return run_until(*cs.system, std::move(start), d, cs.legitimate, env, ro);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+CampaignResult CampaignDriver::run(const CampaignSpec& spec) const {
+  validate(spec);
+  const std::size_t n_env = spec.environments.size();
+  const std::size_t n_dae = spec.daemons.size();
+  const std::size_t cells = spec.cells();
+  const std::size_t total = spec.total_runs();
+
+  // Per-worker private aggregates: no locks, no false sharing on the
+  // hot path (each worker touches only its own vector). Worker count
+  // must be resolved up front so the merge below can iterate them in a
+  // fixed order.
+  const std::size_t workers = opts_.resolved_threads(total);
+  EngineOptions pinned = opts_;
+  pinned.num_threads = workers;
+  std::vector<std::vector<CampaignAggregate>> per_worker(
+      workers, std::vector<CampaignAggregate>(cells));
+
+  parallel_chunks(total, pinned, [&](std::size_t tid, std::size_t begin, std::size_t end) {
+    std::vector<CampaignAggregate>& mine = per_worker[tid];
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t cell = i / spec.runs_per_cell;
+      const std::size_t run = i % spec.runs_per_cell;
+      const std::size_t si = cell / (n_env * n_dae);
+      const std::size_t ei = (cell / n_dae) % n_env;
+      const std::size_t di = cell % n_dae;
+      mine[cell].add(one_run(spec, si, ei, di, run));
+    }
+  });
+
+  // Deterministic merge: per cell, fold workers in index order. Every
+  // component is a sum or a min/max over disjoint run sets, so the
+  // result is independent of which worker ran which chunk.
+  CampaignResult result;
+  result.cells.resize(cells);
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    CampaignCell& out = result.cells[cell];
+    out.system = cell / (n_env * n_dae);
+    out.environment = (cell / n_dae) % n_env;
+    out.daemon = cell % n_dae;
+    for (std::size_t w = 0; w < workers; ++w) out.agg.merge(per_worker[w][cell]);
+  }
+  return result;
+}
+
+std::string format_campaign(const CampaignSpec& spec, const CampaignResult& result) {
+  util::Table t({"system", "environment", "daemon", "runs", "conv%", "mean", "p50", "p99",
+                 "dead", "blocked", "capped", "faults", "crashes", "restarts"});
+  for (const CampaignCell& c : result.cells) {
+    const CampaignAggregate& a = c.agg;
+    t.add_row({spec.systems[c.system].name, spec.environments[c.environment].name,
+               spec.daemons[c.daemon].name(), std::to_string(a.runs),
+               util::format_double(100.0 * a.convergence_rate(), 1),
+               util::format_double(a.mean_steps(), 1), std::to_string(a.quantile_steps(0.5)),
+               std::to_string(a.quantile_steps(0.99)), std::to_string(a.deadlocked),
+               std::to_string(a.blocked), std::to_string(a.capped), std::to_string(a.faults),
+               std::to_string(a.crashes), std::to_string(a.restarts)});
+  }
+  return t.to_string();
+}
+
+}  // namespace cref::sim

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/environment.hpp"
+#include "sim/runner.hpp"
+#include "util/parallel.hpp"
+
+namespace cref::sim {
+
+/// Daemon axis of a campaign sweep. Greedy-adversary cells score
+/// successor states with the SYSTEM's CampaignSystem::adversary_score
+/// (the interesting scores — abstract token counts — are per-protocol).
+struct DaemonSpec {
+  enum class Kind { kRandom, kRoundRobin, kGreedyAdversary };
+  Kind kind = Kind::kRandom;
+
+  const char* name() const {
+    switch (kind) {
+      case Kind::kRandom: return "random";
+      case Kind::kRoundRobin: return "round-robin";
+      case Kind::kGreedyAdversary: return "adversary";
+    }
+    return "?";
+  }
+
+  static DaemonSpec random() { return {Kind::kRandom}; }
+  static DaemonSpec round_robin() { return {Kind::kRoundRobin}; }
+  static DaemonSpec greedy_adversary() { return {Kind::kGreedyAdversary}; }
+};
+
+/// System axis of a campaign sweep. `system` is non-owning and must
+/// outlive the run; its guards/effects are called concurrently from the
+/// worker pool, so they must be pure (every protocol in this repo is —
+/// the same contract TransitionGraph::build already relies on).
+struct CampaignSystem {
+  std::string name;
+  const System* system = nullptr;
+  StatePredicate legitimate;
+  /// Successor score for greedy-adversary cells (required iff the sweep
+  /// has a kGreedyAdversary daemon). Called concurrently; must be pure.
+  std::function<double(const StateVec&)> adversary_score;
+  /// Start state before the environment's perturbation — typically a
+  /// canonical legitimate state, so burst environments measure
+  /// re-convergence. Empty = all-zeros (scramble environments overwrite
+  /// it anyway).
+  StateVec base_state;
+};
+
+/// Declarative sweep specification: the full cross product
+/// {systems} x {environments} x {daemons} x {runs_per_cell seeds}.
+struct CampaignSpec {
+  std::vector<CampaignSystem> systems;
+  std::vector<EnvironmentSpec> environments;
+  std::vector<DaemonSpec> daemons;
+  std::size_t runs_per_cell = 100;
+  std::uint64_t base_seed = 1;
+  std::size_t max_steps = 100000;  // per-run round cap (RunOptions::max_steps)
+
+  std::size_t cells() const {
+    return systems.size() * environments.size() * daemons.size();
+  }
+  std::size_t total_runs() const { return cells() * runs_per_cell; }
+};
+
+/// log2-bucketed step-count histogram: bucket b counts converged runs
+/// with floor(log2(steps + 1)) == b, so bucket 0 is 0 steps, bucket 1
+/// is 1..2, bucket 2 is 3..6, ... Buckets make quantiles deterministic
+/// and mergeable without retaining per-run samples (a million-run sweep
+/// keeps ~100 words per cell instead of a million doubles).
+inline constexpr std::size_t kCampaignHistogramBuckets = 40;
+
+/// Per-cell streaming aggregate. INTEGER COUNTERS ONLY: merging is a
+/// component-wise sum (plus min/max), which is associative and
+/// commutative, so the merged aggregate is byte-identical no matter how
+/// runs were sharded across workers — the campaign determinism
+/// contract (cf. TransitionGraph::build's bit-identity).
+struct CampaignAggregate {
+  std::uint64_t runs = 0;
+  std::uint64_t converged = 0;
+  std::uint64_t deadlocked = 0;  // protocol deadlock, environment can't recover
+  std::uint64_t blocked = 0;     // ... of which crash-induced
+  std::uint64_t capped = 0;      // divergence: round cap hit, not legitimate
+  std::uint64_t total_steps = 0;   // over converged runs
+  std::uint64_t total_rounds = 0;  // over all runs
+  std::uint64_t min_steps = UINT64_MAX;  // over converged runs
+  std::uint64_t max_steps = 0;           // over converged runs
+  std::uint64_t faults = 0;    // corruption events, all runs
+  std::uint64_t crashes = 0;   // crash events, all runs
+  std::uint64_t restarts = 0;  // restart events, all runs
+  std::array<std::uint64_t, kCampaignHistogramBuckets> histogram{};
+
+  void add(const RunResult& r);
+  void merge(const CampaignAggregate& o);
+
+  double convergence_rate() const {
+    return runs ? static_cast<double>(converged) / static_cast<double>(runs) : 0.0;
+  }
+  double mean_steps() const {
+    return converged ? static_cast<double>(total_steps) / static_cast<double>(converged)
+                     : 0.0;
+  }
+  /// Approximate quantile (0 <= q <= 1) of the converged-run step
+  /// counts: the upper edge of the histogram bucket where the
+  /// cumulative count crosses q. Deterministic; within a factor of 2.
+  std::uint64_t quantile_steps(double q) const;
+
+  bool operator==(const CampaignAggregate&) const = default;
+};
+
+/// One cell of the sweep: indices into the spec's axes plus the
+/// aggregate over its runs_per_cell runs.
+struct CampaignCell {
+  std::size_t system = 0;
+  std::size_t environment = 0;
+  std::size_t daemon = 0;
+  CampaignAggregate agg;
+
+  bool operator==(const CampaignCell&) const = default;
+};
+
+/// Result of a sweep: one cell per (system, environment, daemon) in
+/// system-major, then environment, then daemon order. Equality is
+/// byte-equality of every aggregate — the unit of the serial-vs-
+/// parallel differential tests and the fuzz oracle.
+struct CampaignResult {
+  std::vector<CampaignCell> cells;
+
+  std::uint64_t total_runs() const;
+  bool operator==(const CampaignResult&) const = default;
+};
+
+/// Seed of run `run` of cell (system, environment, daemon): an
+/// splitmix64-style mix of the base seed and the cell coordinates, so
+/// every run's RNG streams are a pure function of the spec — not of
+/// which worker executed it, in what order, at what thread count.
+std::uint64_t derive_run_seed(std::uint64_t base, std::size_t system,
+                              std::size_t environment, std::size_t daemon,
+                              std::size_t run);
+
+/// Thread-pooled campaign driver. `run` shards the flattened
+/// (cell, run) index space across EngineOptions-many workers via the
+/// same dynamic chunking as the refinement engine's scans; each worker
+/// streams RunResults into its own private per-cell aggregates (no
+/// locks, no sharing), merged per cell in worker order at the end.
+/// Results are byte-identical at any thread count and chunk size.
+class CampaignDriver {
+ public:
+  explicit CampaignDriver(EngineOptions opts = {}) : opts_(opts) {}
+
+  /// Runs the sweep. Throws std::invalid_argument on malformed specs
+  /// (no axis may be empty; every system needs a pointer and a
+  /// legitimacy predicate; greedy-adversary sweeps need scores).
+  CampaignResult run(const CampaignSpec& spec) const;
+
+ private:
+  EngineOptions opts_;
+};
+
+/// Renders the per-cell table (one row per cell, spec order):
+/// system | environment | daemon | runs | conv% | steps mean/p50/p99 |
+/// deadlock | blocked | capped | faults | crashes | restarts.
+std::string format_campaign(const CampaignSpec& spec, const CampaignResult& result);
+
+}  // namespace cref::sim

@@ -1,0 +1,115 @@
+#include "sim/environment.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace cref::sim {
+
+EnvironmentSpec EnvironmentSpec::pristine() { return {}; }
+
+EnvironmentSpec EnvironmentSpec::scramble() {
+  EnvironmentSpec e;
+  e.name = "scramble";
+  e.scramble_start = true;
+  return e;
+}
+
+EnvironmentSpec EnvironmentSpec::burst_of(std::size_t k) {
+  EnvironmentSpec e;
+  e.name = "burst:" + std::to_string(k);
+  e.burst = k;
+  return e;
+}
+
+EnvironmentSpec EnvironmentSpec::corruption(double rate, std::size_t vars) {
+  EnvironmentSpec e;
+  e.name = "corrupt:" + std::to_string(rate);
+  e.scramble_start = true;  // the rate regime starts from an arbitrary state
+  e.corruption_rate = rate;
+  e.corruption_vars = vars;
+  return e;
+}
+
+EnvironmentSpec EnvironmentSpec::crash_restart(double crash, double restart,
+                                               std::size_t max_crashed) {
+  EnvironmentSpec e;
+  e.name = "crash:" + std::to_string(crash) + ":" + std::to_string(restart);
+  e.scramble_start = true;
+  e.crash_rate = crash;
+  e.restart_rate = restart;
+  e.max_crashed = max_crashed;
+  return e;
+}
+
+namespace {
+
+std::size_t owner_process_count(const System& sys) {
+  int max_p = -1;
+  for (const Action& a : sys.actions()) max_p = std::max(max_p, a.process);
+  return static_cast<std::size_t>(max_p + 1);
+}
+
+}  // namespace
+
+Environment::Environment(EnvironmentSpec spec, const System& sys, std::uint64_t seed)
+    : spec_(std::move(spec)),
+      space_(&sys.space()),
+      fi_(seed),
+      crashed_(owner_process_count(sys), 0) {}
+
+void Environment::perturb_start(StateVec& s) {
+  if (spec_.scramble_start) fi_.scramble(*space_, s);
+  s.resize(space_->var_count(), 0);
+  if (spec_.burst > 0) fi_.corrupt(*space_, s, spec_.burst);
+}
+
+bool Environment::pre_step_faults(StateVec& s) {
+  // Fixed draw order — crash, restart, corruption — and every mechanism
+  // consumes its Bernoulli draw whether or not the event can take
+  // effect, so the sequence of rng values per round is a function of
+  // the spec alone (DESIGN.md §13).
+  std::mt19937_64& rng = fi_.rng();
+  if (spec_.crash_rate > 0.0 && spec_.max_crashed > 0 && !crashed_.empty()) {
+    if (util::chance(rng, spec_.crash_rate) && crashed_count_ < spec_.max_crashed &&
+        crashed_count_ < crashed_.size()) {
+      // Crash the k-th live process in id order.
+      std::size_t k = static_cast<std::size_t>(
+          util::uniform_below(rng, crashed_.size() - crashed_count_));
+      for (std::size_t p = 0; p < crashed_.size(); ++p) {
+        if (crashed_[p]) continue;
+        if (k-- == 0) {
+          crashed_[p] = 1;
+          ++crashed_count_;
+          ++crash_events_;
+          break;
+        }
+      }
+    }
+  }
+  if (spec_.restart_rate > 0.0 && spec_.max_crashed > 0 && !crashed_.empty()) {
+    if (util::chance(rng, spec_.restart_rate) && crashed_count_ > 0) {
+      // Restart the k-th crashed process in id order.
+      std::size_t k = static_cast<std::size_t>(util::uniform_below(rng, crashed_count_));
+      for (std::size_t p = 0; p < crashed_.size(); ++p) {
+        if (!crashed_[p]) continue;
+        if (k-- == 0) {
+          crashed_[p] = 0;
+          --crashed_count_;
+          ++restart_events_;
+          break;
+        }
+      }
+    }
+  }
+  bool changed = false;
+  if (spec_.corruption_rate > 0.0 && util::chance(rng, spec_.corruption_rate)) {
+    StateVec before = s;
+    fi_.corrupt(*space_, s, spec_.corruption_vars);
+    ++corruption_events_;
+    changed = s != before;
+  }
+  return changed;
+}
+
+}  // namespace cref::sim

@@ -21,6 +21,33 @@ void enabled_changing_actions_into(const System& sys, const StateVec& s,
   }
 }
 
+void enabled_changing_actions_into(const System& sys, const StateVec& s,
+                                   const Environment& env, std::vector<std::size_t>& out,
+                                   StateVec& effect, bool* masked_any) {
+  out.clear();
+  if (masked_any) *masked_any = false;
+  for (std::size_t i = 0; i < sys.actions().size(); ++i) {
+    const Action& a = sys.actions()[i];
+    if (!a.guard(s)) continue;
+    effect = s;
+    a.effect(effect);
+    if (effect == s) continue;
+    if (env.masks(a)) {
+      if (masked_any) *masked_any = true;
+      continue;
+    }
+    out.push_back(i);
+  }
+}
+
+std::vector<std::size_t> enabled_changing_actions(const System& sys, const StateVec& s,
+                                                  const Environment& env) {
+  std::vector<std::size_t> out;
+  StateVec effect;
+  enabled_changing_actions_into(sys, s, env, out, effect);
+  return out;
+}
+
 RunResult run_until(const System& sys, StateVec start, Scheduler& sched,
                     const StatePredicate& legitimate, const RunOptions& opts) {
   RunResult res;
@@ -29,6 +56,7 @@ RunResult run_until(const System& sys, StateVec start, Scheduler& sched,
   std::vector<std::size_t> enabled;
   StateVec effect;
   for (res.steps = 0; res.steps < opts.max_steps; ++res.steps) {
+    res.rounds = res.steps;
     if (legitimate(state)) {
       res.converged = true;
       res.final_state = std::move(state);
@@ -44,9 +72,52 @@ RunResult run_until(const System& sys, StateVec start, Scheduler& sched,
     sys.actions()[idx].effect(state);
     if (opts.record_trace) res.trace.push_back(state);
   }
+  res.rounds = res.steps;
   res.converged = legitimate(state);
   res.final_state = std::move(state);
   return res;
+}
+
+RunResult run_until(const System& sys, StateVec start, Scheduler& sched,
+                    const StatePredicate& legitimate, Environment& env,
+                    const RunOptions& opts) {
+  RunResult res;
+  StateVec state = std::move(start);
+  env.perturb_start(state);
+  if (opts.record_trace) res.trace.push_back(state);
+  std::vector<std::size_t> enabled;
+  StateVec effect;
+  auto finish = [&](bool converged) {
+    res.converged = converged;
+    res.faults = env.corruption_events();
+    res.crashes = env.crash_events();
+    res.restarts = env.restart_events();
+    res.final_state = std::move(state);
+    return std::move(res);
+  };
+  for (res.rounds = 0; res.rounds < opts.max_steps; ++res.rounds) {
+    if (legitimate(state)) return finish(true);
+    if (env.pre_step_faults(state)) {
+      if (opts.record_trace) res.trace.push_back(state);
+      // A fault can CREATE legitimacy (satellite regression: a
+      // corruption landing inside the legitimate set) — re-check before
+      // the daemon gets to step out of it.
+      if (legitimate(state)) return finish(true);
+    }
+    bool masked_any = false;
+    enabled_changing_actions_into(sys, state, env, enabled, effect, &masked_any);
+    if (enabled.empty()) {
+      if (env.can_recover()) continue;  // faults may still unblock the run
+      res.deadlocked = true;
+      res.blocked = masked_any;
+      return finish(false);
+    }
+    std::size_t idx = sched.pick(sys, state, enabled);
+    sys.actions()[idx].effect(state);
+    ++res.steps;
+    if (opts.record_trace) res.trace.push_back(state);
+  }
+  return finish(legitimate(state));
 }
 
 bool step_synchronous(const System& sys, StateVec& state, const std::vector<int>& processes) {

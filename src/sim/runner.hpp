@@ -1,21 +1,37 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "core/system.hpp"
+#include "sim/environment.hpp"
 #include "sim/scheduler.hpp"
 
 namespace cref::sim {
 
 /// Outcome of one simulated execution.
+///
+/// Under an Environment, `steps` counts only executed daemon actions
+/// (fault injections are not steps, and a round in which every enabled
+/// action is crash-masked executes nothing); `rounds` counts loop
+/// iterations — fault-draw opportunities — and is what RunOptions::
+/// max_steps caps, so a fully crash-blocked run still terminates.
+/// Without an environment rounds == steps.
 struct RunResult {
   bool converged = false;        // legitimacy predicate became true
-  std::size_t steps = 0;         // steps taken until convergence (or cap)
+  std::size_t steps = 0;         // daemon actions executed
+  std::size_t rounds = 0;        // loop iterations (== steps without env)
   bool deadlocked = false;       // no state-changing action was enabled
+                                 // and the environment cannot recover it
+  bool blocked = false;          // the deadlock was crash-induced: some
+                                 // action was enabled but masked
   StateVec final_state;          // state at exit (populated on every path,
                                  // whether or not a trace was recorded)
   std::vector<StateVec> trace;   // recorded states (only if requested)
+  std::uint64_t faults = 0;      // mid-run corruption events injected
+  std::uint64_t crashes = 0;     // crash events
+  std::uint64_t restarts = 0;    // restart events
 };
 
 /// Options for a simulated execution.
@@ -34,12 +50,43 @@ std::vector<std::size_t> enabled_changing_actions(const System& sys, const State
 void enabled_changing_actions_into(const System& sys, const StateVec& s,
                                    std::vector<std::size_t>& out, StateVec& effect);
 
+/// Environment-aware variant: actions owned by a crashed process are
+/// masked from the result. `*masked_any` (optional) reports whether any
+/// enabled, state-changing action was dropped solely because its owner
+/// is crashed — the crash-blocked diagnostic of the env run path.
+void enabled_changing_actions_into(const System& sys, const StateVec& s,
+                                   const Environment& env, std::vector<std::size_t>& out,
+                                   StateVec& effect, bool* masked_any = nullptr);
+
+/// Crash-masked enabled set (convenience over the _into variant).
+std::vector<std::size_t> enabled_changing_actions(const System& sys, const StateVec& s,
+                                                  const Environment& env);
+
 /// Runs `sys` from `start` under central-daemon semantics driven by
 /// `sched`, until `legitimate` holds, a deadlock is reached, or
 /// `opts.max_steps` steps have been taken. The legitimacy predicate is
 /// checked BEFORE the first step (a legitimate start converges in 0).
 RunResult run_until(const System& sys, StateVec start, Scheduler& sched,
                     const StatePredicate& legitimate, const RunOptions& opts = {});
+
+/// Environment-aware run: `env` first perturbs the start state
+/// (scramble/burst), then before every daemon step draws this round's
+/// fault events (crash -> restart -> corruption). Legitimacy is checked
+/// at the top of each round AND re-checked immediately after any
+/// state-changing fault — a corruption can land INSIDE the legitimate
+/// set, and without the re-check the daemon would get to execute an
+/// action out of it first. Crash-masked rounds (every enabled action
+/// owned by a crashed process) execute nothing and count no step; a
+/// blocked or deadlocked configuration the environment can still
+/// recover (restart possible, or corruption active) keeps running,
+/// otherwise the run exits with deadlocked (and blocked when
+/// crash-induced). `opts.max_steps` caps rounds, so runs terminate even
+/// when fully blocked. With `opts.record_trace` every distinct state —
+/// whether reached by a daemon step or by a corruption — is appended,
+/// so consecutive trace entries always differ.
+RunResult run_until(const System& sys, StateVec start, Scheduler& sched,
+                    const StatePredicate& legitimate, Environment& env,
+                    const RunOptions& opts = {});
 
 /// One SYNCHRONOUS (or distributed-daemon) step: every process index in
 /// `processes` whose action set contains an enabled, state-changing

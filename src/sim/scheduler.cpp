@@ -1,11 +1,16 @@
 #include "sim/scheduler.hpp"
 
+#include "util/rng.hpp"
+
 namespace cref::sim {
 
 std::size_t RandomDaemon::pick(const System&, const StateVec&,
                                const std::vector<std::size_t>& enabled) {
-  std::uniform_int_distribution<std::size_t> dist(0, enabled.size() - 1);
-  return enabled[dist(rng_)];
+  // util::uniform_below, not std::uniform_int_distribution: the draw
+  // sequence must replay bit-identically on every platform (campaign
+  // aggregates are part of the reproducibility contract, like
+  // FaultInjector's goldens — scheduler_test.cpp pins the sequence).
+  return enabled[util::uniform_below(rng_, enabled.size())];
 }
 
 std::size_t RoundRobinDaemon::pick(const System& sys, const StateVec&,

@@ -27,6 +27,9 @@ class Scheduler {
 };
 
 /// Picks uniformly at random — the usual probabilistic central daemon.
+/// Platform-deterministic under the seed (mt19937_64 + rejection
+/// sampling, the same discipline as FaultInjector), so campaign
+/// aggregates replay bit-identically across platforms.
 class RandomDaemon final : public Scheduler {
  public:
   explicit RandomDaemon(std::uint64_t seed) : rng_(seed) {}

@@ -1,0 +1,311 @@
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "ring/kstate.hpp"
+#include "ring/three_state.hpp"
+#include "util/rng.hpp"
+
+namespace cref::sim {
+namespace {
+
+// ---------------------------------------------------------------------
+// CampaignAggregate: streaming counters, histogram, quantiles, merge.
+// ---------------------------------------------------------------------
+
+RunResult converged_run(std::size_t steps) {
+  RunResult r;
+  r.converged = true;
+  r.steps = steps;
+  r.rounds = steps;
+  return r;
+}
+
+TEST(CampaignAggregateTest, AddClassifiesOutcomes) {
+  CampaignAggregate a;
+  a.add(converged_run(5));
+  RunResult dead;
+  dead.deadlocked = true;
+  a.add(dead);
+  RunResult blocked;
+  blocked.deadlocked = true;
+  blocked.blocked = true;
+  a.add(blocked);
+  RunResult capped;  // neither converged nor deadlocked
+  a.add(capped);
+  EXPECT_EQ(a.runs, 4u);
+  EXPECT_EQ(a.converged, 1u);
+  EXPECT_EQ(a.deadlocked, 2u);
+  EXPECT_EQ(a.blocked, 1u);
+  EXPECT_EQ(a.capped, 1u);
+  EXPECT_EQ(a.total_steps, 5u);
+  EXPECT_EQ(a.min_steps, 5u);
+  EXPECT_EQ(a.max_steps, 5u);
+  EXPECT_DOUBLE_EQ(a.convergence_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(a.mean_steps(), 5.0);
+}
+
+TEST(CampaignAggregateTest, HistogramBucketsAreLog2OfStepsPlusOne) {
+  // Bucket b holds steps s with floor(log2(s+1)) == b: 0 | 1..2 | 3..6.
+  CampaignAggregate a;
+  a.add(converged_run(0));
+  a.add(converged_run(1));
+  a.add(converged_run(2));
+  a.add(converged_run(3));
+  a.add(converged_run(6));
+  EXPECT_EQ(a.histogram[0], 1u);
+  EXPECT_EQ(a.histogram[1], 2u);
+  EXPECT_EQ(a.histogram[2], 2u);
+  // Quantiles return the upper bucket edge 2^(b+1) - 2.
+  EXPECT_EQ(a.quantile_steps(0.0), 0u);
+  EXPECT_EQ(a.quantile_steps(0.2), 0u);
+  EXPECT_EQ(a.quantile_steps(0.5), 2u);
+  EXPECT_EQ(a.quantile_steps(1.0), 6u);
+}
+
+TEST(CampaignAggregateTest, MergeEqualsSequentialAdds) {
+  std::mt19937_64 rng(3);
+  std::vector<RunResult> runs;
+  for (int i = 0; i < 200; ++i) {
+    RunResult r;
+    switch (util::uniform_below(rng, 3)) {
+      case 0:
+        r = converged_run(util::uniform_below(rng, 500));
+        r.faults = util::uniform_below(rng, 4);
+        break;
+      case 1:
+        r.deadlocked = true;
+        r.blocked = util::uniform_below(rng, 2) == 0;
+        r.crashes = 1;
+        break;
+      default:
+        r.rounds = 100;
+        break;
+    }
+    runs.push_back(r);
+  }
+  // One big aggregate vs every 2-way split merged in either order.
+  CampaignAggregate whole;
+  for (const RunResult& r : runs) whole.add(r);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{50},
+                          std::size_t{199}, std::size_t{200}}) {
+    CampaignAggregate lo, hi;
+    for (std::size_t i = 0; i < runs.size(); ++i) (i < cut ? lo : hi).add(runs[i]);
+    CampaignAggregate m1 = lo, m2 = hi;
+    m1.merge(hi);
+    m2.merge(lo);
+    EXPECT_EQ(m1, whole) << "cut " << cut;
+    EXPECT_EQ(m2, whole) << "cut " << cut << " (reversed)";
+  }
+}
+
+TEST(CampaignAggregateTest, EmptyAggregateIsSafe) {
+  CampaignAggregate a;
+  EXPECT_DOUBLE_EQ(a.convergence_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(a.mean_steps(), 0.0);
+  EXPECT_EQ(a.quantile_steps(0.5), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Seed derivation: a pure function of the spec coordinates.
+// ---------------------------------------------------------------------
+
+TEST(CampaignSeedTest, DistinctCoordinatesDistinctSeeds) {
+  std::vector<std::uint64_t> seen;
+  for (std::size_t si = 0; si < 4; ++si)
+    for (std::size_t ei = 0; ei < 4; ++ei)
+      for (std::size_t di = 0; di < 4; ++di)
+        for (std::size_t run = 0; run < 8; ++run)
+          seen.push_back(derive_run_seed(1, si, ei, di, run));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+      << "coordinate collision";
+}
+
+TEST(CampaignSeedTest, GoldenValues) {
+  // Part of the cross-platform reproducibility contract: campaign
+  // aggregates for a recorded (spec, seed) must replay bit-identically.
+  EXPECT_EQ(derive_run_seed(1, 0, 0, 0, 0), 13144448709011590008ull);
+  EXPECT_EQ(derive_run_seed(42, 1, 2, 3, 4), 12963147845782598265ull);
+}
+
+// ---------------------------------------------------------------------
+// Driver: validation, determinism, thread-count invariance.
+// ---------------------------------------------------------------------
+
+struct SystemPool {
+  ring::ThreeStateLayout ring3{2};
+  ring::KStateLayout kstate{3, 4};
+  System ring3_sys = ring::make_dijkstra3(ring3);
+  System kstate_sys = ring::make_kstate(kstate);
+
+  CampaignSystem ring3_entry() {
+    return {"ring3", &ring3_sys, ring3.single_token_image(),
+            [this](const StateVec& s) { return static_cast<double>(ring3.image_token_count(s)); },
+            ring3.canonical_state()};
+  }
+  CampaignSystem kstate_entry() {
+    return {"kstate", &kstate_sys, kstate.single_token_image(),
+            [this](const StateVec& s) { return static_cast<double>(kstate.image_token_count(s)); },
+            StateVec(kstate.space()->var_count(), 0)};
+  }
+};
+
+CampaignSpec small_spec(SystemPool& pool) {
+  CampaignSpec spec;
+  spec.systems = {pool.ring3_entry(), pool.kstate_entry()};
+  spec.environments = {EnvironmentSpec::scramble(), EnvironmentSpec::corruption(0.1),
+                       EnvironmentSpec::crash_restart(0.2, 0.3)};
+  spec.daemons = {DaemonSpec::random(), DaemonSpec::round_robin(),
+                  DaemonSpec::greedy_adversary()};
+  spec.runs_per_cell = 20;
+  spec.base_seed = 11;
+  spec.max_steps = 200;
+  return spec;
+}
+
+TEST(CampaignDriverTest, RejectsMalformedSpecs) {
+  SystemPool pool;
+  CampaignDriver drv;
+  CampaignSpec ok = small_spec(pool);
+  EXPECT_NO_THROW(drv.run(ok));
+
+  CampaignSpec no_systems = small_spec(pool);
+  no_systems.systems.clear();
+  EXPECT_THROW(drv.run(no_systems), std::invalid_argument);
+
+  CampaignSpec no_envs = small_spec(pool);
+  no_envs.environments.clear();
+  EXPECT_THROW(drv.run(no_envs), std::invalid_argument);
+
+  CampaignSpec no_daemons = small_spec(pool);
+  no_daemons.daemons.clear();
+  EXPECT_THROW(drv.run(no_daemons), std::invalid_argument);
+
+  CampaignSpec zero_runs = small_spec(pool);
+  zero_runs.runs_per_cell = 0;
+  EXPECT_THROW(drv.run(zero_runs), std::invalid_argument);
+
+  CampaignSpec no_score = small_spec(pool);
+  no_score.systems[0].adversary_score = nullptr;  // greedy daemon swept
+  EXPECT_THROW(drv.run(no_score), std::invalid_argument);
+
+  CampaignSpec no_legit = small_spec(pool);
+  no_legit.systems[1].legitimate = nullptr;
+  EXPECT_THROW(drv.run(no_legit), std::invalid_argument);
+}
+
+TEST(CampaignDriverTest, CellsComeBackInSpecOrder) {
+  SystemPool pool;
+  CampaignSpec spec = small_spec(pool);
+  CampaignResult res = CampaignDriver().run(spec);
+  ASSERT_EQ(res.cells.size(), spec.cells());
+  std::size_t i = 0;
+  for (std::size_t si = 0; si < spec.systems.size(); ++si)
+    for (std::size_t ei = 0; ei < spec.environments.size(); ++ei)
+      for (std::size_t di = 0; di < spec.daemons.size(); ++di, ++i) {
+        EXPECT_EQ(res.cells[i].system, si);
+        EXPECT_EQ(res.cells[i].environment, ei);
+        EXPECT_EQ(res.cells[i].daemon, di);
+        EXPECT_EQ(res.cells[i].agg.runs, spec.runs_per_cell);
+      }
+  EXPECT_EQ(res.total_runs(), spec.total_runs());
+}
+
+TEST(CampaignDriverTest, ReplayIsByteIdentical) {
+  SystemPool pool;
+  CampaignSpec spec = small_spec(pool);
+  CampaignDriver drv(EngineOptions{/*num_threads=*/2, /*chunk_size=*/0});
+  EXPECT_EQ(drv.run(spec), drv.run(spec));
+}
+
+TEST(CampaignDriverTest, BaseSeedChangesResults) {
+  SystemPool pool;
+  CampaignSpec spec = small_spec(pool);
+  CampaignResult r1 = CampaignDriver().run(spec);
+  spec.base_seed = 12;
+  CampaignResult r2 = CampaignDriver().run(spec);
+  EXPECT_FALSE(r1 == r2);
+}
+
+// The core differential property: 200 random sweep specs, byte-identity
+// of every aggregate across thread counts 1 / 2 / 8 (with adversarial
+// 1-run chunking on the parallel legs).
+TEST(CampaignDifferentialTest, RandomSpecsByteIdenticalAcrossThreadCounts) {
+  SystemPool pool;
+  std::mt19937_64 rng(2026);
+  for (int iter = 0; iter < 200; ++iter) {
+    CampaignSpec spec;
+    if (util::uniform_below(rng, 2) == 0) spec.systems.push_back(pool.ring3_entry());
+    if (spec.systems.empty() || util::uniform_below(rng, 2) == 0)
+      spec.systems.push_back(pool.kstate_entry());
+
+    const std::size_t n_envs = 1 + util::uniform_below(rng, 3);
+    for (std::size_t e = 0; e < n_envs; ++e) {
+      switch (util::uniform_below(rng, 5)) {
+        case 0: spec.environments.push_back(EnvironmentSpec::pristine()); break;
+        case 1: spec.environments.push_back(EnvironmentSpec::scramble()); break;
+        case 2:
+          spec.environments.push_back(
+              EnvironmentSpec::burst_of(1 + util::uniform_below(rng, 3)));
+          break;
+        case 3:
+          spec.environments.push_back(EnvironmentSpec::corruption(
+              0.05 + 0.1 * static_cast<double>(util::uniform_below(rng, 5)),
+              1 + util::uniform_below(rng, 2)));
+          break;
+        default:
+          spec.environments.push_back(EnvironmentSpec::crash_restart(
+              0.1 + 0.1 * static_cast<double>(util::uniform_below(rng, 3)),
+              0.1 + 0.1 * static_cast<double>(util::uniform_below(rng, 3)),
+              1 + util::uniform_below(rng, 2)));
+          break;
+      }
+    }
+
+    spec.daemons.push_back(DaemonSpec::random());
+    if (util::uniform_below(rng, 2) == 0) spec.daemons.push_back(DaemonSpec::round_robin());
+    if (util::uniform_below(rng, 2) == 0)
+      spec.daemons.push_back(DaemonSpec::greedy_adversary());
+
+    spec.runs_per_cell = 1 + util::uniform_below(rng, 6);
+    spec.base_seed = rng();
+    spec.max_steps = 50 + util::uniform_below(rng, 200);
+
+    const CampaignResult serial =
+        CampaignDriver(EngineOptions{/*num_threads=*/1, /*chunk_size=*/0}).run(spec);
+    const CampaignResult two =
+        CampaignDriver(EngineOptions{/*num_threads=*/2, /*chunk_size=*/1}).run(spec);
+    const CampaignResult eight =
+        CampaignDriver(EngineOptions{/*num_threads=*/8, /*chunk_size=*/1}).run(spec);
+    ASSERT_EQ(serial, two) << "iter " << iter << " (2 threads)";
+    ASSERT_EQ(serial, eight) << "iter " << iter << " (8 threads)";
+  }
+}
+
+// TSan-targeted stress: a larger concurrent sweep with maximum worker
+// interleaving (1-run chunks). The CI tsan job runs sim_tests with
+// --gtest_filter='Campaign*', so any data race between workers —
+// aggregates, RNG streams, shared system state — trips here.
+TEST(CampaignConcurrencyTest, StressManyWorkersTinyChunks) {
+  SystemPool pool;
+  CampaignSpec spec = small_spec(pool);
+  spec.runs_per_cell = 50;
+  const std::size_t workers =
+      std::max<std::size_t>(4, std::thread::hardware_concurrency());
+  const CampaignResult par =
+      CampaignDriver(EngineOptions{workers, /*chunk_size=*/1}).run(spec);
+  const CampaignResult serial =
+      CampaignDriver(EngineOptions{/*num_threads=*/1, /*chunk_size=*/0}).run(spec);
+  EXPECT_EQ(par, serial);
+}
+
+}  // namespace
+}  // namespace cref::sim

@@ -1,0 +1,341 @@
+#include "sim/environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ring/three_state.hpp"
+#include "sim/fault.hpp"
+#include "sim/runner.hpp"
+#include "sim/scheduler.hpp"
+
+namespace cref::sim {
+namespace {
+
+// Three processes over the fault_test golden space, plus one global
+// (ownerless) action — the minimal shape where crash masking, global
+// immunity, and the golden draw sequences can all be pinned.
+System three_proc_system() {
+  auto space = std::make_shared<const Space>(
+      std::vector<VarSpec>{{"a", 2}, {"b", 3}, {"c", 7}, {"d", 5}});
+  return System(
+      "threeproc", space,
+      {{"p0", 0, [](const StateVec& s) { return s[0] == 0; },
+        [](StateVec& s) { s[0] = 1; }},
+       {"p1", 1, [](const StateVec& s) { return s[1] != 2; },
+        [](StateVec& s) { s[1] = 2; }},
+       {"p2", 2, [](const StateVec& s) { return s[2] != 0; },
+        [](StateVec& s) { s[2] = 0; }},
+       {"glob", -1, [](const StateVec& s) { return s[3] != 0; },
+        [](StateVec& s) { s[3] = 0; }}},
+      std::nullopt);
+}
+
+// ---------------------------------------------------------------------
+// Determinism properties: a (spec, seed) pair fixes every draw.
+// ---------------------------------------------------------------------
+
+TEST(EnvironmentTest, SameSeedSameDrawSequence) {
+  System sys = three_proc_system();
+  for (std::uint64_t seed : {1ull, 42ull, 2026ull}) {
+    EnvironmentSpec spec = EnvironmentSpec::corruption(0.5, 2);
+    spec.crash_rate = 0.3;
+    spec.restart_rate = 0.4;
+    spec.max_crashed = 2;
+    Environment e1(spec, sys, seed), e2(spec, sys, seed);
+    StateVec s1, s2;
+    e1.perturb_start(s1);
+    e2.perturb_start(s2);
+    ASSERT_EQ(s1, s2);
+    for (int round = 0; round < 200; ++round) {
+      EXPECT_EQ(e1.pre_step_faults(s1), e2.pre_step_faults(s2));
+      ASSERT_EQ(s1, s2) << "seed " << seed << " round " << round;
+      for (int p = 0; p < 3; ++p) EXPECT_EQ(e1.crashed(p), e2.crashed(p));
+    }
+    EXPECT_EQ(e1.corruption_events(), e2.corruption_events());
+    EXPECT_EQ(e1.crash_events(), e2.crash_events());
+    EXPECT_EQ(e1.restart_events(), e2.restart_events());
+  }
+}
+
+TEST(EnvironmentTest, DrawSequenceIndependentOfInterleavedStateReads) {
+  // The fault draws are a function of (spec, seed) alone — interleaving
+  // reads or perturbing the state between rounds must not shift them.
+  System sys = three_proc_system();
+  EnvironmentSpec spec = EnvironmentSpec::corruption(0.7);
+  Environment e1(spec, sys, 99), e2(spec, sys, 99);
+  StateVec s1, s2;
+  e1.perturb_start(s1);
+  e2.perturb_start(s2);
+  for (int round = 0; round < 100; ++round) {
+    e1.pre_step_faults(s1);
+    StateVec copy = s2;  // interleaved read on the e2 side
+    e2.pre_step_faults(s2);
+    (void)copy;
+    ASSERT_EQ(s1, s2) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Degenerate cases: scramble and burst reduce to the raw FaultInjector.
+// ---------------------------------------------------------------------
+
+TEST(EnvironmentTest, ScrambleStartEqualsRawInjector) {
+  System sys = three_proc_system();
+  Environment env(EnvironmentSpec::scramble(), sys, 31);
+  FaultInjector fi(31);
+  StateVec es, fs;
+  env.perturb_start(es);
+  fi.scramble(sys.space(), fs);
+  EXPECT_EQ(es, fs);
+}
+
+TEST(EnvironmentTest, BurstStartEqualsRawInjectorCorrupt) {
+  System sys = three_proc_system();
+  Environment env(EnvironmentSpec::burst_of(2), sys, 31);
+  FaultInjector fi(31);
+  StateVec es{1, 1, 1, 1}, fs{1, 1, 1, 1};
+  env.perturb_start(es);
+  fi.corrupt(sys.space(), fs, 2);
+  EXPECT_EQ(es, fs);
+}
+
+TEST(EnvironmentTest, PristineDoesNothing) {
+  System sys = three_proc_system();
+  Environment env(EnvironmentSpec::pristine(), sys, 5);
+  StateVec s{1, 2, 3, 4};
+  env.perturb_start(s);
+  EXPECT_EQ(s, (StateVec{1, 2, 3, 4}));
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(env.pre_step_faults(s));
+  EXPECT_EQ(s, (StateVec{1, 2, 3, 4}));
+  EXPECT_FALSE(env.can_recover());
+}
+
+// ---------------------------------------------------------------------
+// Golden draw sequences, two seeds. These values are part of the same
+// cross-platform reproducibility contract as FaultInjector's goldens:
+// a change here silently remaps every recorded campaign seed.
+// ---------------------------------------------------------------------
+
+TEST(EnvironmentTest, GoldenCorruptionSequenceSeed2026) {
+  System sys = three_proc_system();
+  Environment env(EnvironmentSpec::corruption(1.0, 2), sys, 2026);
+  StateVec s;
+  env.perturb_start(s);  // scramble (corruption scrambles the start)
+  EXPECT_EQ(s, (StateVec{1, 0, 1, 1}));
+  EXPECT_TRUE(env.pre_step_faults(s));
+  EXPECT_EQ(s, (StateVec{0, 0, 1, 1}));
+  EXPECT_TRUE(env.pre_step_faults(s));
+  EXPECT_EQ(s, (StateVec{0, 1, 4, 1}));
+  EXPECT_EQ(env.corruption_events(), 2u);
+}
+
+TEST(EnvironmentTest, GoldenCrashSequenceSeed7) {
+  System sys = three_proc_system();
+  Environment env(EnvironmentSpec::crash_restart(1.0, 0.0, 3), sys, 7);
+  StateVec s{0, 0, 0, 0};
+  auto crashed_bits = [&] {
+    return std::vector<int>{env.crashed(0), env.crashed(1), env.crashed(2)};
+  };
+  // crash_rate 1: one live process crashes per round, in a pinned order.
+  env.pre_step_faults(s);
+  EXPECT_EQ(env.crashed_count(), 1u);
+  EXPECT_EQ(crashed_bits(), (std::vector<int>{1, 0, 0}));
+  env.pre_step_faults(s);
+  EXPECT_EQ(env.crashed_count(), 2u);
+  EXPECT_EQ(crashed_bits(), (std::vector<int>{1, 1, 0}));
+  env.pre_step_faults(s);
+  EXPECT_EQ(env.crashed_count(), 3u);
+  EXPECT_TRUE(env.crashed(0) && env.crashed(1) && env.crashed(2));
+  // Cap reached: the Bernoulli draw is still consumed, no effect.
+  env.pre_step_faults(s);
+  EXPECT_EQ(env.crash_events(), 3u);
+  EXPECT_EQ(s, (StateVec{0, 0, 0, 0}));  // crashes never touch the state
+}
+
+// ---------------------------------------------------------------------
+// Crash masking.
+// ---------------------------------------------------------------------
+
+TEST(EnvironmentTest, MasksOnlyCrashedOwnersNeverGlobals) {
+  System sys = three_proc_system();
+  // crash_rate 1, three processes: after three rounds everyone is down.
+  Environment env(EnvironmentSpec::crash_restart(1.0, 0.0, 3), sys, 3);
+  StateVec s{0, 0, 1, 1};  // p0, p2, glob enabled-changing; p1 enabled too
+  EXPECT_EQ(enabled_changing_actions(sys, s, env),
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+  env.pre_step_faults(s);
+  env.pre_step_faults(s);
+  env.pre_step_faults(s);
+  ASSERT_EQ(env.crashed_count(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_TRUE(env.masks(sys.actions()[i]));
+  // The global action (process -1) survives a total crash.
+  EXPECT_FALSE(env.masks(sys.actions()[3]));
+  EXPECT_EQ(enabled_changing_actions(sys, s, env), (std::vector<std::size_t>{3}));
+}
+
+TEST(EnvironmentTest, MaskedVariantReportsMaskedAny) {
+  System sys = three_proc_system();
+  Environment env(EnvironmentSpec::crash_restart(1.0, 0.0, 3), sys, 3);
+  StateVec s{0, 0, 1, 0};  // glob disabled (s[3]==0)
+  for (int i = 0; i < 3; ++i) env.pre_step_faults(s);
+  std::vector<std::size_t> out;
+  StateVec effect;
+  bool masked_any = false;
+  enabled_changing_actions_into(sys, s, env, out, effect, &masked_any);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(masked_any);  // enabled work exists, all of it crash-masked
+}
+
+TEST(EnvironmentTest, CrashBlockedRunExitsBlockedWithoutRecovery) {
+  // One process owning the only action; crash it, no restart, no
+  // corruption: the run must exit deadlocked AND blocked, zero steps.
+  auto space = make_uniform_space(1, 3, "x");
+  System sys("solo", space,
+             {{"inc", 0, [](const StateVec&) { return true; },
+               [](StateVec& s) { s[0] = static_cast<Value>((s[0] + 1) % 3); }}},
+             std::nullopt);
+  Environment env(EnvironmentSpec::crash_restart(1.0, 0.0, 1), sys, 8);
+  RandomDaemon daemon(1);
+  auto res = run_until(sys, {0}, daemon, [](const StateVec&) { return false; }, env,
+                       {.max_steps = 100});
+  EXPECT_FALSE(res.converged);
+  EXPECT_TRUE(res.deadlocked);
+  EXPECT_TRUE(res.blocked);
+  EXPECT_EQ(res.steps, 0u);
+  EXPECT_EQ(res.crashes, 1u);
+}
+
+TEST(EnvironmentTest, CrashedRunRecoversThroughRestart) {
+  // Same solo system, but restarts are possible: the run keeps making
+  // steps whenever the process is up, and the round cap — not a
+  // deadlock — ends it.
+  auto space = make_uniform_space(1, 3, "x");
+  System sys("solo", space,
+             {{"inc", 0, [](const StateVec&) { return true; },
+               [](StateVec& s) { s[0] = static_cast<Value>((s[0] + 1) % 3); }}},
+             std::nullopt);
+  Environment env(EnvironmentSpec::crash_restart(0.5, 0.5, 1), sys, 12);
+  RandomDaemon daemon(2);
+  auto res = run_until(sys, {0}, daemon, [](const StateVec&) { return false; }, env,
+                       {.max_steps = 500});
+  EXPECT_FALSE(res.deadlocked);
+  EXPECT_EQ(res.rounds, 500u);
+  EXPECT_GT(res.steps, 0u);
+  EXPECT_LT(res.steps, res.rounds);  // some rounds were crash-blocked
+  EXPECT_GT(res.crashes, 0u);
+  EXPECT_GT(res.restarts, 0u);
+  EXPECT_EQ(res.crashes, env.crash_events());
+  EXPECT_EQ(res.restarts, env.restart_events());
+}
+
+// ---------------------------------------------------------------------
+// Step semantics under faults.
+// ---------------------------------------------------------------------
+
+TEST(EnvironmentTest, StepsCountOnlyRealExecutionsAndTraceNeverRepeats) {
+  ring::ThreeStateLayout l(3);
+  System d3 = ring::make_dijkstra3(l);
+  Environment env(EnvironmentSpec::corruption(0.3), d3, 77);
+  RandomDaemon daemon(5);
+  auto res = run_until(d3, l.canonical_state(), daemon, [](const StateVec&) { return false; },
+                       env, {.max_steps = 300, .record_trace = true});
+  // Every daemon step and every state-changing corruption appends one
+  // distinct state: consecutive trace entries always differ (a no-op
+  // "step" is not a step). `faults` counts corruption EVENTS, some of
+  // which redraw the old values and change nothing, so it bounds the
+  // fault-added entries from above.
+  ASSERT_GE(res.trace.size(), 2u);
+  for (std::size_t i = 0; i + 1 < res.trace.size(); ++i)
+    EXPECT_NE(res.trace[i], res.trace[i + 1]) << "at " << i;
+  EXPECT_GE(res.trace.size(), 1 + res.steps);
+  EXPECT_LE(res.trace.size(), 1 + res.steps + res.faults);
+  EXPECT_EQ(res.final_state, res.trace.back());
+  EXPECT_EQ(res.faults, env.corruption_events());
+}
+
+TEST(EnvironmentTest, FaultCanCreateLegitimacy) {
+  // Regression: the run path must RE-CHECK legitimacy after a fault.
+  // The legitimate set is {x == 2}; the only action is enabled exactly
+  // there and leaves it. A corruption that lands on x == 2 therefore
+  // converges the run — if the runner consulted the daemon first, it
+  // would execute x := 0 and the run could never converge.
+  auto space = make_uniform_space(1, 3, "x");
+  System sys("trap", space,
+             {{"leave", 0, [](const StateVec& s) { return s[0] == 2; },
+               [](StateVec& s) { s[0] = 0; }}},
+             std::nullopt);
+  EnvironmentSpec spec = EnvironmentSpec::corruption(1.0);
+  spec.scramble_start = false;  // start pinned at x == 0
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Environment env(spec, sys, seed);
+    RandomDaemon daemon(seed + 1);
+    auto res = run_until(sys, {0}, daemon, [](const StateVec& s) { return s[0] == 2; }, env,
+                         {.max_steps = 1000});
+    ASSERT_TRUE(res.converged) << "seed " << seed;
+    EXPECT_EQ(res.steps, 0u) << "seed " << seed;  // converged by fault, not by step
+    EXPECT_GE(res.faults, 1u);
+    EXPECT_EQ(res.final_state, (StateVec{2}));
+  }
+}
+
+TEST(EnvironmentTest, PerturbedLegitStartStillConvergesInZeroSteps) {
+  // A burst that happens to leave the state legitimate must be seen by
+  // the FIRST legitimacy check (perturb_start runs before round 0).
+  auto space = make_uniform_space(1, 2, "x");
+  System sys("flip", space,
+             {{"flip", 0, [](const StateVec&) { return true; },
+               [](StateVec& s) { s[0] = static_cast<Value>(1 - s[0]); }}},
+             std::nullopt);
+  Environment env(EnvironmentSpec::pristine(), sys, 1);
+  RandomDaemon daemon(1);
+  auto res = run_until(sys, {1}, daemon, [](const StateVec& s) { return s[0] == 1; }, env);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.steps, 0u);
+  EXPECT_EQ(res.rounds, 0u);
+}
+
+TEST(EnvironmentTest, CanRecoverTracksMechanisms) {
+  System sys = three_proc_system();
+  Environment corrupt(EnvironmentSpec::corruption(0.1), sys, 1);
+  EXPECT_TRUE(corrupt.can_recover());  // corruption can always perturb
+
+  Environment crash(EnvironmentSpec::crash_restart(1.0, 0.5, 1), sys, 1);
+  EXPECT_FALSE(crash.can_recover());  // nothing crashed yet
+  StateVec s{0, 0, 0, 0};
+  // The same round can crash AND restart; run until a crash sticks.
+  for (int i = 0; i < 100 && crash.crashed_count() == 0; ++i) crash.pre_step_faults(s);
+  ASSERT_EQ(crash.crashed_count(), 1u);
+  EXPECT_TRUE(crash.can_recover());  // a restart is now possible
+
+  Environment norestart(EnvironmentSpec::crash_restart(1.0, 0.0, 1), sys, 1);
+  norestart.pre_step_faults(s);
+  ASSERT_EQ(norestart.crashed_count(), 1u);
+  EXPECT_FALSE(norestart.can_recover());  // down forever
+}
+
+TEST(EnvironmentTest, EnvRunMatchesPlainRunWithoutMidrunFaults) {
+  // A burst environment is a degenerate case: after the one-shot start
+  // perturbation the env run must replay the plain run exactly.
+  ring::ThreeStateLayout l(3);
+  System d3 = ring::make_dijkstra3(l);
+  StatePredicate legit = l.single_token_image();
+
+  Environment env(EnvironmentSpec::burst_of(3), d3, 19);
+  RandomDaemon d1(7);
+  auto env_res = run_until(d3, l.canonical_state(), d1, legit, env,
+                           {.max_steps = 10000, .record_trace = true});
+
+  FaultInjector fi(19);
+  StateVec start = l.canonical_state();
+  fi.corrupt(*l.space(), start, 3);
+  RandomDaemon d2(7);
+  auto plain_res = run_until(d3, start, d2, legit, {.max_steps = 10000, .record_trace = true});
+
+  EXPECT_EQ(env_res.converged, plain_res.converged);
+  EXPECT_EQ(env_res.steps, plain_res.steps);
+  EXPECT_EQ(env_res.trace, plain_res.trace);
+  EXPECT_EQ(env_res.final_state, plain_res.final_state);
+  EXPECT_EQ(env_res.faults, 0u);
+}
+
+}  // namespace
+}  // namespace cref::sim

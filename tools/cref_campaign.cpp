@@ -1,0 +1,214 @@
+// Batched fault-environment campaign CLI: sweeps a declarative
+// {system} x {environment} x {daemon} x {seeds} matrix through the
+// thread-pooled CampaignDriver and prints the per-cell aggregate table
+// (convergence rate, step quantiles, deadlock/blocked/divergence
+// counts, fault/crash/restart event totals).
+//
+//   cref_campaign                                  # default mini-matrix
+//   cref_campaign --systems kstate,ring3,workring --n 8
+//   cref_campaign --envs scramble,burst:3,corrupt:0.01,crash:0.02:0.1
+//   cref_campaign --daemons random,round-robin,adversary
+//   cref_campaign --runs 5000 --threads 8 --seed 42
+//   cref_campaign --check-determinism              # rerun serially, compare
+//   cref_campaign --json campaign.json
+//
+// Environment grammar (comma list):
+//   pristine | scramble | burst:K | corrupt:RATE[:VARS] | crash:CR:RR[:MAX]
+//
+// Aggregates are byte-identical at any --threads value; with
+// --check-determinism the sweep runs a second time single-threaded and
+// the tool exits 1 on any divergence (the tier1 mini-sweep CTest target
+// runs exactly that, end to end, in seconds).
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ring/btr.hpp"
+#include "ring/kstate.hpp"
+#include "ring/three_state.hpp"
+#include "ring/work_ring.hpp"
+#include "sim/campaign.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+using namespace cref;
+
+namespace {
+
+int usage() {
+  std::printf(
+      "usage: cref_campaign [options]\n"
+      "  --systems LIST   kstate,ring3,btr,workring (default kstate,ring3)\n"
+      "  --n N            ring size: processes 0..N (default 6)\n"
+      "  --k K            K-state counter modulus (default N+1)\n"
+      "  --m M            work-ring quota (default 4)\n"
+      "  --envs LIST      pristine|scramble|burst:K|corrupt:RATE[:VARS]|\n"
+      "                   crash:CR:RR[:MAX] (default scramble,burst:2,\n"
+      "                   corrupt:0.005,crash:0.02:0.1)\n"
+      "  --daemons LIST   random,round-robin,adversary (default all)\n"
+      "  --runs R         runs per cell (default 200)\n"
+      "  --seed S         base seed (default 1)\n"
+      "  --max-steps N    per-run round cap (default 20000)\n"
+      "  --threads T      worker threads (0 = all hardware threads)\n"
+      "  --chunk N        runs per work grab (0 = auto)\n"
+      "  --check-determinism  rerun single-threaded, exit 1 on mismatch\n"
+      "  --json FILE      also write the cells machine-readably\n");
+  return 2;
+}
+
+// Owns the layouts/systems a sweep references (CampaignSystem borrows).
+struct Fleet {
+  std::vector<std::unique_ptr<System>> owned;
+  std::vector<sim::CampaignSystem> entries;
+
+  void add(std::string name, System sys, StatePredicate legit,
+           std::function<double(const StateVec&)> score, StateVec base) {
+    owned.push_back(std::make_unique<System>(std::move(sys)));
+    entries.push_back({std::move(name), owned.back().get(), std::move(legit),
+                       std::move(score), std::move(base)});
+  }
+};
+
+sim::EnvironmentSpec parse_env(const std::string& text) {
+  const std::vector<std::string> f = util::split(text, ':');
+  const std::string& kind = f[0];
+  auto num = [&](std::size_t i, double fallback) {
+    return i < f.size() ? std::stod(f[i]) : fallback;
+  };
+  if (kind == "pristine" && f.size() == 1) return sim::EnvironmentSpec::pristine();
+  if (kind == "scramble" && f.size() == 1) return sim::EnvironmentSpec::scramble();
+  if (kind == "burst" && f.size() == 2)
+    return sim::EnvironmentSpec::burst_of(static_cast<std::size_t>(std::stoul(f[1])));
+  if (kind == "corrupt" && (f.size() == 2 || f.size() == 3))
+    return sim::EnvironmentSpec::corruption(std::stod(f[1]),
+                                            static_cast<std::size_t>(num(2, 1)));
+  if (kind == "crash" && (f.size() == 3 || f.size() == 4))
+    return sim::EnvironmentSpec::crash_restart(std::stod(f[1]), std::stod(f[2]),
+                                               static_cast<std::size_t>(num(3, 1)));
+  throw std::invalid_argument("cref_campaign: bad environment '" + text + "'");
+}
+
+sim::DaemonSpec parse_daemon(const std::string& name) {
+  if (name == "random") return sim::DaemonSpec::random();
+  if (name == "round-robin") return sim::DaemonSpec::round_robin();
+  if (name == "adversary") return sim::DaemonSpec::greedy_adversary();
+  throw std::invalid_argument("cref_campaign: bad daemon '" + name + "'");
+}
+
+void add_system(Fleet& fleet, const std::string& name, int n, int k, int m) {
+  if (name == "kstate") {
+    auto l = std::make_shared<ring::KStateLayout>(n, k);
+    StateVec base(l->space()->var_count(), 0);  // all-equal counters: one token
+    fleet.add("kstate", ring::make_kstate(*l), l->single_token_image(),
+              [l](const StateVec& s) { return static_cast<double>(l->image_token_count(s)); },
+              std::move(base));
+  } else if (name == "ring3") {
+    auto l = std::make_shared<ring::ThreeStateLayout>(n);
+    fleet.add("ring3", ring::make_dijkstra3(*l), l->single_token_image(),
+              [l](const StateVec& s) { return static_cast<double>(l->image_token_count(s)); },
+              l->canonical_state());
+  } else if (name == "btr") {
+    auto l = std::make_shared<ring::BtrLayout>(n);
+    // BTR alone is fault-intolerant; the wrapped composition (W2 given
+    // priority, the Thm 6 semantics) is the stabilizing family member.
+    System wrapped =
+        box_priority(box(ring::make_btr(*l), ring::make_w1(*l)), ring::make_w2(*l));
+    StateVec base(l->space()->var_count(), 0);
+    base[l->ut(1)] = 1;  // canonical single-token state
+    fleet.add("btr+w1w2", std::move(wrapped), l->single_token(),
+              [l](const StateVec& s) { return static_cast<double>(l->token_count(s)); },
+              std::move(base));
+  } else if (name == "workring") {
+    auto l = std::make_shared<ring::WorkRingLayout>(n, k, m);
+    StateVec base(l->space()->var_count(), 0);  // equal counters, no work done
+    fleet.add("workring",
+              ring::make_work_ring(*l),
+              [l](const StateVec& s) { return l->image_token_count(s) == 1; },
+              [l](const StateVec& s) { return static_cast<double>(l->image_token_count(s)); },
+              std::move(base));
+  } else {
+    throw std::invalid_argument("cref_campaign: bad system '" + name + "'");
+  }
+}
+
+void write_json(const std::string& path, const sim::CampaignSpec& spec,
+                const sim::CampaignResult& result) {
+  std::ofstream out(path);
+  out << "{\n  \"total_runs\": " << result.total_runs() << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const sim::CampaignCell& c = result.cells[i];
+    const sim::CampaignAggregate& a = c.agg;
+    out << "    {\"system\": \"" << spec.systems[c.system].name << "\", \"environment\": \""
+        << spec.environments[c.environment].name << "\", \"daemon\": \""
+        << spec.daemons[c.daemon].name() << "\", \"runs\": " << a.runs
+        << ", \"converged\": " << a.converged << ", \"deadlocked\": " << a.deadlocked
+        << ", \"blocked\": " << a.blocked << ", \"capped\": " << a.capped
+        << ", \"mean_steps\": " << a.mean_steps() << ", \"p50\": " << a.quantile_steps(0.5)
+        << ", \"p99\": " << a.quantile_steps(0.99) << ", \"faults\": " << a.faults
+        << ", \"crashes\": " << a.crashes << ", \"restarts\": " << a.restarts << "}"
+        << (i + 1 < result.cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv, {"check-determinism", "help"});
+  if (cli.has("help")) return usage();
+  try {
+    const int n = static_cast<int>(cli.get_int("n", 6));
+    const int k = static_cast<int>(cli.get_int("k", n + 1));
+    const int m = static_cast<int>(cli.get_int("m", 4));
+
+    Fleet fleet;
+    for (const std::string& s : util::split(cli.get("systems", "kstate,ring3"), ','))
+      add_system(fleet, s, n, k, m);
+
+    sim::CampaignSpec spec;
+    spec.systems = fleet.entries;
+    for (const std::string& e :
+         util::split(cli.get("envs", "scramble,burst:2,corrupt:0.005,crash:0.02:0.1"), ','))
+      spec.environments.push_back(parse_env(e));
+    for (const std::string& d : util::split(cli.get("daemons", "random,round-robin,adversary"), ','))
+      spec.daemons.push_back(parse_daemon(d));
+    spec.runs_per_cell = cli.get_size("runs", 200);
+    spec.base_seed = static_cast<std::uint64_t>(cli.get_size("seed", 1));
+    spec.max_steps = cli.get_size("max-steps", 20000);
+
+    EngineOptions eo;
+    eo.num_threads = cli.get_size("threads", 0);
+    eo.chunk_size = cli.get_size("chunk", 0);
+
+    std::printf("campaign: %zu cells x %zu runs = %zu runs (seed %llu)\n", spec.cells(),
+                spec.runs_per_cell, spec.total_runs(),
+                static_cast<unsigned long long>(spec.base_seed));
+    const sim::CampaignResult result = sim::CampaignDriver(eo).run(spec);
+    std::printf("%s", sim::format_campaign(spec, result).c_str());
+
+    if (cli.has("json")) {
+      write_json(cli.get("json"), spec, result);
+      std::printf("wrote %s\n", cli.get("json").c_str());
+    }
+
+    if (cli.has("check-determinism")) {
+      const sim::CampaignResult serial =
+          sim::CampaignDriver(EngineOptions{/*num_threads=*/1, /*chunk_size=*/0}).run(spec);
+      if (!(serial == result)) {
+        std::fprintf(stderr,
+                     "FAIL: single-threaded rerun produced different aggregates\n");
+        return 1;
+      }
+      std::printf("determinism: single-threaded rerun byte-identical (%llu runs)\n",
+                  static_cast<unsigned long long>(result.total_runs()));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}
