@@ -29,7 +29,6 @@
 #include <fstream>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common.hpp"
@@ -37,6 +36,7 @@
 #include "ring/kstate.hpp"
 #include "ring/work_ring.hpp"
 #include "sim/campaign.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -105,7 +105,7 @@ void write_json(const char* path, std::uint64_t seed, std::uint64_t total_runs,
                 const std::vector<CellRow>& cells, const std::vector<ThresholdRow>& curve) {
   std::ofstream out(path);
   out << "{\n  \"experiment\": \"E22 fault-environment campaigns\",\n  \"seed\": " << seed
-      << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n  \"hardware_threads\": " << resolve_thread_count()
       << ",\n  \"sweep_total_runs\": " << total_runs
       << ",\n  \"sweep_threads\": " << par_threads
       << ",\n  \"sweep_identical\": " << (identical ? "true" : "false")

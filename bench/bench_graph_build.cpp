@@ -17,7 +17,6 @@
 #include <fstream>
 #include <random>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common.hpp"
@@ -25,6 +24,7 @@
 #include "gcl/compile.hpp"
 #include "refinement/reachability.hpp"
 #include "ring/three_state.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -132,7 +132,7 @@ std::string fmt_ms(double ms) {
 void write_json(const char* path, std::uint64_t seed, const std::vector<Row>& rows) {
   std::ofstream out(path);
   out << "{\n  \"experiment\": \"E18 graph-build\",\n  \"seed\": " << seed
-      << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n  \"hardware_threads\": " << resolve_thread_count()
       << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];

@@ -5,7 +5,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <thread>
 #include <vector>
 
 #include "common.hpp"
@@ -60,7 +59,7 @@ int main(int argc, char** argv) {
     RefinementChecker rc(make_kstate(kl), make_utr(ul), make_alpha_k(kl, ul));
     bool serial_verdict = false;
     double serial_ms = 0;
-    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t hw = resolve_thread_count();
     std::vector<std::size_t> tcounts{1, 2, 4, hw};
     std::sort(tcounts.begin(), tcounts.end());
     tcounts.erase(std::unique(tcounts.begin(), tcounts.end()), tcounts.end());

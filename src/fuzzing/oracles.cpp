@@ -19,11 +19,14 @@
 #include "refinement/onthefly.hpp"
 #include "refinement/reachability.hpp"
 #include "refinement/random_systems.hpp"
+#include "service/service.hpp"
 #include "sim/campaign.hpp"
 #include "sim/fault.hpp"
 #include "sim/runner.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
+
+#include <filesystem>
 
 namespace cref::fuzz {
 
@@ -528,6 +531,57 @@ std::vector<OracleFailure> run_oracles(const FuzzCase& fc, const OracleOptions& 
     };
     check_absint("A", fc.gcl_a);
     check_absint("C", fc.gcl_c);
+  }
+
+  // ---- cache-consistency ------------------------------------------
+  // All five relations through the checking service three ways: cold
+  // (full check + certificate emission), warm (in-memory hit), and via
+  // an on-disk round trip in a fresh service instance. The three
+  // answers must be byte-identical, and every warm/disk answer must be
+  // a certificate-REVALIDATED hit — a recompute fallback here means the
+  // generator emitted no certificate or the validator rejected an
+  // honest one, i.e. the generator/validator pair is not total over
+  // what the fuzz generators can draw. Uses the true case (not the
+  // engine view): the oracle pins the service's self-consistency.
+  {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("cref-fuzz-cache-" + fc.strategy + "-" + std::to_string(fc.seed)))
+            .string();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    service::ServiceOptions sopts;
+    sopts.engine = EngineOptions{/*num_threads=*/1, /*chunk_size=*/0};
+    sopts.cache_dir = dir;
+    try {
+      service::CheckService svc(sopts);
+      for (service::Relation rel : service::kAllRelations) {
+        const std::string name = service::to_string(rel);
+        service::Job job =
+            service::Job::from_graphs(rel, fc.c, fc.c_init, fc.a, fc.a_init, fc.alpha);
+        ++st.cache_jobs;
+        const service::JobOutcome cold = svc.run(job);
+        if (cold.cache_hit) add("cache-consistency", name + ": cold query hit the cache");
+        if (!cold.certificate_stored)
+          add("cache-consistency", name + ": cold check emitted no certificate");
+        const service::JobOutcome warm = svc.run(job);
+        service::CheckService fresh(sopts);
+        const service::JobOutcome disk = fresh.run(job);
+        for (const auto& [label, o] : {std::make_pair("warm", &warm), {"disk", &disk}}) {
+          if (o->result.holds != cold.result.holds || o->result.reason != cold.result.reason ||
+              o->result.witness.states != cold.result.witness.states)
+            add("cache-consistency", name + ": " + label + " answer differs from cold");
+          else if (!o->cache_hit || !o->revalidated)
+            add("cache-consistency",
+                name + ": " + label + " query fell back to a full recompute");
+          else
+            ++st.cache_hits_validated;
+        }
+      }
+    } catch (const std::exception& e) {
+      add("cache-consistency", std::string("service threw: ") + e.what());
+    }
+    std::filesystem::remove_all(dir, ec);
   }
 
   // ---- prover-soundness -------------------------------------------

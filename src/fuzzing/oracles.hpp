@@ -45,6 +45,15 @@
 //                           closure proof of init (when one exists) is
 //                           confirmed by the explicit edge-level
 //                           validator (GCL cases)
+//   cache-consistency       the checking service answers every case's
+//                           five relations identically cold, warm
+//                           (in-memory hit), and through an on-disk
+//                           round trip in a fresh service — verdict,
+//                           reason, and witness byte-for-byte — and
+//                           every warm/disk answer is a certificate-
+//                           revalidated hit (pins the certificate
+//                           generator/validator pair as total over
+//                           everything the generators can draw)
 //   prover-soundness        every termination / convergence
 //                           certificate the static prover emits passes
 //                           the independent validator AND agrees with
@@ -116,6 +125,8 @@ struct OracleStats {
   std::size_t prover_attempts = 0;     // prover goals tried (2 per GCL program)
   std::size_t prover_proofs = 0;       // goals the static prover certified
   std::size_t prover_confirmed = 0;    // proofs confirmed by explicit ground truth
+  std::size_t cache_jobs = 0;          // service jobs run cold (5 per case)
+  std::size_t cache_hits_validated = 0;  // warm/disk hits served off a revalidated cert
 };
 
 /// Runs the whole stack on one case. Empty result == all oracles green.

@@ -1,0 +1,122 @@
+#pragma once
+
+// Trust-free certification of cached verdicts, for ALL five relations
+// and BOTH polarities. A cache entry is served only after its
+// certificate re-proves the stored verdict against graphs rebuilt
+// locally from the request — the entry itself is never trusted, so a
+// corrupted, stale, or even key-colliding entry can only cause a
+// recompute, never a wrong answer.
+//
+// Positive certificates reduce each relation to per-edge rank
+// conditions in the style of StabilizationCertificate (DESIGN.md §7):
+//
+//   sigma  strictly decreases along stutter edges whose image is not an
+//          A-deadlock — no computation's image can stall forever at a
+//          non-final state of A (all four refinement relations).
+//   rho    is non-increasing along EVERY edge and strictly decreasing
+//          along the edges a cycle must avoid — which makes "rho-equal"
+//          a sound over-approximation of "on a cycle" (convergence:
+//          compressed/invalid edges strictly decrease; eventually:
+//          rho-equal edges must be Exact/Stutter).
+//   region a claimed superset of reachable(I_C), checked closed under
+//          T_C, on which the init-scoped conditions are enforced.
+//   compressed  per compressed edge of a convergence certificate, the
+//          dropped A-path proving the edge is Compressed, not Invalid.
+//
+// Negative certificates are replayable evidence: the stored witness is
+// re-walked edge by edge through T_C, a locally-checkable violation
+// condition is re-established on it (ViolationKind), and claims of
+// NON-reachability in A ("image not reachable") are proved by an
+// A-side closed separating set — contains the anchor states, closed
+// under T_A, excludes the claimed-unreachable image — validated in one
+// O(E_A) pass.
+//
+// Validators use only graph primitives (successors, has_edge,
+// is_deadlock) and share no analysis code with the engine.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "refinement/certificate.hpp"
+#include "refinement/check_result.hpp"
+#include "service/relation.hpp"
+
+namespace cref {
+class RefinementChecker;
+}
+
+namespace cref::service {
+
+/// The locally-checkable violation condition a negative certificate
+/// re-establishes on the stored witness.
+enum class ViolationKind : std::uint8_t {
+  kDeadlock,          // single-state witness: C-deadlock with a non-A-deadlock image
+  kBadEdge,           // path witness: last edge has differing images not in T_A
+  kBadCycle,          // cycle witness containing an edge with differing images not in T_A
+  kStutterCycle,      // pure-stutter cycle whose image is not an A-deadlock
+  kInvalidEdge,       // path witness: last edge's target image separated from the
+                      // source image by `a_closed` (anchored at the source image)
+  kNoAInit,           // stabilizing: A has no initial states
+  kUnreachableImage,  // stabilizing: cycle/deadlock witness with an image outside
+                      // `a_closed` (anchored at I_A)
+};
+
+const char* to_string(ViolationKind k);
+ViolationKind violation_kind_from_string(const std::string& name);
+
+/// Certificate of one cached (relation, verdict) pair. Positive and
+/// negative components share the struct so cache entries serialize one
+/// shape; unused components stay empty.
+struct JobCertificate {
+  bool positive = true;
+
+  // Positive components.
+  std::vector<std::uint64_t> rho;    // convergence / eventually
+  std::vector<std::uint64_t> sigma;  // the four refinement relations
+  std::vector<char> c_region;        // init-scoped relations: superset of reachable(I_C)
+  struct APath {
+    StateId s = 0, t = 0;         // the compressed concrete edge
+    std::vector<StateId> path;    // A-path image(s) -> image(t), length >= 1
+  };
+  std::vector<APath> compressed;     // convergence
+  StabilizationCertificate stab;     // stabilizing
+
+  // Negative components (the witness itself lives in the cached
+  // CheckResult and is passed to the validator alongside).
+  ViolationKind kind = ViolationKind::kDeadlock;
+  std::vector<StateId> init_path;    // C-path from I_C to the witness (init-scoped evidence)
+  std::vector<char> a_closed;        // A-side closed separating set
+};
+
+struct CertifyOptions {
+  /// Convergence certificates store one A-path per compressed edge;
+  /// above this many the instance is not certified (the entry is cached
+  /// without a certificate and warm hits recompute).
+  std::size_t max_compressed_witnesses = 4096;
+};
+
+/// Builds the certificate for `result` == run_relation(rc, r). Returns
+/// nullopt when the instance is not certifiable (witness shape outside
+/// the evidence vocabulary, or over the compressed-witness cap) — never
+/// a wrong certificate.
+std::optional<JobCertificate> make_job_certificate(const RefinementChecker& rc, Relation r,
+                                                   const CheckResult& result,
+                                                   const CertifyOptions& opts = {});
+
+/// Independently re-proves `claimed_holds` (and, for negatives, that
+/// `witness` is genuine evidence) against the given graphs. ok() iff
+/// the certificate establishes the verdict; any failure names the
+/// broken condition. Accepting is SOUND: a validated positive implies
+/// the relation holds, a validated negative implies it fails with the
+/// given witness.
+CheckResult validate_job_certificate(Relation r, bool claimed_holds, const Trace& witness,
+                                     const JobCertificate& cert, const TransitionGraph& c,
+                                     const TransitionGraph& a,
+                                     const std::vector<StateId>& c_init,
+                                     const std::vector<StateId>& a_init,
+                                     const std::vector<StateId>& alpha);
+
+}  // namespace cref::service

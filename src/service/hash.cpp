@@ -1,0 +1,149 @@
+#include "service/hash.hpp"
+
+#include <cstdio>
+
+#include "gcl/ast.hpp"
+
+namespace cref::service {
+
+namespace {
+
+// splitmix64 finalizer — the same mixer the campaign driver uses for
+// per-run seeds; statistically strong enough that summing mixed values
+// (the commutative combines below) keeps all 128 digest bits live.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Domain-separation tags: every aggregate starts from a distinct
+// constant so e.g. a graph and a state set over the same ids cannot
+// collide structurally.
+enum Tag : std::uint64_t {
+  kTagGraph = 0x67726170682d7631ull,
+  kTagStateSet = 0x7374617465736574ull,
+  kTagAlpha = 0x616c7068612d7631ull,
+  kTagIdentity = 0x6964656e74697479ull,
+  kTagSide = 0x736964652d2d2d76ull,
+  kTagGcl = 0x67636c2d6173742dull,
+  kTagExpr = 0x657870722d2d2d2dull,
+  kTagAction = 0x616374696f6e2d2dull,
+  kTagNoInit = 0x6e6f2d696e69742dull,
+  kTagJob = 0x6a6f622d6b65792dull,
+};
+
+// Commutative accumulator: wrapping per-lane sums of element digests.
+struct Sum {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  void add(const Digest& d) {
+    hi += d.hi;
+    lo += d.lo;
+  }
+  Digest digest() const { return {mix64(hi), mix64(lo ^ 0x5bf0363546290f37ull)}; }
+};
+
+Digest hash_expr(const gcl::Expr& e) {
+  Digest d = combine(hash_u64(kTagExpr), hash_u64(static_cast<std::uint64_t>(e.op)));
+  switch (e.op) {
+    case gcl::Op::Const:
+      d = combine(d, hash_u64(static_cast<std::uint64_t>(e.value)));
+      break;
+    case gcl::Op::Var:
+      d = combine(d, hash_u64(e.var_index));
+      break;
+    default:
+      break;
+  }
+  for (const gcl::Expr& c : e.children) d = combine(d, hash_expr(c));
+  return d;
+}
+
+Digest hash_action(const gcl::ActionAst& a) {
+  // Name excluded (a pure label: no answer string mentions it); process
+  // id included — it selects the action under distributed daemons.
+  Digest d = combine(hash_u64(kTagAction),
+                     hash_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(a.process))));
+  d = combine(d, hash_expr(a.guard));
+  for (const gcl::AssignmentAst& asg : a.assignments) {
+    d = combine(d, hash_u64(asg.var_index));
+    d = combine(d, hash_expr(asg.value));
+  }
+  return d;
+}
+
+}  // namespace
+
+std::string Digest::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx", static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+Digest hash_u64(std::uint64_t v) {
+  return {mix64(v ^ 0x243f6a8885a308d3ull), mix64(v ^ 0x13198a2e03707344ull)};
+}
+
+Digest combine(const Digest& a, const Digest& b) {
+  return {mix64(a.hi * 0x100000001b3ull ^ b.hi), mix64(a.lo * 0xc6a4a7935bd1e995ull ^ b.lo)};
+}
+
+Digest hash_graph(const TransitionGraph& g) {
+  const StateId n = g.num_states();
+  Sum edges;
+  for (StateId s = 0; s < n; ++s)
+    for (StateId t : g.successors(s)) edges.add(combine(hash_u64(s), hash_u64(t)));
+  Digest d = combine(hash_u64(kTagGraph), hash_u64(n));
+  d = combine(d, hash_u64(g.num_edges()));
+  return combine(d, edges.digest());
+}
+
+Digest hash_state_set(const std::vector<StateId>& states) {
+  // Commutative sum: order-independent, as cache identity needs. A
+  // duplicated element changes the digest (multiset semantics), which
+  // can only cause a false miss — init sets from System::initial_states
+  // and the fuzz generators are duplicate-free anyway.
+  Sum acc;
+  for (StateId s : states) acc.add(hash_u64(s));
+  Digest d = combine(hash_u64(kTagStateSet), hash_u64(states.size()));
+  return combine(d, acc.digest());
+}
+
+Digest hash_alpha(const std::vector<StateId>& alpha) {
+  if (alpha.empty()) return hash_u64(kTagIdentity);
+  Digest d = combine(hash_u64(kTagAlpha), hash_u64(alpha.size()));
+  for (StateId v : alpha) d = combine(d, hash_u64(v));
+  return d;
+}
+
+Digest hash_side(const TransitionGraph& g, const std::vector<StateId>& init) {
+  return combine(combine(hash_u64(kTagSide), hash_graph(g)), hash_state_set(init));
+}
+
+Digest hash_gcl(const gcl::SystemAst& ast) {
+  Digest d = combine(hash_u64(kTagGcl), hash_u64(ast.vars.size()));
+  // Variable order and cardinalities define the state encoding; names
+  // do not (answers carry StateIds, never variable names).
+  for (const gcl::VarDeclAst& v : ast.vars)
+    d = combine(d, hash_u64(static_cast<std::uint64_t>(v.cardinality)));
+  // Actions combine commutatively: successor sets are unions over
+  // actions, so declaration order cannot change any answer.
+  Sum actions;
+  for (const gcl::ActionAst& a : ast.actions) actions.add(hash_action(a));
+  d = combine(d, hash_u64(ast.actions.size()));
+  d = combine(d, actions.digest());
+  d = combine(d, ast.init ? hash_expr(*ast.init) : hash_u64(kTagNoInit));
+  return d;
+}
+
+Digest job_key(const Digest& c_side, const Digest& a_side, const Digest& alpha, Relation r) {
+  Digest d = combine(hash_u64(kTagJob), c_side);
+  d = combine(d, a_side);
+  d = combine(d, alpha);
+  return combine(d, hash_u64(static_cast<std::uint64_t>(r)));
+}
+
+}  // namespace cref::service

@@ -1,0 +1,78 @@
+#pragma once
+
+// Canonical structural hashing of checking jobs. Two jobs that are
+// guaranteed to produce byte-identical answers must key the same cache
+// line, so the digests are deliberately insensitive to every
+// answer-irrelevant presentation detail:
+//
+//  - hash_graph ignores the order in which edges were inserted (CSR
+//    construction already sorts successor lists; the digest additionally
+//    combines edges commutatively, so any edge enumeration of the same
+//    relation hashes equal).
+//  - hash_state_set ignores the order and multiplicity of init states.
+//  - hash_gcl hashes the AST, not the text: whitespace, comments, and
+//    the ORDER of action declarations do not matter (a System's
+//    successor sets are unions over actions), and neither do variable,
+//    action, or system NAMES (answers mention only StateIds and
+//    relation names). Variable order and cardinalities DO matter — they
+//    define the mixed-radix state encoding.
+//
+// Digests are 128 bits (two independently-seeded 64-bit mixes), so
+// accidental collisions are out of reach for any realistic cache; and
+// because every cache hit is re-validated against locally rebuilt
+// graphs before it is served (see service.hpp), even an engineered
+// collision can only cause a cache miss-equivalent recompute, never a
+// wrong answer.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "service/relation.hpp"
+
+namespace cref::gcl {
+struct SystemAst;
+}
+
+namespace cref::service {
+
+/// 128-bit structural digest; `hex()` is the on-disk cache filename stem.
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Digest&, const Digest&) = default;
+
+  /// 32 lowercase hex chars, hi then lo.
+  std::string hex() const;
+};
+
+/// Digest of a single 64-bit value (two independent mixes).
+Digest hash_u64(std::uint64_t v);
+
+/// Order-DEPENDENT combine, for sequences: combine(a, b) != combine(b, a).
+Digest combine(const Digest& a, const Digest& b);
+
+/// Transition relation + state count, order-independent over edges.
+Digest hash_graph(const TransitionGraph& g);
+
+/// A set of states (init sets), order- and duplicate-independent.
+Digest hash_state_set(const std::vector<StateId>& states);
+
+/// An abstraction table (a function, so position matters). The empty
+/// table (identity) has its own distinguished digest.
+Digest hash_alpha(const std::vector<StateId>& alpha);
+
+/// One side of a raw-automaton job: graph + init set.
+Digest hash_side(const TransitionGraph& g, const std::vector<StateId>& init);
+
+/// A parsed GCL program: action-order- and name-insensitive (see the
+/// header comment), sensitive to variable order/cardinality, guard and
+/// assignment structure, process ids, and the init predicate.
+Digest hash_gcl(const gcl::SystemAst& ast);
+
+/// The cache key of one (C, A, alpha, relation) job.
+Digest job_key(const Digest& c_side, const Digest& a_side, const Digest& alpha, Relation r);
+
+}  // namespace cref::service

@@ -1,0 +1,47 @@
+#include "service/relation.hpp"
+
+#include <stdexcept>
+
+#include "refinement/checker.hpp"
+
+namespace cref::service {
+
+const char* to_string(Relation r) {
+  switch (r) {
+    case Relation::kRefinementInit:
+      return "refinement-init";
+    case Relation::kEverywhere:
+      return "everywhere";
+    case Relation::kConvergence:
+      return "convergence";
+    case Relation::kEventually:
+      return "eventually";
+    case Relation::kStabilizing:
+      return "stabilizing";
+  }
+  return "?";
+}
+
+Relation relation_from_string(const std::string& name) {
+  for (Relation r : kAllRelations)
+    if (name == to_string(r)) return r;
+  throw std::runtime_error("unknown relation: " + name);
+}
+
+CheckResult run_relation(const RefinementChecker& rc, Relation r) {
+  switch (r) {
+    case Relation::kRefinementInit:
+      return rc.refinement_init();
+    case Relation::kEverywhere:
+      return rc.everywhere_refinement();
+    case Relation::kConvergence:
+      return rc.convergence_refinement();
+    case Relation::kEventually:
+      return rc.everywhere_eventually_refinement();
+    case Relation::kStabilizing:
+      return rc.stabilizing_to();
+  }
+  return CheckResult::fail("unknown relation");
+}
+
+}  // namespace cref::service

@@ -1,0 +1,42 @@
+#pragma once
+
+// The five relations of the paper as a closed enum — the job vocabulary
+// of the checking service. Every wire request, cache entry, and batch
+// job names its relation through this type, and `run_relation`
+// dispatches to the corresponding RefinementChecker method.
+
+#include <cstdint>
+#include <string>
+
+#include "refinement/check_result.hpp"
+
+namespace cref {
+class RefinementChecker;
+}
+
+namespace cref::service {
+
+enum class Relation : std::uint8_t {
+  kRefinementInit,  // [C (= A]_init
+  kEverywhere,      // [C (= A]
+  kConvergence,     // [C <~ A]
+  kEventually,      // [C ee A]
+  kStabilizing,     // C stabilizes to A
+};
+
+inline constexpr Relation kAllRelations[] = {
+    Relation::kRefinementInit, Relation::kEverywhere, Relation::kConvergence,
+    Relation::kEventually, Relation::kStabilizing};
+
+/// Wire name: "refinement-init", "everywhere", "convergence",
+/// "eventually", "stabilizing".
+const char* to_string(Relation r);
+
+/// Parses a wire name; throws std::runtime_error on an unknown one.
+Relation relation_from_string(const std::string& name);
+
+/// Runs the relation on a checker. The result is byte-identical to
+/// calling the corresponding method directly.
+CheckResult run_relation(const RefinementChecker& rc, Relation r);
+
+}  // namespace cref::service

@@ -1,0 +1,141 @@
+#pragma once
+
+// Batch-concurrent checking service: canonical job keys, a trust-free
+// verdict cache, and a shared graph store.
+//
+// A Job names a (C, A, alpha, relation) instance either as explicit
+// graphs or as a pair of GCL programs; its 128-bit key is the canonical
+// structural hash (service/hash.hpp), so renamed actions, reordered
+// declarations, or a re-submitted identical batch all hit the same
+// entry. Serving a hit NEVER trusts the cache: the entry's certificate
+// is revalidated against graphs rebuilt locally from the request
+// (service/certify.hpp), and any failure — tampering, corruption, hash
+// collision — falls back to a full check whose result overwrites the
+// entry. A validated hit returns the stored reason/witness bytes
+// unchanged, so cold and warm answers are byte-identical.
+//
+// run_batch executes independent jobs across the engine's thread pool
+// (one job per grab); per-job phase timings expose where the time went.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "gcl/ast.hpp"
+#include "refinement/check_result.hpp"
+#include "service/cache.hpp"
+#include "service/certify.hpp"
+#include "service/hash.hpp"
+#include "service/relation.hpp"
+#include "util/parallel.hpp"
+
+namespace cref::service {
+
+struct ServiceOptions {
+  EngineOptions engine;
+
+  /// In-memory LRU capacity (entries).
+  std::size_t cache_capacity = 1024;
+
+  /// Optional on-disk store directory; empty = memory only.
+  std::string cache_dir;
+
+  /// Systems larger than this are checked but cached without a
+  /// certificate (warm lookups recompute instead of revalidating).
+  StateId max_cert_states = 1ull << 22;
+
+  /// Per-certificate cap on stored compressed-edge A-paths.
+  std::size_t max_compressed_witnesses = 4096;
+
+  /// State-space cap for building GCL jobs' graphs.
+  StateId max_states = 1ull << 26;
+};
+
+/// One checking request. Construct via from_graphs or from_gcl (which
+/// computes the canonical key up front; `hash_ms` records that cost).
+struct Job {
+  Relation relation = Relation::kRefinementInit;
+  Digest key;
+  Digest c_digest, a_digest;  // per-side keys into the shared graph store
+  double hash_ms = 0;
+
+  // Graph payload (is_gcl == false).
+  TransitionGraph c, a;
+  std::vector<StateId> c_init, a_init;
+  std::vector<StateId> alpha;  // empty = identity
+
+  // GCL payload (is_gcl == true); alpha is identity.
+  bool is_gcl = false;
+  std::shared_ptr<const gcl::SystemAst> c_ast, a_ast;
+
+  static Job from_graphs(Relation r, TransitionGraph c, std::vector<StateId> c_init,
+                         TransitionGraph a, std::vector<StateId> a_init,
+                         std::vector<StateId> alpha = {});
+
+  /// Parses both programs (throws std::runtime_error on syntax errors)
+  /// and keys the job by their canonical AST hashes — graphs are built
+  /// lazily by the service, once per distinct side.
+  static Job from_gcl(Relation r, const std::string& c_source, const std::string& a_source);
+};
+
+struct JobOutcome {
+  CheckResult result;
+  Digest key;
+  bool cache_hit = false;           // served from a validated cache entry
+  bool revalidated = false;         // certificate validation ran and passed
+  bool certificate_stored = false;  // this run produced and stored a certificate
+
+  // Phase wall-clock (milliseconds).
+  double hash_ms = 0;      // canonical hashing (paid at Job construction)
+  double build_ms = 0;     // compile + graph materialization (GCL jobs)
+  double check_ms = 0;     // full check, when one ran
+  double validate_ms = 0;  // certificate validation, when one ran
+};
+
+class CheckService {
+ public:
+  struct Stats {
+    std::size_t hits = 0;                 // served from cache after validation
+    std::size_t misses = 0;               // no usable entry: full check ran
+    std::size_t validation_failures = 0;  // entry present but its certificate failed
+    std::size_t stores = 0;               // entries written (including overwrites)
+  };
+
+  explicit CheckService(ServiceOptions opts = {});
+
+  /// Runs one job at full engine parallelism.
+  JobOutcome run(const Job& job);
+
+  /// Runs independent jobs across the engine thread pool (each job's
+  /// inner check single-threaded to avoid oversubscription). Results
+  /// are positional; identical jobs in one batch may each miss (the
+  /// cache is consulted per job, not deduplicated across in-flight
+  /// work).
+  std::vector<JobOutcome> run_batch(const std::vector<Job>& jobs);
+
+  const ServiceOptions& options() const { return opts_; }
+  Stats stats() const;
+
+ private:
+  struct BuiltSide {
+    TransitionGraph graph;
+    std::vector<StateId> init;
+  };
+
+  JobOutcome run_with(const Job& job, const EngineOptions& engine);
+  std::shared_ptr<const BuiltSide> side_for(const Digest& digest,
+                                            const std::shared_ptr<const gcl::SystemAst>& ast,
+                                            double& build_ms);
+
+  ServiceOptions opts_;
+  VerdictCache cache_;
+  mutable std::mutex mu_;  // guards cache_, sides_, stats_
+  std::unordered_map<std::string, std::shared_ptr<const BuiltSide>> sides_;
+  Stats stats_;
+};
+
+}  // namespace cref::service

@@ -1,0 +1,185 @@
+#include "service/shard.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cref::service {
+
+namespace {
+
+// Shard-indexed work always runs one shard per grab: the default
+// resolved_chunk would hand all S shard indices to one worker.
+EngineOptions per_shard(const EngineOptions& opts) {
+  EngineOptions eo = opts;
+  eo.chunk_size = 1;
+  return eo;
+}
+
+StateId local_count(StateId n, std::size_t k, std::size_t shards) {
+  // States owned by shard k: k, k+S, k+2S, ... below n.
+  if (n <= static_cast<StateId>(k)) return 0;
+  return (n - static_cast<StateId>(k) + static_cast<StateId>(shards) - 1) /
+         static_cast<StateId>(shards);
+}
+
+}  // namespace
+
+ShardedGraph ShardedGraph::partition(const TransitionGraph& g, std::size_t shards,
+                                     const EngineOptions& opts) {
+  if (shards == 0) throw std::invalid_argument("ShardedGraph: shards must be >= 1");
+  ShardedGraph sg;
+  sg.n_ = g.num_states();
+  sg.edges_ = g.num_edges();
+  sg.slices_.resize(shards);
+  parallel_chunks(shards, per_shard(opts), [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      Slice& sl = sg.slices_[k];
+      const StateId ln = local_count(sg.n_, k, shards);
+      sl.offsets.assign(ln + 1, 0);
+      std::size_t total = 0;
+      for (StateId l = 0; l < ln; ++l) {
+        total += g.successors(l * shards + k).size();
+        sl.offsets[l + 1] = total;
+      }
+      sl.targets.reserve(total);
+      for (StateId l = 0; l < ln; ++l) {
+        auto succ = g.successors(l * shards + k);
+        sl.targets.insert(sl.targets.end(), succ.begin(), succ.end());
+      }
+    }
+  });
+  return sg;
+}
+
+ShardedGraph ShardedGraph::build(const System& sys, std::size_t shards, const EngineOptions& opts,
+                                 StateId max_states) {
+  if (shards == 0) throw std::invalid_argument("ShardedGraph: shards must be >= 1");
+  const StateId n = sys.space().size();
+  if (n > max_states)
+    throw std::length_error("ShardedGraph::build: state space exceeds max_states");
+  ShardedGraph sg;
+  sg.n_ = n;
+  sg.slices_.resize(shards);
+  std::vector<std::size_t> shard_edges(shards, 0);
+  parallel_chunks(shards, per_shard(opts), [&](std::size_t, std::size_t begin, std::size_t end) {
+    SuccessorScratch scratch;
+    for (std::size_t k = begin; k < end; ++k) {
+      Slice& sl = sg.slices_[k];
+      const StateId ln = local_count(n, k, shards);
+      sl.offsets.assign(ln + 1, 0);
+      // Count pass: per-state degrees, prefix-summed into offsets.
+      for (StateId l = 0; l < ln; ++l) {
+        scratch.out.clear();
+        sl.offsets[l + 1] =
+            sl.offsets[l] + sys.successors_into(l * shards + k, scratch);
+      }
+      // Fill pass: every slice lands at its precomputed offset.
+      sl.targets.resize(sl.offsets[ln]);
+      for (StateId l = 0; l < ln; ++l) {
+        scratch.out.clear();
+        sys.successors_into(l * shards + k, scratch);
+        std::copy(scratch.out.begin(), scratch.out.end(), sl.targets.begin() + sl.offsets[l]);
+      }
+      shard_edges[k] = sl.targets.size();
+    }
+  });
+  for (std::size_t e : shard_edges) sg.edges_ += e;
+  return sg;
+}
+
+util::DenseBitset sharded_reachable_from(const ShardedGraph& g,
+                                         const std::vector<StateId>& sources,
+                                         const EngineOptions& opts) {
+  const std::size_t shards = g.shards();
+  const StateId n = g.num_states();
+  const EngineOptions eo = per_shard(opts);
+
+  struct ShardState {
+    util::DenseBitset visited, frontier, next;
+  };
+  std::vector<ShardState> st(shards);
+  for (std::size_t k = 0; k < shards; ++k) {
+    const StateId ln = g.local_states(k);
+    st[k].visited.assign(ln);
+    st[k].frontier.assign(ln);
+    st[k].next.assign(ln);
+  }
+  for (StateId s : sources) {
+    ShardState& sh = st[ShardedGraph::owner(s, shards)];
+    const StateId l = s / shards;
+    if (!sh.visited.test(l)) {
+      sh.visited.set(l);
+      sh.frontier.set(l);
+    }
+  }
+
+  // out[src * shards + dst]: cross-shard targets discovered by `src`
+  // this superstep, drained by `dst` after the barrier.
+  std::vector<std::vector<StateId>> out(shards * shards);
+  std::vector<char> active(shards, 1);
+
+  auto any_active = [&] {
+    for (char a : active)
+      if (a) return true;
+    return false;
+  };
+  for (std::size_t k = 0; k < shards; ++k) active[k] = st[k].frontier.any();
+
+  while (any_active()) {
+    // Scan phase: each shard expands its own frontier; self-owned
+    // targets are marked directly, foreign ones batched per destination.
+    parallel_chunks(shards, eo, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        ShardState& sh = st[k];
+        sh.frontier.for_each_set([&](std::size_t l) {
+          const StateId s = static_cast<StateId>(l) * shards + static_cast<StateId>(k);
+          for (StateId t : g.successors(s)) {
+            const std::size_t dst = ShardedGraph::owner(t, shards);
+            if (dst == k) {
+              const StateId lt = t / shards;
+              if (!sh.visited.test(lt)) {
+                sh.visited.set(lt);
+                sh.next.set(lt);
+              }
+            } else {
+              out[k * shards + dst].push_back(t);
+            }
+          }
+        });
+      }
+    });
+    // Exchange phase (after the barrier above): each shard drains every
+    // inbox addressed to it, then promotes next -> frontier.
+    parallel_chunks(shards, eo, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        ShardState& sh = st[k];
+        for (std::size_t src = 0; src < shards; ++src) {
+          std::vector<StateId>& inbox = out[src * shards + k];
+          for (StateId t : inbox) {
+            const StateId lt = t / shards;
+            if (!sh.visited.test(lt)) {
+              sh.visited.set(lt);
+              sh.next.set(lt);
+            }
+          }
+          inbox.clear();
+        }
+        std::swap(sh.frontier, sh.next);
+        sh.next.reset_all();
+        active[k] = sh.frontier.any();
+      }
+    });
+  }
+
+  // Global assembly: bit l*S+k of the answer interleaves shards within
+  // one 64-bit word, so the merge is serial by design (no shared-word
+  // races); it is a single O(n) pass.
+  util::DenseBitset result(n);
+  for (std::size_t k = 0; k < shards; ++k)
+    st[k].visited.for_each_set([&](std::size_t l) {
+      result.set(static_cast<StateId>(l) * shards + static_cast<StateId>(k));
+    });
+  return result;
+}
+
+}  // namespace cref::service

@@ -7,13 +7,14 @@
 
 namespace cref {
 
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
 std::size_t EngineOptions::resolved_threads(std::size_t n) const {
-  std::size_t t = num_threads;
-  if (t == 0) {
-    unsigned hw = std::thread::hardware_concurrency();
-    t = hw ? hw : 1;
-  }
-  return std::max<std::size_t>(1, std::min(t, n));
+  return std::max<std::size_t>(1, std::min(resolve_thread_count(num_threads), n));
 }
 
 std::size_t EngineOptions::resolved_chunk(std::size_t n) const {
@@ -30,15 +31,34 @@ void parallel_chunks(std::size_t n, const EngineOptions& opts,
     fn(0, 0, n);
     return;
   }
-  const std::size_t chunk = opts.resolved_chunk(n);
   std::atomic<std::size_t> next{0};
-  auto worker = [&](std::size_t tid) {
-    for (;;) {
-      std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
-      if (begin >= n) return;
-      fn(tid, begin, std::min(begin + chunk, n));
-    }
-  };
+  std::function<void(std::size_t)> worker;
+  if (opts.dynamic_chunking) {
+    // Guided self-scheduling: grab size tracks the remaining work, so
+    // early grabs are big (few atomic round-trips) and tail grabs shrink
+    // to `floor` (no worker left holding a huge final chunk).
+    const std::size_t floor = opts.chunk_size ? opts.chunk_size : 64;
+    worker = [&, floor](std::size_t tid) {
+      std::size_t begin = next.load(std::memory_order_relaxed);
+      while (begin < n) {
+        const std::size_t grab = std::max(floor, (n - begin) / (4 * threads));
+        if (next.compare_exchange_weak(begin, std::min(begin + grab, n),
+                                       std::memory_order_relaxed)) {
+          fn(tid, begin, std::min(begin + grab, n));
+          begin = next.load(std::memory_order_relaxed);
+        }
+      }
+    };
+  } else {
+    const std::size_t chunk = opts.resolved_chunk(n);
+    worker = [&, chunk](std::size_t tid) {
+      for (;;) {
+        std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) return;
+        fn(tid, begin, std::min(begin + chunk, n));
+      }
+    };
+  }
   std::vector<std::thread> pool;
   pool.reserve(threads - 1);
   for (std::size_t i = 1; i < threads; ++i) pool.emplace_back(worker, i);

@@ -11,6 +11,13 @@
 
 namespace cref {
 
+/// Resolves a user-facing `--threads` value to a worker count: 0 means
+/// one per hardware thread (never returns 0, even when the runtime
+/// reports unknown concurrency). The single source of truth for the
+/// `--threads 0 == hardware_concurrency` convention across every tool
+/// and bench binary.
+std::size_t resolve_thread_count(std::size_t requested = 0);
+
 /// Tuning knobs of the parallel scans: the refinement engine's edge
 /// scans and the Sigma-materialization in TransitionGraph::build. Both
 /// are bit-identical to their serial counterparts at any thread count:
@@ -28,6 +35,16 @@ struct EngineOptions {
   /// clamped to at least 64 (small enough to balance skewed successor
   /// lists, large enough to keep the atomic work-queue cold).
   std::size_t chunk_size = 0;
+
+  /// Guided self-scheduling: instead of fixed-size grabs, each worker
+  /// takes max(floor, remaining / (4 * threads)) items per grab — large
+  /// chunks while work is plentiful, shrinking toward `floor` at the
+  /// tail so one skewed chunk cannot strand the pool behind a single
+  /// worker. `floor` is chunk_size when nonzero, else 64. Opt-in; all
+  /// merges stay bit-identical because no consumer of parallel_chunks
+  /// depends on the chunk boundaries (results merge by state id, CSR
+  /// slices land at precomputed offsets).
+  bool dynamic_chunking = false;
 
   /// Above this many A-side SCCs the condensation-closure bitsets would
   /// use too much memory; reachability queries fall back to per-query

@@ -208,6 +208,8 @@ int main(int argc, char** argv) {
             << "  prover:       " << st.prover_attempts << " goals tried, "
             << st.prover_proofs << " proved, " << st.prover_confirmed
             << " confirmed explicitly\n"
+            << "  cache:        " << st.cache_jobs << " jobs cold, "
+            << st.cache_hits_validated << " hits revalidated\n"
             << "  meta:         " << st.meta_implications << " implications\n";
   if (drv.failures)
     std::cout << "rerun a failing case with --strategy NAME --seed N "
