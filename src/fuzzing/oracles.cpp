@@ -11,8 +11,10 @@
 #include "gcl/diag.hpp"
 #include "gcl/parser.hpp"
 #include "gcl/pretty.hpp"
+#include "gcl/alpha.hpp"
 #include "prover/ground_truth.hpp"
 #include "prover/prove.hpp"
+#include "prover/refine.hpp"
 #include "refinement/certificate.hpp"
 #include "refinement/checker.hpp"
 #include "refinement/equivalence.hpp"
@@ -655,6 +657,65 @@ std::vector<OracleFailure> run_oracles(const FuzzCase& fc, const OracleOptions& 
     };
     check_prover("A", fc.gcl_a);
     check_prover("C", fc.gcl_c);
+  }
+
+  // ---- refine-soundness -------------------------------------------
+  // The static refinement prover on (C, A, identity) and the
+  // guaranteed-well-formed reflexive instance (C, C, identity).
+  // Proved must survive the independent validator AND be confirmed by
+  // BOTH explicit engines; Refuted must be confirmed failing. Unknown
+  // is incompleteness, never flagged. Identity maps that do not
+  // resolve (A has a variable C lacks) make the instance inapplicable.
+  if (fc.from_gcl()) {
+    auto check_refine = [&](const char* label, const std::string& c_src,
+                            const std::string& a_src) {
+      try {
+        const gcl::SystemAst c_ast = gcl::parse(c_src);
+        const gcl::SystemAst a_ast = gcl::parse(a_src);
+        gcl::AlphaSpec alpha;
+        try {
+          alpha = gcl::identity_alpha(c_ast, a_ast);
+        } catch (const std::exception&) {
+          return;  // no identity map between these variable sets
+        }
+        ++st.refine_attempts;
+        prover::RefineOptions ropts;
+        ropts.budget = 4096;  // generated programs are tiny; keep it cheap
+        const prover::RefineResult r =
+            prover::prove_refinement(c_ast, a_ast, alpha, ropts);
+        if (r.verdict == prover::RefineVerdict::Unknown) return;
+        ++st.refine_decided;
+        if (r.verdict == prover::RefineVerdict::Proved) {
+          std::string why;
+          if (!prover::validate_refinement_certificate(c_ast, a_ast, alpha,
+                                                       *r.certificate, &why))
+            add("refine-soundness",
+                std::string(label) +
+                    ": refinement certificate rejected by its own validator: " + why);
+        }
+        const prover::RefineGroundTruth gt =
+            prover::explicit_refinement(c_ast, a_ast, alpha);
+        if (!gt.applicable) return;
+        if (gt.holds != gt.onthefly_holds) {
+          add("refine-soundness",
+              std::string(label) +
+                  ": explicit and on-the-fly engines disagree on [C <~ A]");
+          return;
+        }
+        const bool claimed = r.verdict == prover::RefineVerdict::Proved;
+        if (claimed != gt.holds)
+          add("refine-soundness",
+              std::string(label) + ": static prover says [C <~ A] " +
+                  (claimed ? "holds but both explicit engines refute it"
+                           : "fails but both explicit engines confirm it"));
+        else
+          ++st.refine_confirmed;
+      } catch (const std::exception& e) {
+        add("refine-soundness", std::string(label) + ": threw: " + e.what());
+      }
+    };
+    check_refine("C-vs-A", fc.gcl_c, fc.gcl_a);
+    check_refine("C-vs-C", fc.gcl_c, fc.gcl_c);
   }
 
   return fails;

@@ -60,6 +60,15 @@
 //                           the explicit-state ground truth; a "proved"
 //                           verdict that the materialized graph refutes
 //                           is an unsound ranking synthesis (GCL cases)
+//   refine-soundness        the static refinement prover
+//                           (prover/refine.hpp) on (C, A, identity)
+//                           and (C, C, identity): every Proved
+//                           certificate passes the independent
+//                           validator AND the explicit + on-the-fly
+//                           engines confirm [C <~ A]; every Refuted is
+//                           confirmed failing. Unknown is allowed
+//                           (incompleteness); a contradiction with
+//                           either engine is fatal (GCL cases)
 //
 // For harness self-tests, an InjectedBug perturbs the inputs the ENGINE
 // sees (the reference always sees the true case) — simulating a defect
@@ -125,6 +134,9 @@ struct OracleStats {
   std::size_t prover_attempts = 0;     // prover goals tried (2 per GCL program)
   std::size_t prover_proofs = 0;       // goals the static prover certified
   std::size_t prover_confirmed = 0;    // proofs confirmed by explicit ground truth
+  std::size_t refine_attempts = 0;     // static refinement instances tried
+  std::size_t refine_decided = 0;      // instances decided (Proved or Refuted)
+  std::size_t refine_confirmed = 0;    // decisions both explicit engines confirmed
   std::size_t cache_jobs = 0;          // service jobs run cold (5 per case)
   std::size_t cache_hits_validated = 0;  // warm/disk hits served off a revalidated cert
 };

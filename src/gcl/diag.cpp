@@ -30,6 +30,9 @@ const char* rule_id(Rule r) {
     case Rule::AbsintInitNotClosed: return "absint-init-not-closed";
     case Rule::WrapperWritesForeignVar: return "wrapper-writes-foreign-var";
     case Rule::WrapperNonterminating: return "wrapper-nonterminating";
+    case Rule::ProveNotProved: return "prove-not-proved";
+    case Rule::RefineRefuted: return "refine-refuted";
+    case Rule::RefineUnknown: return "refine-unknown";
   }
   return "unknown";
 }

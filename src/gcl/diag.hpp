@@ -50,6 +50,11 @@ enum class Rule {
                             // graybox superposition)
   WrapperNonterminating,    // wrapper's own computation is not provably
                             // finite (Theorem 3 side condition)
+  // Prover front-end rules (the --format=sarif surface of gcl_prove and
+  // gcl_refine; the provers themselves live in src/prover).
+  ProveNotProved,  // stabilization/termination proof failed or did not validate
+  RefineRefuted,   // [C curlypreceq A] definitely does not hold
+  RefineUnknown,   // the static refinement prover ran out of power
 };
 
 /// The stable textual id of a rule, e.g. "guard-always-false".

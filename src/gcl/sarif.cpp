@@ -1,0 +1,74 @@
+#include "gcl/sarif.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace cref::gcl {
+
+namespace {
+
+const char* sarif_level(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string render_sarif(const std::vector<Diagnostic>& diags,
+                         const std::string& tool_name, const std::string& file) {
+  // The rule catalog lists exactly the rules this run produced, in
+  // first-appearance order of the sorted findings, so the document
+  // stays small and every result's ruleIndex is valid.
+  std::vector<Diagnostic> sorted = diags;
+  sort_diagnostics(sorted);
+  std::vector<const char*> rules;
+  auto rule_index = [&](Rule r) -> std::size_t {
+    const char* id = rule_id(r);
+    for (std::size_t i = 0; i < rules.size(); ++i)
+      if (rules[i] == id) return i;
+    rules.push_back(id);
+    return rules.size() - 1;
+  };
+  // Pre-pass to build the catalog in result order.
+  for (const Diagnostic& d : sorted) rule_index(d.rule);
+
+  std::ostringstream out;
+  out << "{\"version\": \"2.1.0\", "
+      << "\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\", "
+      << "\"runs\": [{\"tool\": {\"driver\": {\"name\": \""
+      << json_escape(tool_name)
+      << "\", \"informationUri\": \"https://github.com/cref/cref\", "
+      << "\"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i) out << ", ";
+    out << "{\"id\": \"" << rules[i] << "\", \"name\": \"" << rules[i] << "\"}";
+  }
+  out << "]}}, \"artifacts\": [{\"location\": {\"uri\": \"" << json_escape(file)
+      << "\"}}], \"results\": [";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const Diagnostic& d = sorted[i];
+    if (i) out << ", ";
+    out << "{\"ruleId\": \"" << rule_id(d.rule)
+        << "\", \"ruleIndex\": " << rule_index(d.rule) << ", \"level\": \""
+        << sarif_level(d.severity) << "\", \"message\": {\"text\": \""
+        << json_escape(d.hint.empty() ? d.message : d.message + " (hint: " + d.hint + ")")
+        << "\"}";
+    if (d.loc.line > 0) {
+      out << ", \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+          << "{\"uri\": \"" << json_escape(file) << "\", \"index\": 0}, "
+          << "\"region\": {\"startLine\": " << d.loc.line;
+      if (d.loc.column > 0) out << ", \"startColumn\": " << d.loc.column;
+      out << "}}}]";
+    }
+    out << "}";
+  }
+  out << "]}]}\n";
+  return out.str();
+}
+
+}  // namespace cref::gcl

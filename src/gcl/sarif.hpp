@@ -1,0 +1,30 @@
+#pragma once
+
+// SARIF 2.1.0 rendering of analyzer diagnostics — the shared
+// `--format=sarif` back end of gcl_lint, gcl_prove and gcl_refine, so
+// every static front end of the repo speaks the exchange format CI
+// code-scanning UIs ingest. One run object per invocation: the tool
+// component carries the stable rule catalog (rule ids are the same
+// strings the text and JSON renderers print), each result points at a
+// physicalLocation region built from the diagnostic's 1-based
+// SourceLoc, and notes map to "note", warnings to "warning", errors to
+// "error" kind/level pairs.
+//
+// The renderer is deliberately independent of the exit-code policy:
+// callers decide pass/fail with should_fail() exactly as for the other
+// formats (the gcl_lint --werror regression pins this).
+
+#include <string>
+#include <vector>
+
+#include "gcl/diag.hpp"
+
+namespace cref::gcl {
+
+/// One complete SARIF 2.1.0 document (a single run), newline
+/// terminated. `tool_name` names the driver (e.g. "gcl_lint");
+/// `file` is the analyzed artifact's URI (path or "<input>").
+std::string render_sarif(const std::vector<Diagnostic>& diags,
+                         const std::string& tool_name, const std::string& file);
+
+}  // namespace cref::gcl

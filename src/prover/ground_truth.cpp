@@ -3,9 +3,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/abstraction.hpp"
 #include "core/graph.hpp"
 #include "core/system.hpp"
 #include "gcl/compile.hpp"
+#include "refinement/checker.hpp"
+#include "refinement/onthefly.hpp"
 
 namespace cref::prover {
 namespace {
@@ -154,6 +157,32 @@ bool explicit_terminates(const gcl::SystemAst& ast, bool* applicable,
       if (--indeg[t] == 0) queue.push_back(t);
   }
   return processed == total;
+}
+
+RefineGroundTruth explicit_refinement(const gcl::SystemAst& c_ast,
+                                      const gcl::SystemAst& a_ast,
+                                      const gcl::AlphaSpec& alpha,
+                                      std::size_t max_states) {
+  RefineGroundTruth gt;
+  const System c = gcl::compile(c_ast);
+  const System a = gcl::compile(a_ast);
+  gt.c_states = c.space().size();
+  gt.a_states = a.space().size();
+  if (gt.c_states > max_states || gt.a_states > max_states) return gt;
+  gt.applicable = true;
+
+  // The map function borrows alpha/a_ast from the caller; both
+  // abstractions below die before this function returns.
+  Abstraction::MapFn map = [&alpha, &a_ast](const StateVec& s, StateVec& out) {
+    gcl::alpha_image(alpha, a_ast, s, out);
+  };
+  RefinementChecker rc(c, a,
+                       Abstraction("alpha", c.space_ptr(), a.space_ptr(), map));
+  gt.holds = rc.convergence_refinement().holds;
+  OnTheFlyChecker ofc(c, a,
+                      Abstraction::lazy("alpha", c.space_ptr(), a.space_ptr(), map));
+  gt.onthefly_holds = ofc.convergence_refinement().holds;
+  return gt;
 }
 
 }  // namespace cref::prover

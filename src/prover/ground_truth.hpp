@@ -12,6 +12,7 @@
 
 #include <cstddef>
 
+#include "gcl/alpha.hpp"
 #include "gcl/ast.hpp"
 
 namespace cref::prover {
@@ -48,5 +49,25 @@ GroundTruth lazy_check(const gcl::SystemAst& ast, const gcl::Expr& target,
 /// return value is meaningful only when it did.
 bool explicit_terminates(const gcl::SystemAst& ast, bool* applicable = nullptr,
                          std::size_t max_states = std::size_t{1} << 22);
+
+/// Ground truth for the static refinement prover (prover/refine.hpp):
+/// [C <~ A] through `alpha`, decided by BOTH explicit engines — the
+/// materialized RefinementChecker and the on-the-fly SCC-quotient
+/// checker — so a static verdict is held against two independent
+/// implementations at once. A static Proved that `holds` refutes (or
+/// a Refuted that it confirms) is a soundness bug; the two engines
+/// disagreeing with each other is an engine bug either way.
+struct RefineGroundTruth {
+  bool applicable = false;     // both spaces fit the cap and were explored
+  bool holds = false;          // explicit convergence_refinement verdict
+  bool onthefly_holds = false; // on-the-fly verdict (engine bug unless == holds)
+  std::size_t c_states = 0;
+  std::size_t a_states = 0;
+};
+
+RefineGroundTruth explicit_refinement(const gcl::SystemAst& c_ast,
+                                      const gcl::SystemAst& a_ast,
+                                      const gcl::AlphaSpec& alpha,
+                                      std::size_t max_states = std::size_t{1} << 22);
 
 }  // namespace cref::prover

@@ -114,7 +114,7 @@ bool read_word(LineReader& r, const char* label, std::string& out) {
 
 std::string serialize_entry(const CacheEntry& entry) {
   std::ostringstream out;
-  out << "cref-cache 1\n";
+  out << "cref-cache 2\n";
   out << "relation " << to_string(entry.relation) << '\n';
   out << "holds " << (entry.holds ? 1 : 0) << '\n';
   // Raw to end of line; reasons never contain '\n' (and if one ever
@@ -143,6 +143,12 @@ std::string serialize_entry(const CacheEntry& entry) {
     out << "kind " << to_string(c.kind) << '\n';
     write_ids(out, "init-path", c.init_path);
     write_bits(out, "a-closed", c.a_closed);
+    // The static refinement certificate is itself a line-oriented text
+    // blob; embed it verbatim, length-prefixed by line count.
+    std::size_t nlines = 0;
+    for (char ch : c.refine)
+      if (ch == '\n') ++nlines;
+    out << "refine " << nlines << '\n' << c.refine;
   }
   out << "end\n";
   return out.str();
@@ -150,7 +156,7 @@ std::string serialize_entry(const CacheEntry& entry) {
 
 std::optional<CacheEntry> parse_entry(const std::string& text) {
   LineReader r(text);
-  if (auto line = r.next(); !line || *line != "cref-cache 1") return std::nullopt;
+  if (auto line = r.next(); !line || *line != "cref-cache 2") return std::nullopt;
 
   CacheEntry e;
   std::string word;
@@ -212,6 +218,16 @@ std::optional<CacheEntry> parse_entry(const std::string& text) {
     }
     if (!read_numbers(r, "init-path", c.init_path)) return std::nullopt;
     if (!read_bits(r, "a-closed", c.a_closed)) return std::nullopt;
+    std::istringstream rs;
+    if (!open_labeled(r.next(), "refine", rs)) return std::nullopt;
+    std::uint64_t nlines = 0;
+    if (!(rs >> nlines) || !no_trailing(rs)) return std::nullopt;
+    for (std::uint64_t i = 0; i < nlines; ++i) {
+      auto line = r.next();
+      if (!line) return std::nullopt;
+      c.refine += *line;
+      c.refine += '\n';
+    }
     e.certificate = std::move(c);
   }
   if (auto line = r.next(); !line || *line != "end") return std::nullopt;

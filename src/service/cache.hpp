@@ -37,7 +37,9 @@ struct CacheEntry {
   std::optional<JobCertificate> certificate;
 };
 
-/// Versioned line-oriented text encoding ("cref-cache 1" header).
+/// Versioned line-oriented text encoding ("cref-cache 2" header; the
+/// version was bumped when certificates gained the embedded static
+/// refinement blob — version-1 files parse as misses and recompute).
 std::string serialize_entry(const CacheEntry& entry);
 
 /// Strict inverse of serialize_entry: any unknown version, missing

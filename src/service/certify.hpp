@@ -89,6 +89,13 @@ struct JobCertificate {
   ViolationKind kind = ViolationKind::kDeadlock;
   std::vector<StateId> init_path;    // C-path from I_C to the witness (init-scoped evidence)
   std::vector<char> a_closed;        // A-side closed separating set
+
+  // Static refinement certificate (GCL convergence jobs proved by the
+  // static prover, src/prover/refine.hpp): the serialized
+  // RefinementCertificate ("refine-cert" text). When present, warm hits
+  // revalidate it against the request's ASTs alone — no graph is ever
+  // built. Empty for graph-certified entries.
+  std::string refine;
 };
 
 struct CertifyOptions {

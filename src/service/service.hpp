@@ -53,6 +53,13 @@ struct ServiceOptions {
 
   /// State-space cap for building GCL jobs' graphs.
   StateId max_states = 1ull << 26;
+
+  /// Try the static refinement prover (src/prover/refine.hpp) first for
+  /// GCL convergence jobs: a proof from the ASTs alone serves the job —
+  /// and revalidates its warm hits — without ever building a graph
+  /// (build_ms stays 0). Unknown/refuted falls back to the explicit
+  /// engine; disable to force graph checking.
+  bool static_refine = true;
 };
 
 /// One checking request. Construct via from_graphs or from_gcl (which

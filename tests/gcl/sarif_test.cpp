@@ -1,0 +1,189 @@
+#include "gcl/sarif.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gcl/analyze.hpp"
+#include "gcl/parser.hpp"
+
+// The SARIF 2.1.0 surface shared by gcl_lint, gcl_prove and gcl_refine:
+// every document must be well-formed JSON, carry the schema header, use
+// the same stable rule ids as the text/JSON renderers, and point each
+// positioned result at a 1-based startLine/startColumn region. CI
+// uploads these documents to code scanning, so the format is an
+// external contract, not an implementation detail.
+
+namespace cref::gcl {
+namespace {
+
+// Minimal JSON well-formedness checker (objects, arrays, strings,
+// numbers, true/false/null) — same idiom as analyze_test.cpp.
+struct JsonChecker {
+  const std::string& s;
+  std::size_t i = 0;
+  bool ok = true;
+
+  explicit JsonChecker(const std::string& text) : s(text) {}
+  void skip_ws() {
+    while (i < s.size() && std::strchr(" \t\n\r", s[i])) ++i;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return ok = false;
+  }
+  bool value() {
+    skip_ws();
+    if (i >= s.size()) return ok = false;
+    char c = s[i];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == '-' || (c >= '0' && c <= '9')) return number();
+    for (const char* lit : {"true", "false", "null"})
+      if (s.compare(i, std::strlen(lit), lit) == 0) {
+        i += std::strlen(lit);
+        return true;
+      }
+    return ok = false;
+  }
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (i < s.size() && s[i] == '}') return ++i, true;
+    do {
+      skip_ws();
+      if (!string() || !eat(':') || !value()) return false;
+      skip_ws();
+    } while (i < s.size() && s[i] == ',' && ++i);
+    return eat('}');
+  }
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (i < s.size() && s[i] == ']') return ++i, true;
+    do {
+      if (!value()) return false;
+      skip_ws();
+    } while (i < s.size() && s[i] == ',' && ++i);
+    return eat(']');
+  }
+  bool string() {
+    skip_ws();
+    if (i >= s.size() || s[i] != '"') return ok = false;
+    for (++i; i < s.size(); ++i) {
+      if (s[i] == '\\') ++i;
+      else if (s[i] == '"') return ++i, true;
+    }
+    return ok = false;
+  }
+  bool number() {
+    std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    while (i < s.size() && ((s[i] >= '0' && s[i] <= '9') ||
+                            std::strchr(".eE+-", s[i]) != nullptr))
+      ++i;
+    return i > start || (ok = false);
+  }
+  bool document() {
+    bool v = value();
+    skip_ws();
+    return v && i == s.size();
+  }
+};
+
+bool valid_json(const std::string& text) {
+  // The renderer newline-terminates; the checker wants exactly one value.
+  std::string t = text;
+  while (!t.empty() && t.back() == '\n') t.pop_back();
+  return JsonChecker(t).document();
+}
+
+TEST(SarifRender, EmptyRunIsWellFormedWithSchemaHeader) {
+  const std::string doc = render_sarif({}, "gcl_lint", "clean.gcl");
+  EXPECT_TRUE(valid_json(doc)) << doc;
+  EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(doc.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"gcl_lint\""), std::string::npos);
+  EXPECT_NE(doc.find("\"rules\": []"), std::string::npos);
+  EXPECT_NE(doc.find("\"results\": []"), std::string::npos);
+  EXPECT_EQ(doc.back(), '\n');
+}
+
+TEST(SarifRender, LevelsRegionsAndRuleIdsMatchTheDiagnostics) {
+  std::vector<Diagnostic> diags;
+  diags.push_back({Rule::GuardAlwaysFalse, Severity::Warning, {3, 10},
+                   "dead action", "delete it"});
+  diags.push_back({Rule::ParseError, Severity::Error, {1, 1}, "bad token", ""});
+  diags.push_back({Rule::GuardAlwaysTrue, Severity::Note, {0, 0}, "tautology", ""});
+
+  const std::string doc = render_sarif(diags, "gcl_lint", "p.gcl");
+  EXPECT_TRUE(valid_json(doc)) << doc;
+  // Stable ids, levels, and 1-based regions survive into the document.
+  EXPECT_NE(doc.find("\"ruleId\": \"parse-error\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ruleId\": \"guard-always-false\""), std::string::npos);
+  EXPECT_NE(doc.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(doc.find("\"level\": \"warning\""), std::string::npos);
+  EXPECT_NE(doc.find("\"level\": \"note\""), std::string::npos);
+  EXPECT_NE(doc.find("\"startLine\": 3"), std::string::npos);
+  EXPECT_NE(doc.find("\"startColumn\": 10"), std::string::npos);
+  // The hint rides inside the message text.
+  EXPECT_NE(doc.find("dead action (hint: delete it)"), std::string::npos);
+  // A position-less diagnostic carries no locations array.
+  EXPECT_EQ(doc.find("\"startLine\": 0"), std::string::npos);
+}
+
+TEST(SarifRender, RuleCatalogIndicesAreConsistent) {
+  // Two findings of the same rule share one catalog entry; ruleIndex
+  // points into the first-appearance-ordered catalog.
+  std::vector<Diagnostic> diags;
+  diags.push_back({Rule::VarUnused, Severity::Warning, {2, 3}, "u unused", ""});
+  diags.push_back({Rule::VarUnused, Severity::Warning, {3, 3}, "v unused", ""});
+  diags.push_back({Rule::ActionStutter, Severity::Warning, {4, 3}, "stutters", ""});
+
+  const std::string doc = render_sarif(diags, "gcl_lint", "p.gcl");
+  EXPECT_TRUE(valid_json(doc)) << doc;
+  // Exactly one catalog entry per distinct rule.
+  std::size_t catalog = 0;
+  for (std::size_t at = 0; (at = doc.find("\"id\": \"var-unused\"", at)) !=
+                           std::string::npos;
+       ++at)
+    ++catalog;
+  EXPECT_EQ(catalog, 1u);
+  EXPECT_NE(doc.find("\"ruleIndex\": 0"), std::string::npos);
+  EXPECT_NE(doc.find("\"ruleIndex\": 1"), std::string::npos);
+  EXPECT_EQ(doc.find("\"ruleIndex\": 2"), std::string::npos);
+}
+
+TEST(SarifRender, MessagesAndUrisAreJsonEscaped) {
+  std::vector<Diagnostic> diags;
+  diags.push_back({Rule::ParseError, Severity::Error, {1, 1},
+                   "unexpected '\"' in \\path\n", ""});
+  const std::string doc = render_sarif(diags, "gcl_lint", "dir with \"q\"/p.gcl");
+  EXPECT_TRUE(valid_json(doc)) << doc;
+}
+
+TEST(SarifRender, EndToEndThroughTheAnalyzer) {
+  // The real gcl_lint pipeline: analyze a warning-laden system and
+  // render its findings — the document CI uploads must be valid JSON.
+  const SystemAst ast = parse(
+      "system p {\n"
+      "  var x : 0..2;\n"
+      "  var dead : 0..1;\n"
+      "  action a @0 : x > 5 -> x := 0;\n"
+      "}\n");
+  const std::vector<Diagnostic> diags = analyze(ast);
+  ASSERT_FALSE(diags.empty());
+  const std::string doc = render_sarif(diags, "gcl_lint", "examples/gcl/p.gcl");
+  EXPECT_TRUE(valid_json(doc)) << doc;
+  EXPECT_NE(doc.find("guard-always-false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cref::gcl

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Blocking clang-tidy gate for the static-analysis CI job.
+#
+# Runs run-clang-tidy with the curated .clang-tidy check set over every
+# translation unit, normalizes the findings to stable fingerprints
+# (relative path, check name, message — no line numbers, so unrelated
+# edits don't churn the pin), and diffs them against the committed
+# .clang-tidy-baseline. Any finding NOT in the baseline fails the job;
+# fix it or NOLINT it with a justification. Findings in the baseline
+# that no longer fire are reported so the pin can shrink — the baseline
+# may only ever get smaller.
+#
+#   tools/ci/check_clang_tidy.sh BUILD_DIR            # gate (CI)
+#   tools/ci/check_clang_tidy.sh BUILD_DIR --update   # rewrite the pin
+set -u -o pipefail
+
+BUILD_DIR="${1:?usage: check_clang_tidy.sh BUILD_DIR [--update]}"
+MODE="${2:-check}"
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BASELINE="$ROOT/.clang-tidy-baseline"
+RAW="$(mktemp)"
+CURRENT="$(mktemp)"
+trap 'rm -f "$RAW" "$CURRENT"' EXIT
+
+# run-clang-tidy exits nonzero whenever the WarningsAsErrors subset
+# fires; that subset gates unconditionally (it is never baselined).
+run-clang-tidy -quiet -p "$BUILD_DIR" '(src|tools|bench|tests)/.*\.cpp$' \
+  > "$RAW" 2> /dev/null
+TIDY_STATUS=$?
+
+# "path:line:col: warning: message [check]" -> "path<TAB>check<TAB>message"
+sed -nE "s|^$ROOT/||; s|^([^:]+):[0-9]+:[0-9]+: warning: (.*) \[([a-z0-9.,-]+)\]\$|\1\t\3\t\2|p" \
+  "$RAW" | sort -u > "$CURRENT"
+
+if [ "$MODE" = "--update" ]; then
+  {
+    echo "# Pinned clang-tidy findings (tools/ci/check_clang_tidy.sh)."
+    echo "# One fingerprint per line: path<TAB>check<TAB>message."
+    echo "# This file may only shrink: new findings must be fixed or"
+    echo "# NOLINT'ed with a justification, never appended here."
+    cat "$CURRENT"
+  } > "$BASELINE"
+  echo "baseline updated: $(wc -l < "$CURRENT") finding(s) pinned"
+  exit 0
+fi
+
+grep -v '^#' "$BASELINE" | sed '/^$/d' | sort -u > "$BASELINE.sorted"
+trap 'rm -f "$RAW" "$CURRENT" "$BASELINE.sorted"' EXIT
+
+NEW="$(comm -23 "$CURRENT" "$BASELINE.sorted")"
+FIXED="$(comm -13 "$CURRENT" "$BASELINE.sorted")"
+
+if [ -n "$FIXED" ]; then
+  echo "note: baselined finding(s) no longer fire — shrink the pin:"
+  echo "$FIXED" | sed 's/^/  /'
+fi
+if [ -n "$NEW" ]; then
+  echo "FAIL: clang-tidy finding(s) not in .clang-tidy-baseline:" >&2
+  echo "$NEW" | sed 's/^/  /' >&2
+  echo "fix them (or NOLINT with a justification); do not grow the pin" >&2
+  exit 1
+fi
+if [ "$TIDY_STATUS" -ne 0 ]; then
+  echo "FAIL: a WarningsAsErrors check fired (never baselined):" >&2
+  grep -E "error: .* \[" "$RAW" >&2
+  exit 1
+fi
+echo "clang-tidy clean: $(wc -l < "$CURRENT") finding(s), all pinned"

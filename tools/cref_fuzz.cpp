@@ -208,6 +208,9 @@ int main(int argc, char** argv) {
             << "  prover:       " << st.prover_attempts << " goals tried, "
             << st.prover_proofs << " proved, " << st.prover_confirmed
             << " confirmed explicitly\n"
+            << "  refine:       " << st.refine_attempts << " instances tried, "
+            << st.refine_decided << " decided, " << st.refine_confirmed
+            << " confirmed by both engines\n"
             << "  cache:        " << st.cache_jobs << " jobs cold, "
             << st.cache_hits_validated << " hits revalidated\n"
             << "  meta:         " << st.meta_implications << " implications\n";

@@ -28,7 +28,10 @@
 // different @process. Files WITH an init get no --prove findings.
 //
 // Exit codes: 0 clean (notes allowed), 1 findings at failure level
-// (any error; any warning under --werror), 2 usage error.
+// (any error; any warning under --werror), 2 usage error. The exit
+// code is computed from the findings alone (should_fail), never from
+// the renderer: text, json and sarif output of the same run always
+// exit identically (pinned by tests/cli/lint_exit_codes.sh).
 
 #include <cstdio>
 #include <fstream>
@@ -41,12 +44,15 @@
 #include "gcl/analyze.hpp"
 #include "gcl/diag.hpp"
 #include "gcl/parser.hpp"
+#include "gcl/sarif.hpp"
 #include "prover/superposition.hpp"
 #include "util/cli.hpp"
 
 using namespace cref;
 
 namespace {
+
+enum class Format { Text, Json, Sarif };
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
@@ -62,9 +68,10 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv, {"werror", "sets", "absint", "prove"});
   if (cli.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: gcl_lint [--format=text|json] [--werror] [--sets] "
+                 "usage: gcl_lint [--format=text|json|sarif] [--werror] [--sets] "
                  "[--absint] [--prove [--base FILE]] [--budget N] FILE.gcl...\n"
                  "  --format=json  machine-readable output (one document per file)\n"
+                 "  --format=sarif SARIF 2.1.0 (for CI code-scanning upload)\n"
                  "  --werror       treat warnings as errors (notes never fail)\n"
                  "  --sets         also report per-action read/write sets and the\n"
                  "                 cross-process interference summary\n"
@@ -78,10 +85,17 @@ int main(int argc, char** argv) {
                  "  --budget N     max valuations per exact check (default 2^20)\n");
     return 2;
   }
-  const std::string format = cli.get("format", "text");
-  if (format != "text" && format != "json") {
-    std::fprintf(stderr, "gcl_lint: unknown --format '%s' (use text or json)\n",
-                 format.c_str());
+  const std::string format_name = cli.get("format", "text");
+  Format format;
+  if (format_name == "text") {
+    format = Format::Text;
+  } else if (format_name == "json") {
+    format = Format::Json;
+  } else if (format_name == "sarif") {
+    format = Format::Sarif;
+  } else {
+    std::fprintf(stderr, "gcl_lint: unknown --format '%s' (use text, json or sarif)\n",
+                 format_name.c_str());
     return 2;
   }
   const bool werror = cli.has("werror");
@@ -133,15 +147,24 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+    // The failure decision is renderer-independent by construction:
+    // it is taken here, before the format switch.
     failed |= gcl::should_fail(diags, werror);
-    if (format == "json") {
-      const std::string extra =
-          parsed && cli.has("sets") ? gcl::render_read_write_report_json(ast) : "";
-      std::fputs(gcl::render_json(diags, path, extra).c_str(), stdout);
-    } else {
-      std::fputs(gcl::render_text(diags, path).c_str(), stdout);
-      if (parsed && cli.has("sets"))
-        std::fputs(gcl::format_read_write_report(ast).c_str(), stdout);
+    switch (format) {
+      case Format::Sarif:
+        std::fputs(gcl::render_sarif(diags, "gcl_lint", path).c_str(), stdout);
+        break;
+      case Format::Json: {
+        const std::string extra =
+            parsed && cli.has("sets") ? gcl::render_read_write_report_json(ast) : "";
+        std::fputs(gcl::render_json(diags, path, extra).c_str(), stdout);
+        break;
+      }
+      case Format::Text:
+        std::fputs(gcl::render_text(diags, path).c_str(), stdout);
+        if (parsed && cli.has("sets"))
+          std::fputs(gcl::format_read_write_report(ast).c_str(), stdout);
+        break;
     }
   }
   return failed ? 1 : 0;
